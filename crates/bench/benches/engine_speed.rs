@@ -1,0 +1,47 @@
+//! Figure 12's timing side: static vs dynamic execution across batch
+//! sizes on the paper's 10-qubit, 200-gate benchmark circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{parallel_map, run, ExecMode};
+
+/// The paper's Figure 12 circuit: 10 qubits, 100 RX + 100 CRY gates.
+fn paper_circuit() -> (Circuit, Vec<f64>) {
+    let n = 10;
+    let mut c = Circuit::new(n);
+    let mut t = 0;
+    for i in 0..100 {
+        c.push(GateKind::RX, &[i % n], &[Param::Train(t)]);
+        t += 1;
+        c.push(GateKind::CRY, &[i % n, (i + 1) % n], &[Param::Train(t)]);
+        t += 1;
+    }
+    let params = (0..t).map(|i| 0.01 * i as f64).collect();
+    (c, params)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let (circuit, params) = paper_circuit();
+    let mut group = c.benchmark_group("engine_speed");
+    group.sample_size(10);
+    for &batch in &[1usize, 8, 32] {
+        let inputs: Vec<Vec<f64>> = (0..batch).map(|i| vec![0.1 * i as f64]).collect();
+        group.bench_with_input(BenchmarkId::new("dynamic", batch), &batch, |b, _| {
+            b.iter(|| parallel_map(&inputs, |_| run(&circuit, &params, &[], ExecMode::Dynamic)))
+        });
+        group.bench_with_input(BenchmarkId::new("static", batch), &batch, |b, _| {
+            b.iter(|| parallel_map(&inputs, |_| run(&circuit, &params, &[], ExecMode::Static)))
+        });
+        group.bench_with_input(BenchmarkId::new("unbatched", batch), &batch, |b, _| {
+            b.iter(|| {
+                for _ in &inputs {
+                    let _ = run(&circuit, &params, &[], ExecMode::Dynamic);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

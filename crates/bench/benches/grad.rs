@@ -1,0 +1,52 @@
+//! Gradient-engine comparison: adjoint vs parameter-shift vs numeric.
+//!
+//! Adjoint costs O(1) circuit sweeps regardless of parameter count;
+//! parameter-shift costs 2 evaluations per parameter — the design-choice
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{adjoint_gradient, numeric_gradient, parameter_shift_gradient, DiagObservable};
+
+fn rotation_circuit(n_qubits: usize, layers: usize) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n_qubits);
+    let mut t = 0;
+    for _ in 0..layers {
+        for q in 0..n_qubits {
+            c.push(GateKind::RY, &[q], &[Param::Train(t)]);
+            t += 1;
+            c.push(GateKind::RZ, &[q], &[Param::Train(t)]);
+            t += 1;
+        }
+        for q in 0..n_qubits {
+            c.push(GateKind::CX, &[q, (q + 1) % n_qubits], &[]);
+        }
+    }
+    let params = (0..t).map(|i| 0.1 + 0.01 * i as f64).collect();
+    (c, params)
+}
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grad");
+    group.sample_size(10);
+    for &layers in &[2usize, 4, 8] {
+        let (circuit, params) = rotation_circuit(6, layers);
+        let obs = DiagObservable::new(vec![1.0; 6]);
+        let label = format!("{}params", params.len());
+        group.bench_with_input(BenchmarkId::new("adjoint", &label), &circuit, |b, circ| {
+            b.iter(|| adjoint_gradient(circ, &params, &[], &obs))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parameter_shift", &label),
+            &circuit,
+            |b, circ| b.iter(|| parameter_shift_gradient(circ, &params, &[], &obs)),
+        );
+        group.bench_with_input(BenchmarkId::new("numeric", &label), &circuit, |b, circ| {
+            b.iter(|| numeric_gradient(circ, &params, &[], &obs, 1e-5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradients);
+criterion_main!(benches);

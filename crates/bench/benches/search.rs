@@ -1,0 +1,78 @@
+//! Search-stage costs: estimator queries and evolution iterations — the
+//! measured side of Table I's cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quantumnas::{
+    evolutionary_search, train_supercircuit, DesignSpace, Estimator, EstimatorKind, EvoConfig,
+    SpaceKind, SuperCircuit, SuperTrainConfig, Task,
+};
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::Layout;
+
+fn setup() -> (SuperCircuit, Vec<f64>, Task) {
+    let task = Task::qml_digits(&[3, 6], 40, 4, 5);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let (shared, _) = train_supercircuit(
+        &sc,
+        &task,
+        &SuperTrainConfig {
+            steps: 30,
+            batch_size: 8,
+            warmup_steps: 3,
+            ..Default::default()
+        },
+    );
+    (sc, shared, task)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (sc, shared, task) = setup();
+    let device = Device::yorktown();
+    let circuit = match &task {
+        Task::Qml { encoder, .. } => sc.build(&sc.max_config(), Some(encoder)),
+        _ => unreachable!(),
+    };
+    let layout = Layout::trivial(4);
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+
+    // One estimator query per backend kind (the inner loop of the search).
+    for (name, kind) in [
+        ("noiseless", EstimatorKind::Noiseless),
+        ("success_rate", EstimatorKind::SuccessRate),
+        (
+            "noisy_sim",
+            EstimatorKind::NoisySim(TrajectoryConfig {
+                trajectories: 8,
+                seed: 1,
+                readout: true,
+            }),
+        ),
+    ] {
+        let est = Estimator::new(device.clone(), kind, 2).with_valid_cap(8);
+        group.bench_with_input(BenchmarkId::new("estimator_query", name), &est, |b, est| {
+            b.iter(|| est.score(&circuit, &shared, &task, &layout))
+        });
+    }
+
+    // A full (small) evolutionary search.
+    let est = Estimator::new(device.clone(), EstimatorKind::SuccessRate, 2).with_valid_cap(8);
+    group.bench_function("evolution_4x8", |b| {
+        b.iter(|| {
+            let cfg = EvoConfig {
+                iterations: 4,
+                population: 8,
+                parents: 3,
+                mutations: 3,
+                crossovers: 2,
+                ..EvoConfig::fast(1)
+            };
+            evolutionary_search(&sc, &shared, &task, &est, &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! State-vector throughput vs qubit count (supports the Figure 15
+//! scalability discussion: the cost wall that motivates the success-rate
+//! estimator on large machines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{run, ExecMode};
+
+fn layered_circuit(n_qubits: usize, blocks: usize) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n_qubits);
+    let mut t = 0;
+    for _ in 0..blocks {
+        for q in 0..n_qubits {
+            c.push(
+                GateKind::U3,
+                &[q],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+        for q in 0..n_qubits {
+            c.push(GateKind::CX, &[q, (q + 1) % n_qubits], &[]);
+        }
+    }
+    let params = (0..t).map(|i| 0.01 * i as f64).collect();
+    (c, params)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 12, 16] {
+        let (circuit, params) = layered_circuit(n, 2);
+        group.bench_with_input(BenchmarkId::new("qubits", n), &n, |b, _| {
+            b.iter(|| run(&circuit, &params, &[], ExecMode::Static))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

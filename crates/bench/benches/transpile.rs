@@ -1,0 +1,65 @@
+//! Transpiler pass throughput: routing, basis lowering, optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_noise::Device;
+use qns_transpile::{optimize, route, to_ibm_basis, transpile, Layout};
+
+fn u3cu3_circuit(n_qubits: usize, blocks: usize) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    let mut t = 0;
+    for _ in 0..blocks {
+        for q in 0..n_qubits {
+            c.push(
+                GateKind::U3,
+                &[q],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+        for q in 0..n_qubits {
+            c.push(
+                GateKind::CU3,
+                &[q, (q + 1) % n_qubits],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+    }
+    c
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    let device = Device::guadalupe();
+    for &(n, blocks) in &[(4usize, 4usize), (8, 4), (12, 2)] {
+        let circuit = u3cu3_circuit(n, blocks);
+        let layout = Layout::from_vec((0..n).collect());
+        group.bench_with_input(
+            BenchmarkId::new("route", format!("{n}q_{blocks}b")),
+            &circuit,
+            |b, circ| b.iter(|| route(circ, &device, &layout)),
+        );
+        let routed = route(&circuit, &device, &layout);
+        group.bench_with_input(
+            BenchmarkId::new("basis", format!("{n}q_{blocks}b")),
+            &routed.circuit,
+            |b, circ| b.iter(|| to_ibm_basis(circ)),
+        );
+        let lowered = to_ibm_basis(&routed.circuit);
+        group.bench_with_input(
+            BenchmarkId::new("optimize_l2", format!("{n}q_{blocks}b")),
+            &lowered,
+            |b, circ| b.iter(|| optimize(circ, 2)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", format!("{n}q_{blocks}b")),
+            &circuit,
+            |b, circ| b.iter(|| transpile(circ, &device, &layout, 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! `repro` — regenerates every table and figure of the QuantumNAS paper.
+//!
+//! ```text
+//! cargo run -p qns-bench --release --bin repro -- <experiment> [--full]
+//! cargo run -p qns-bench --release --bin repro -- all [--full]
+//! ```
+//!
+//! Experiments: fig2 fig3 tab1 tab2 tab3 tab4 fig9 fig10 fig12 fig13 fig14
+//! tab5 fig15 fig16 fig17 tab6 fig18 fig19 fig20 fig21 fig22 fig23 tab7.
+//! Default settings run each experiment in seconds-to-minutes; `--full`
+//! approaches paper scale.
+
+use qns_bench::experiments::{ablations, misc, qml, vqe};
+use qns_bench::Scale;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab1", "tab2", "fig2", "fig3", "fig9", "fig10", "fig12", "fig13", "fig14", "tab3", "tab4",
+    "tab5", "fig15", "fig16", "fig17", "tab6", "fig18", "fig19", "fig20", "fig21", "fig22",
+    "fig23", "tab7",
+];
+
+fn dispatch(id: &str, scale: &Scale) {
+    let start = std::time::Instant::now();
+    match id {
+        "tab1" => misc::tab1(scale),
+        "tab2" => misc::tab2(scale),
+        "fig9" => misc::fig9(scale),
+        "fig10" => misc::fig10(scale),
+        "fig12" => misc::fig12(scale),
+        "fig15" => misc::fig15(scale),
+        "fig2" => qml::fig2(scale),
+        "fig3" => qml::fig3(scale),
+        "tab3" => qml::tab3(scale),
+        "tab4" => qml::tab4(scale),
+        "fig13" => qml::fig13(scale),
+        "fig14" => qml::fig14(scale),
+        "tab5" => qml::tab5(scale),
+        "tab7" => qml::tab7(scale),
+        "fig16" => vqe::fig16(scale),
+        "fig17" => vqe::fig17(scale),
+        "tab6" => ablations::tab6(scale),
+        "fig18" => ablations::fig18(scale),
+        "fig19" => ablations::fig19(scale),
+        "fig20" => ablations::fig20(scale),
+        // The random-vs-evolution figures share one run.
+        "fig21" | "fig22" => ablations::fig21_22(scale),
+        "fig23" => ablations::fig23(scale),
+        other => {
+            eprintln!("unknown experiment '{other}'. Available: {EXPERIMENTS:?} or 'all'");
+            std::process::exit(2);
+        }
+    }
+    println!("[{id} finished in {:.1}s]", start.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--full]");
+        eprintln!("experiments: {EXPERIMENTS:?}");
+        std::process::exit(2);
+    }
+    if targets.contains(&"all") {
+        // fig21/fig22 share a run; dispatch once.
+        let mut ids: Vec<&str> = EXPERIMENTS.to_vec();
+        ids.retain(|i| *i != "fig22");
+        for id in ids {
+            dispatch(id, &scale);
+        }
+    } else {
+        for id in targets {
+            dispatch(id, &scale);
+        }
+    }
+}

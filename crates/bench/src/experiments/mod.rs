@@ -1,0 +1,8 @@
+//! One module per group of paper artifacts. Every public function
+//! regenerates one table or figure and prints the same rows/series the
+//! paper reports.
+
+pub mod ablations;
+pub mod misc;
+pub mod qml;
+pub mod vqe;

@@ -1,0 +1,162 @@
+//! Second-quantized fermionic operators.
+
+use std::fmt;
+
+/// One ladder operator: `(mode, dagger)`.
+pub type Ladder = (usize, bool);
+
+/// A product of ladder operators with a real coefficient, e.g.
+/// `0.5 · a†_2 a_0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FermionOp {
+    /// Coefficient.
+    pub coeff: f64,
+    /// Ladder operators, applied right-to-left (physics convention).
+    pub ladders: Vec<Ladder>,
+}
+
+impl FermionOp {
+    /// `coeff · a†_p a_q` — a one-body (hopping/number) term.
+    pub fn one_body(coeff: f64, p: usize, q: usize) -> Self {
+        FermionOp {
+            coeff,
+            ladders: vec![(p, true), (q, false)],
+        }
+    }
+
+    /// `coeff · a†_p a†_q a_r a_s` — a two-body (interaction) term.
+    pub fn two_body(coeff: f64, p: usize, q: usize, r: usize, s: usize) -> Self {
+        FermionOp {
+            coeff,
+            ladders: vec![(p, true), (q, true), (r, false), (s, false)],
+        }
+    }
+
+    /// The Hermitian conjugate (reversed ladder order, daggers flipped).
+    pub fn dagger(&self) -> Self {
+        FermionOp {
+            coeff: self.coeff,
+            ladders: self
+                .ladders
+                .iter()
+                .rev()
+                .map(|&(m, d)| (m, !d))
+                .collect(),
+        }
+    }
+
+    /// Largest mode index referenced, plus one.
+    pub fn num_modes(&self) -> usize {
+        self.ladders.iter().map(|&(m, _)| m + 1).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FermionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}", self.coeff)?;
+        for &(m, d) in &self.ladders {
+            write!(f, " a{}{}", if d { "†" } else { "" }, m)?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum of fermionic terms: the second-quantized Hamiltonian type.
+///
+/// # Examples
+///
+/// ```
+/// use qns_chem::{FermionOp, FermionSum};
+/// let mut h = FermionSum::new(2);
+/// h.push(FermionOp::one_body(1.0, 0, 0)); // number operator n_0
+/// assert_eq!(h.terms().len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FermionSum {
+    n_modes: usize,
+    terms: Vec<FermionOp>,
+}
+
+impl FermionSum {
+    /// An empty sum over `n_modes` fermionic modes.
+    pub fn new(n_modes: usize) -> Self {
+        assert!(n_modes >= 1, "need at least one mode");
+        FermionSum {
+            n_modes,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Number of modes.
+    pub fn num_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    /// Adds a term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term references a mode out of range.
+    pub fn push(&mut self, op: FermionOp) {
+        assert!(op.num_modes() <= self.n_modes, "mode out of range");
+        self.terms.push(op);
+    }
+
+    /// Borrow of the terms.
+    pub fn terms(&self) -> &[FermionOp] {
+        &self.terms
+    }
+
+    /// Adds `op + op†` (a guaranteed-Hermitian pair). Skips the conjugate
+    /// when the term is its own dagger (e.g. number operators) to avoid
+    /// double counting.
+    pub fn push_hermitian(&mut self, op: FermionOp) {
+        let dag = op.dagger();
+        let self_adjoint = dag == op;
+        self.push(op);
+        if !self_adjoint {
+            self.push(dag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dagger_reverses_and_flips() {
+        let op = FermionOp::two_body(0.5, 3, 1, 0, 2);
+        let dag = op.dagger();
+        assert_eq!(
+            dag.ladders,
+            vec![(2, true), (0, true), (1, false), (3, false)]
+        );
+        assert_eq!(dag.coeff, 0.5);
+    }
+
+    #[test]
+    fn number_operator_is_self_adjoint() {
+        let n0 = FermionOp::one_body(1.0, 0, 0);
+        assert_eq!(n0.dagger(), n0);
+        let mut sum = FermionSum::new(1);
+        sum.push_hermitian(n0);
+        assert_eq!(sum.terms().len(), 1);
+    }
+
+    #[test]
+    fn hopping_term_gets_conjugate() {
+        let hop = FermionOp::one_body(0.3, 0, 1);
+        let mut sum = FermionSum::new(2);
+        sum.push_hermitian(hop);
+        assert_eq!(sum.terms().len(), 2);
+        assert_eq!(sum.terms()[1].ladders, vec![(1, true), (0, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode out of range")]
+    fn out_of_range_mode_panics() {
+        let mut sum = FermionSum::new(2);
+        sum.push(FermionOp::one_body(1.0, 0, 5));
+    }
+}

@@ -1,0 +1,263 @@
+//! Exact minimum eigenvalue via Lanczos iteration.
+
+use crate::PauliSum;
+use qns_sim::StateVec;
+use qns_tensor::C64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Computes the exact ground-state energy of a qubit Hamiltonian by Lanczos
+/// iteration with full reorthogonalization.
+///
+/// Works directly on the Pauli-sum matvec, so the cost is
+/// `O(iterations × terms × 2^n)` — practical up to the paper's 15-qubit
+/// BeH₂ Hamiltonian.
+///
+/// # Panics
+///
+/// Panics if `n_qubits` disagrees with the Hamiltonian width or exceeds 24.
+///
+/// # Examples
+///
+/// ```
+/// use qns_chem::{ground_state_energy, PauliString, PauliSum};
+/// let mut h = PauliSum::new(1);
+/// h.add(1.0, PauliString::z_on(0));
+/// assert!((ground_state_energy(&h, 1) + 1.0).abs() < 1e-9);
+/// ```
+pub fn ground_state_energy(h: &PauliSum, n_qubits: usize) -> f64 {
+    assert_eq!(h.num_qubits(), n_qubits, "width mismatch");
+    assert!(n_qubits <= 24, "Lanczos supported up to 24 qubits");
+    let dim = 1usize << n_qubits;
+    let max_iter = dim.min(120);
+
+    // Seeded random start vector.
+    let mut rng = StdRng::seed_from_u64(0x6A2C);
+    let mut v0: Vec<C64> = (0..dim)
+        .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    normalize(&mut v0);
+
+    let mut basis: Vec<Vec<C64>> = vec![v0];
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
+
+    for k in 0..max_iter {
+        let v = &basis[k];
+        let mut w = apply(h, v, n_qubits);
+        let alpha = dot(v, &w).re;
+        alphas.push(alpha);
+        // w -= alpha v + beta v_{k-1}; then full reorthogonalization.
+        for (wi, vi) in w.iter_mut().zip(v.iter()) {
+            *wi -= vi.scale(alpha);
+        }
+        if k > 0 {
+            let beta = betas[k - 1];
+            for (wi, vi) in w.iter_mut().zip(basis[k - 1].iter()) {
+                *wi -= vi.scale(beta);
+            }
+        }
+        for b in &basis {
+            let overlap = dot(b, &w);
+            for (wi, bi) in w.iter_mut().zip(b.iter()) {
+                *wi -= *bi * overlap;
+            }
+        }
+        let beta = norm(&w);
+        if beta < 1e-10 {
+            break;
+        }
+        betas.push(beta);
+        let inv = 1.0 / beta;
+        for wi in &mut w {
+            *wi = wi.scale(inv);
+        }
+        basis.push(w);
+    }
+
+    // Smallest eigenvalue of the tridiagonal matrix via bisection on the
+    // Sturm sequence.
+    tridiag_min_eigenvalue(&alphas, &betas)
+}
+
+fn apply(h: &PauliSum, v: &[C64], n_qubits: usize) -> Vec<C64> {
+    // Reuse PauliSum::apply through a StateVec wrapper; the vector may be
+    // unnormalized, so scale in and out.
+    let nrm = norm(v);
+    if nrm == 0.0 {
+        return vec![C64::ZERO; v.len()];
+    }
+    let scaled: Vec<C64> = v.iter().map(|a| a.scale(1.0 / nrm)).collect();
+    let state = StateVec::from_amplitudes(scaled);
+    let out = h.apply(&state);
+    let _ = n_qubits;
+    out.amplitudes().iter().map(|a| a.scale(nrm)).collect()
+}
+
+fn dot(a: &[C64], b: &[C64]) -> C64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+fn norm(v: &[C64]) -> f64 {
+    v.iter().map(|x| x.norm_sqr()).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [C64]) {
+    let n = norm(v);
+    assert!(n > 0.0, "zero start vector");
+    for x in v.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+/// Minimum eigenvalue of a symmetric tridiagonal matrix (diagonal `a`,
+/// off-diagonal `b`) by Sturm-sequence bisection.
+fn tridiag_min_eigenvalue(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    assert!(n > 0, "empty tridiagonal matrix");
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let r = (if i > 0 { b[i - 1].abs() } else { 0.0 })
+            + (if i < n - 1 { b[i].abs() } else { 0.0 });
+        lo = lo.min(a[i] - r);
+        hi = hi.max(a[i] + r);
+    }
+    // Count of eigenvalues < x via the LDLᵀ pivot signs (Sturm count).
+    let count_below = |x: f64| -> usize {
+        let mut count = 0;
+        let mut d = a[0] - x;
+        if d < 0.0 {
+            count += 1;
+        }
+        for i in 1..n {
+            if d.abs() < 1e-300 {
+                d = -1e-300;
+            }
+            d = a[i] - x - b[i - 1] * b[i - 1] / d;
+            if d < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    };
+    let mut lo = lo - 1e-9;
+    let mut hi = hi + 1e-9;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if count_below(mid) >= 1 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-11 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PauliString;
+
+    #[test]
+    fn single_qubit_fields() {
+        let mut h = PauliSum::new(1);
+        h.add(0.5, PauliString::z_on(0));
+        h.add(0.3, PauliString::x_on(0));
+        // Eigenvalues ±sqrt(0.5² + 0.3²).
+        let expect = -(0.5f64 * 0.5 + 0.3 * 0.3).sqrt();
+        let e = ground_state_energy(&h, 1);
+        assert!((e - expect).abs() < 1e-8, "{e} vs {expect}");
+    }
+
+    #[test]
+    fn ising_chain_ground_energy() {
+        // H = -Σ Z_i Z_{i+1} on 4 qubits: ground energy = -3.
+        let mut h = PauliSum::new(4);
+        for i in 0..3 {
+            let s = PauliString {
+                x: 0,
+                z: (1 << i) | (1 << (i + 1)),
+            };
+            h.add(-1.0, s);
+        }
+        let e = ground_state_energy(&h, 4);
+        assert!((e + 3.0).abs() < 1e-8, "{e}");
+    }
+
+    #[test]
+    fn transverse_field_ising_matches_exact() {
+        // H = -Z0 Z1 - 0.5 (X0 + X1): exact ground energy = -sqrt(1+...)
+        // for 2 qubits: eigenvalues of the 4x4 are computable by hand:
+        // basis {00,11} couples via XX? Compute numerically instead via
+        // 2x2 effective check: we just verify monotonic bound properties.
+        let mut h = PauliSum::new(2);
+        h.add(-1.0, PauliString::from_label("ZZ").unwrap());
+        h.add(-0.5, PauliString::from_label("XI").unwrap());
+        h.add(-0.5, PauliString::from_label("IX").unwrap());
+        let e = ground_state_energy(&h, 2);
+        // Known exact: E0 = -(1 + h²)^(1/2) - ... cross-check against dense
+        // eigensolver via real embedding.
+        let e_dense = dense_min_eigenvalue(&h, 2);
+        assert!((e - e_dense).abs() < 1e-7, "{e} vs {e_dense}");
+    }
+
+    #[test]
+    fn matches_dense_solver_on_random_hamiltonians() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3;
+            let mut h = PauliSum::new(n);
+            for _ in 0..8 {
+                let x = rng.gen_range(0..1u64 << n);
+                let z = rng.gen_range(0..1u64 << n);
+                h.add(rng.gen_range(-1.0..1.0), PauliString { x, z });
+            }
+            // Keep it Hermitian: PauliStrings with our convention are
+            // Hermitian by definition, so any real sum works.
+            h.simplify();
+            if h.terms().is_empty() {
+                continue;
+            }
+            let lanczos = ground_state_energy(&h, n);
+            let dense = dense_min_eigenvalue(&h, n);
+            assert!(
+                (lanczos - dense).abs() < 1e-6,
+                "seed {seed}: {lanczos} vs {dense}"
+            );
+        }
+    }
+
+    /// Dense reference: build the matrix, embed as real-symmetric, Jacobi.
+    fn dense_min_eigenvalue(h: &PauliSum, n: usize) -> f64 {
+        let dim = 1usize << n;
+        // Column j of H = H|e_j>.
+        let mut cols: Vec<Vec<C64>> = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let mut amps = vec![C64::ZERO; dim];
+            amps[j] = C64::ONE;
+            let state = StateVec::from_amplitudes(amps);
+            cols.push(h.apply(&state).amplitudes().to_vec());
+        }
+        // Real embedding [[Re, -Im], [Im, Re]] (eigenvalues doubled).
+        let m = 2 * dim;
+        let mut real = vec![0.0; m * m];
+        for i in 0..dim {
+            for j in 0..dim {
+                let v = cols[j][i];
+                real[i * m + j] = v.re;
+                real[i * m + (j + dim)] = -v.im;
+                real[(i + dim) * m + j] = v.im;
+                real[(i + dim) * m + (j + dim)] = v.re;
+            }
+        }
+        let eig = qns_tensor::sym_eigen(&real, m);
+        *eig.values.last().expect("non-empty spectrum")
+    }
+}

@@ -1,0 +1,254 @@
+//! The paper's molecule benchmark suite.
+
+use crate::{bravyi_kitaev, ground_state_energy, FermionOp, FermionSum, PauliString, PauliSum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A molecular VQE benchmark: a qubit Hamiltonian plus metadata.
+///
+/// `h2()` carries the published STO-3G Bravyi-Kitaev coefficients
+/// (O'Malley et al., PRX 2016) whose ground energy is ≈ −1.851 — the
+/// paper's "theoretical optimal −1.85" for Figure 16. The larger molecules
+/// are **synthetic electronic-structure Hamiltonians** at the paper's qubit
+/// counts (see `DESIGN.md`): seeded one-body hopping + density-density and
+/// exchange interactions, passed through our Bravyi-Kitaev transform, with
+/// magnitudes scaled so ground energies land in the paper's reported
+/// ranges.
+///
+/// # Examples
+///
+/// ```
+/// use qns_chem::Molecule;
+/// let lih = Molecule::lih();
+/// assert_eq!(lih.num_qubits(), 6);
+/// assert!(lih.hamiltonian().terms().len() > 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Molecule {
+    name: String,
+    n_qubits: usize,
+    n_electrons: usize,
+    hamiltonian: PauliSum,
+}
+
+impl Molecule {
+    /// H₂ at 0.74 Å in the STO-3G basis, reduced to 2 qubits under the
+    /// Bravyi-Kitaev transform (published coefficients).
+    pub fn h2() -> Self {
+        let mut h = PauliSum::new(2);
+        let term = |l: &str| PauliString::from_label(l).expect("valid label");
+        h.add(-0.4804, PauliString::IDENTITY);
+        h.add(0.3435, term("ZI"));
+        h.add(-0.4347, term("IZ"));
+        h.add(0.5716, term("ZZ"));
+        h.add(0.0910, term("XX"));
+        h.add(0.0910, term("YY"));
+        Molecule {
+            name: "H2".to_string(),
+            n_qubits: 2,
+            n_electrons: 1,
+            hamiltonian: h,
+        }
+    }
+
+    /// LiH analogue: 6 qubits, 2 active electrons.
+    pub fn lih() -> Self {
+        Molecule::synthetic("LiH", 6, 2, 2.0, 0x11)
+    }
+
+    /// H₂O analogue: 6 qubits, 4 active electrons, deeper well.
+    pub fn h2o() -> Self {
+        Molecule::synthetic("H2O", 6, 4, 12.0, 0x22)
+    }
+
+    /// CH₄ analogue in a 6-qubit active space.
+    pub fn ch4_6q() -> Self {
+        Molecule::synthetic("CH4-6Q", 6, 4, 7.0, 0x33)
+    }
+
+    /// CH₄ analogue in a 10-qubit active space.
+    pub fn ch4_10q() -> Self {
+        Molecule::synthetic("CH4-10Q", 10, 4, 7.0, 0x34)
+    }
+
+    /// BeH₂ analogue: 15 qubits, 6 active electrons (the paper's largest
+    /// VQE benchmark).
+    pub fn beh2() -> Self {
+        Molecule::synthetic("BeH2", 15, 6, 4.0, 0x55)
+    }
+
+    /// All six benchmarks in the paper's order.
+    pub fn all() -> Vec<Molecule> {
+        vec![
+            Molecule::h2(),
+            Molecule::lih(),
+            Molecule::h2o(),
+            Molecule::ch4_6q(),
+            Molecule::ch4_10q(),
+            Molecule::beh2(),
+        ]
+    }
+
+    /// Builds a seeded synthetic electronic-structure Hamiltonian:
+    /// attractive orbital energies (deeper for low-index, occupied-like
+    /// modes), near-diagonal hopping, density-density repulsion, and a few
+    /// exchange terms — then Bravyi-Kitaev maps it to qubits.
+    ///
+    /// `scale` sets the orbital-energy magnitude (and thus the ground
+    /// energy's order of magnitude).
+    pub fn synthetic(name: &str, n_modes: usize, n_electrons: usize, scale: f64, seed: u64) -> Self {
+        assert!(n_electrons < n_modes, "electrons must fit in modes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = FermionSum::new(n_modes);
+        // Orbital energies: occupied-like modes are deep, virtuals shallow.
+        for p in 0..n_modes {
+            let depth = if p < n_electrons {
+                -scale * rng.gen_range(0.8..1.2)
+            } else {
+                -0.25 * scale * rng.gen_range(0.2..0.8)
+            };
+            f.push(FermionOp::one_body(depth, p, p));
+        }
+        // Near-diagonal hopping.
+        for p in 0..n_modes {
+            for q in (p + 1)..(p + 3).min(n_modes) {
+                f.push_hermitian(FermionOp::one_body(
+                    0.15 * scale * rng.gen_range(-1.0..1.0),
+                    p,
+                    q,
+                ));
+            }
+        }
+        // Density-density repulsion n_p n_q (a†_p a†_q a_q a_p).
+        for p in 0..n_modes {
+            for q in (p + 1)..(p + 4).min(n_modes) {
+                f.push(FermionOp::two_body(
+                    0.2 * scale * rng.gen_range(0.3..1.0),
+                    p,
+                    q,
+                    q,
+                    p,
+                ));
+            }
+        }
+        // A few exchange-style terms.
+        for _ in 0..n_modes / 2 {
+            let p = rng.gen_range(0..n_modes);
+            let q = rng.gen_range(0..n_modes);
+            let r = rng.gen_range(0..n_modes);
+            let s = rng.gen_range(0..n_modes);
+            if p != q && r != s && (p, q) != (s, r) {
+                f.push_hermitian(FermionOp::two_body(
+                    0.05 * scale * rng.gen_range(-1.0..1.0),
+                    p,
+                    q,
+                    r,
+                    s,
+                ));
+            }
+        }
+        let hamiltonian = bravyi_kitaev(&f);
+        Molecule {
+            name: name.to_string(),
+            n_qubits: n_modes,
+            n_electrons,
+            hamiltonian,
+        }
+    }
+
+    /// Molecule name (e.g. `"H2O"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits in the mapped Hamiltonian.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of active electrons (for UCCSD construction).
+    pub fn num_electrons(&self) -> usize {
+        self.n_electrons
+    }
+
+    /// The qubit Hamiltonian.
+    pub fn hamiltonian(&self) -> &PauliSum {
+        &self.hamiltonian
+    }
+
+    /// Exact ground-state (FCI) energy via Lanczos. Costly for the larger
+    /// molecules — prefer release builds.
+    pub fn fci_energy(&self) -> f64 {
+        ground_state_energy(&self.hamiltonian, self.n_qubits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2_ground_energy_matches_published_value() {
+        let h2 = Molecule::h2();
+        let e = h2.fci_energy();
+        assert!((e + 1.851).abs() < 0.01, "H2 ground energy {e}");
+    }
+
+    #[test]
+    fn h2_hamiltonian_has_six_terms() {
+        assert_eq!(Molecule::h2().hamiltonian().terms().len(), 6);
+    }
+
+    #[test]
+    fn qubit_counts_match_the_paper() {
+        let expect = [
+            ("H2", 2),
+            ("LiH", 6),
+            ("H2O", 6),
+            ("CH4-6Q", 6),
+            ("CH4-10Q", 10),
+            ("BeH2", 15),
+        ];
+        for (mol, (name, n)) in Molecule::all().iter().zip(expect) {
+            assert_eq!(mol.name(), name);
+            assert_eq!(mol.num_qubits(), n, "{name}");
+        }
+    }
+
+    #[test]
+    fn synthetic_hamiltonians_are_deterministic() {
+        let a = Molecule::lih();
+        let b = Molecule::lih();
+        assert_eq!(a.hamiltonian(), b.hamiltonian());
+    }
+
+    #[test]
+    fn synthetic_ground_energies_are_negative_and_ordered() {
+        // The 6-qubit molecules are cheap enough to diagonalize in tests.
+        let lih = Molecule::lih().fci_energy();
+        let h2o = Molecule::h2o().fci_energy();
+        assert!(lih < 0.0, "LiH {lih}");
+        assert!(h2o < lih, "H2O ({h2o}) should be deeper than LiH ({lih})");
+    }
+
+    #[test]
+    fn hf_state_is_above_ground_energy() {
+        // <HF|H|HF> >= E0 strictly for a correlated Hamiltonian.
+        let lih = Molecule::lih();
+        // BK-basis HF state is not a computational basis state in general;
+        // just verify the variational bound with the all-zeros state.
+        let s = qns_sim::StateVec::zero_state(6);
+        let e = lih.hamiltonian().expectation(&s);
+        assert!(e >= lih.fci_energy() - 1e-9);
+    }
+
+    #[test]
+    fn large_molecules_have_bounded_term_counts() {
+        let beh2 = Molecule::beh2();
+        let n_terms = beh2.hamiltonian().terms().len();
+        assert!(
+            n_terms > 30 && n_terms < 2000,
+            "BeH2 has {n_terms} Pauli terms"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the Pauli algebra and fermionic mappings.
+
+use proptest::prelude::*;
+use qns_chem::{
+    bravyi_kitaev, ground_state_energy, jordan_wigner, qwc_groups, FermionOp, FermionSum,
+    PauliString, PauliSum,
+};
+use qns_sim::StateVec;
+use qns_tensor::C64;
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    let lim = 1u64 << n;
+    (0..lim, 0..lim).prop_map(|(x, z)| PauliString { x, z })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pauli multiplication is associative including phases.
+    #[test]
+    fn pauli_mul_is_associative(
+        a in arb_string(4),
+        b in arb_string(4),
+        c in arb_string(4),
+    ) {
+        let (p1, ab) = a.mul(&b);
+        let (p2, ab_c) = ab.mul(&c);
+        let left_phase = p1 * p2;
+        let (q1, bc) = b.mul(&c);
+        let (q2, a_bc) = a.mul(&bc);
+        let right_phase = q1 * q2;
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert!(left_phase.approx_eq(right_phase, 1e-12));
+    }
+
+    /// Every Pauli string squares to the identity with phase +1.
+    #[test]
+    fn pauli_strings_square_to_identity(p in arb_string(6)) {
+        let (phase, sq) = p.mul(&p);
+        prop_assert!(sq.is_identity());
+        prop_assert!(phase.approx_eq(C64::ONE, 1e-12));
+    }
+
+    /// Commutation is symmetric, and the symplectic criterion matches the
+    /// operator-level definition on a state.
+    #[test]
+    fn commutation_is_symmetric(a in arb_string(4), b in arb_string(4)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        // QWC implies commuting.
+        if a.qubit_wise_commutes(&b) {
+            prop_assert!(a.commutes_with(&b));
+        }
+    }
+
+    /// Expectation of a Hermitian Pauli string lies in [-1, 1].
+    #[test]
+    fn expectations_are_bounded(p in arb_string(3), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut amps: Vec<C64> = (0..8)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        let s = StateVec::from_amplitudes(amps);
+        let e = p.expectation(&s);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+    }
+
+    /// JW and BK agree on the ground energy of random one-body
+    /// Hamiltonians (isospectrality of the encodings).
+    #[test]
+    fn mappings_are_isospectral(seed in 0u64..20) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 3;
+        let mut h = FermionSum::new(n);
+        for p in 0..n {
+            for q in p..n {
+                h.push_hermitian(FermionOp::one_body(rng.gen_range(-1.0..1.0), p, q));
+            }
+        }
+        let jw = jordan_wigner(&h);
+        let bk = bravyi_kitaev(&h);
+        if jw.terms().is_empty() {
+            return Ok(());
+        }
+        let e_jw = ground_state_energy(&jw, n);
+        let e_bk = ground_state_energy(&bk, n);
+        prop_assert!((e_jw - e_bk).abs() < 1e-6, "JW {e_jw} vs BK {e_bk}");
+    }
+
+    /// QWC grouping partitions all non-identity terms, and every group is
+    /// internally qubit-wise commuting.
+    #[test]
+    fn grouping_is_a_valid_partition(
+        strings in prop::collection::vec(arb_string(4), 1..12),
+    ) {
+        let mut h = PauliSum::new(4);
+        for (i, s) in strings.iter().enumerate() {
+            h.add(0.1 * (i + 1) as f64, *s);
+        }
+        h.simplify();
+        let non_identity = h.terms().iter().filter(|(_, s)| !s.is_identity()).count();
+        let (_, groups) = qwc_groups(&h);
+        let total: usize = groups.iter().map(|g| g.terms.len()).sum();
+        prop_assert_eq!(total, non_identity);
+        for g in &groups {
+            for (_, a) in &g.terms {
+                for (_, b) in &g.terms {
+                    prop_assert!(a.qubit_wise_commutes(b));
+                }
+            }
+        }
+    }
+
+    /// Variational bound: any product state's energy is at least the
+    /// Lanczos ground energy.
+    #[test]
+    fn ground_energy_is_a_lower_bound(seed in 0u64..20) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xAB);
+        let mut h = PauliSum::new(3);
+        for _ in 0..6 {
+            let x = rng.gen_range(0..8u64);
+            let z = rng.gen_range(0..8u64);
+            h.add(rng.gen_range(-1.0..1.0), PauliString { x, z });
+        }
+        h.simplify();
+        if h.terms().is_empty() {
+            return Ok(());
+        }
+        let e0 = ground_state_energy(&h, 3);
+        let s = StateVec::zero_state(3);
+        prop_assert!(h.expectation(&s) >= e0 - 1e-7);
+    }
+}

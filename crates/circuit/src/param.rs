@@ -1,0 +1,217 @@
+//! Parameter slots: fixed constants, data inputs, and trainable parameters.
+
+/// A single gate-parameter slot.
+///
+/// QuantumNAS circuits mix three parameter sources: structural constants,
+/// classical data encoded as rotation angles, and trainable weights shared
+/// with a SuperCircuit. `Param` keeps that distinction in the IR so the
+/// simulator can resolve values per sample and the gradient engine knows
+/// which slots to differentiate.
+///
+/// The affine variants exist for the transpiler: basis decompositions turn
+/// `U3(θ, φ, λ)` into gates like `RZ(θ + π)`, which stay symbolically tied
+/// to their source parameter as `scale * source + offset`.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::Param;
+///
+/// let train = vec![0.5];
+/// let input = vec![1.5];
+/// assert_eq!(Param::Fixed(0.1).resolve(&train, &input), 0.1);
+/// assert_eq!(Param::Input(0).resolve(&train, &input), 1.5);
+/// assert_eq!(Param::Train(0).resolve(&train, &input), 0.5);
+/// let affine = Param::AffineTrain { index: 0, scale: 2.0, offset: 1.0 };
+/// assert_eq!(affine.resolve(&train, &input), 2.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Param {
+    /// A constant value baked into the circuit.
+    Fixed(f64),
+    /// Index into the per-sample input vector (data encoding).
+    Input(usize),
+    /// Index into the trainable parameter vector.
+    Train(usize),
+    /// `scale * input[index] + offset`.
+    AffineInput {
+        /// Index into the input vector.
+        index: usize,
+        /// Multiplier.
+        scale: f64,
+        /// Additive offset.
+        offset: f64,
+    },
+    /// `scale * train[index] + offset`.
+    AffineTrain {
+        /// Index into the trainable vector.
+        index: usize,
+        /// Multiplier.
+        scale: f64,
+        /// Additive offset.
+        offset: f64,
+    },
+}
+
+impl Param {
+    /// Resolves the slot to a concrete angle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for the provided vectors.
+    #[inline]
+    pub fn resolve(self, train: &[f64], input: &[f64]) -> f64 {
+        match self {
+            Param::Fixed(v) => v,
+            Param::Input(i) => input[i],
+            Param::Train(i) => train[i],
+            Param::AffineInput {
+                index,
+                scale,
+                offset,
+            } => scale * input[index] + offset,
+            Param::AffineTrain {
+                index,
+                scale,
+                offset,
+            } => scale * train[index] + offset,
+        }
+    }
+
+    /// Returns the trainable index if this slot depends on one.
+    #[inline]
+    pub fn train_index(self) -> Option<usize> {
+        match self {
+            Param::Train(i) => Some(i),
+            Param::AffineTrain { index, .. } => Some(index),
+            _ => None,
+        }
+    }
+
+    /// Returns `(index, dslot/dtrain)` if this slot depends on a trainable
+    /// parameter — the chain-rule factor for gradient engines.
+    #[inline]
+    pub fn train_component(self) -> Option<(usize, f64)> {
+        match self {
+            Param::Train(i) => Some((i, 1.0)),
+            Param::AffineTrain { index, scale, .. } => Some((index, scale)),
+            _ => None,
+        }
+    }
+
+    /// Returns the input index if this slot depends on one.
+    #[inline]
+    pub fn input_index(self) -> Option<usize> {
+        match self {
+            Param::Input(i) => Some(i),
+            Param::AffineInput { index, .. } => Some(index),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the slot depends on a trainable parameter.
+    #[inline]
+    pub fn is_trainable(self) -> bool {
+        self.train_index().is_some()
+    }
+
+    /// Applies an affine transform on top of this slot: the result resolves
+    /// to `scale * self + offset`.
+    ///
+    /// This is how basis decompositions stay symbolic: `RZ(θ + π)` derived
+    /// from a `Train(i)` slot becomes `AffineTrain { index: i, scale: 1.0,
+    /// offset: π }`.
+    pub fn affine(self, scale: f64, offset: f64) -> Param {
+        match self {
+            Param::Fixed(v) => Param::Fixed(scale * v + offset),
+            Param::Input(i) => Param::AffineInput {
+                index: i,
+                scale,
+                offset,
+            },
+            Param::Train(i) => Param::AffineTrain {
+                index: i,
+                scale,
+                offset,
+            },
+            Param::AffineInput {
+                index,
+                scale: s0,
+                offset: o0,
+            } => Param::AffineInput {
+                index,
+                scale: scale * s0,
+                offset: scale * o0 + offset,
+            },
+            Param::AffineTrain {
+                index,
+                scale: s0,
+                offset: o0,
+            } => Param::AffineTrain {
+                index,
+                scale: scale * s0,
+                offset: scale * o0 + offset,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_index_only_for_trainable() {
+        assert_eq!(Param::Train(7).train_index(), Some(7));
+        assert_eq!(Param::Fixed(1.0).train_index(), None);
+        assert_eq!(Param::Input(2).train_index(), None);
+        assert_eq!(
+            Param::AffineTrain {
+                index: 3,
+                scale: -1.0,
+                offset: 0.5
+            }
+            .train_index(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn train_component_carries_scale() {
+        assert_eq!(Param::Train(1).train_component(), Some((1, 1.0)));
+        let p = Param::AffineTrain {
+            index: 2,
+            scale: 0.5,
+            offset: 9.0,
+        };
+        assert_eq!(p.train_component(), Some((2, 0.5)));
+    }
+
+    #[test]
+    fn affine_composes() {
+        let base = Param::Train(0);
+        let once = base.affine(2.0, 1.0);
+        let twice = once.affine(3.0, -1.0);
+        // 3*(2x + 1) - 1 = 6x + 2
+        assert_eq!(twice.resolve(&[1.0], &[]), 8.0);
+        assert_eq!(twice.train_component(), Some((0, 6.0)));
+    }
+
+    #[test]
+    fn affine_on_fixed_folds_constant() {
+        assert_eq!(Param::Fixed(2.0).affine(3.0, 1.0), Param::Fixed(7.0));
+    }
+
+    #[test]
+    fn is_trainable_flags() {
+        assert!(Param::Train(0).is_trainable());
+        assert!(!Param::Input(0).is_trainable());
+        assert!(!Param::Fixed(0.0).is_trainable());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_input_panics() {
+        let _ = Param::Input(3).resolve(&[], &[1.0]);
+    }
+}

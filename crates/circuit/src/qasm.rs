@@ -1,0 +1,258 @@
+//! OpenQASM 2.0 export — the "push-the-button deployment" path.
+//!
+//! The paper's QuantumEngine converts trained circuits into Qiskit
+//! `QuantumCircuit`s for execution on IBMQ. The portable equivalent is an
+//! OpenQASM 2.0 dump: every gate in the library maps to `qelib1.inc`
+//! gates, with parameters resolved against a trained parameter vector and
+//! a per-sample input.
+
+use crate::{Circuit, GateKind};
+use std::fmt::Write as _;
+
+/// Renders a circuit as an OpenQASM 2.0 program.
+///
+/// Parameters are resolved with `train`/`input` (QASM has no symbolic
+/// parameters), and every qubit is measured at the end into a classical
+/// register, matching how deployed QML/VQE circuits are read out.
+///
+/// # Errors
+///
+/// Returns the offending gate if the circuit contains a gate with no
+/// `qelib1.inc` counterpart (none currently — every [`GateKind`] maps).
+///
+/// # Panics
+///
+/// Panics if a referenced parameter index is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{to_qasm, Circuit, GateKind, Param};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(GateKind::H, &[0], &[]);
+/// c.push(GateKind::CX, &[0, 1], &[]);
+/// c.push(GateKind::RY, &[1], &[Param::Train(0)]);
+/// let qasm = to_qasm(&c, &[0.5], &[]).unwrap();
+/// assert!(qasm.contains("OPENQASM 2.0"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// assert!(qasm.contains("ry(0.5"));
+/// ```
+pub fn to_qasm(circuit: &Circuit, train: &[f64], input: &[f64]) -> Result<String, GateKind> {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+
+    for op in circuit.iter() {
+        let p = op.resolve_params(train, input);
+        let (q0, q1) = (op.qubits[0], op.qubits[1]);
+        match op.kind {
+            GateKind::I => {
+                let _ = writeln!(out, "id q[{q0}];");
+            }
+            GateKind::X => {
+                let _ = writeln!(out, "x q[{q0}];");
+            }
+            GateKind::Y => {
+                let _ = writeln!(out, "y q[{q0}];");
+            }
+            GateKind::Z => {
+                let _ = writeln!(out, "z q[{q0}];");
+            }
+            GateKind::H => {
+                let _ = writeln!(out, "h q[{q0}];");
+            }
+            GateKind::S => {
+                let _ = writeln!(out, "s q[{q0}];");
+            }
+            GateKind::Sdg => {
+                let _ = writeln!(out, "sdg q[{q0}];");
+            }
+            GateKind::T => {
+                let _ = writeln!(out, "t q[{q0}];");
+            }
+            GateKind::Tdg => {
+                let _ = writeln!(out, "tdg q[{q0}];");
+            }
+            GateKind::SX => {
+                let _ = writeln!(out, "sx q[{q0}];");
+            }
+            GateKind::SXdg => {
+                let _ = writeln!(out, "sxdg q[{q0}];");
+            }
+            // √H has no qelib1 name. It is a π/2 rotation about the
+            // (x+z)/√2 axis, i.e. RY(π/4)·RZ(π/2)·RY(−π/4) up to phase.
+            GateKind::SH => {
+                let q = std::f64::consts::FRAC_PI_4;
+                let _ = writeln!(out, "ry(-{q:.12}) q[{q0}];");
+                let _ = writeln!(out, "rz({:.12}) q[{q0}];", 2.0 * q);
+                let _ = writeln!(out, "ry({q:.12}) q[{q0}];");
+            }
+            GateKind::RX => {
+                let _ = writeln!(out, "rx({:.12}) q[{q0}];", p[0]);
+            }
+            GateKind::RY => {
+                let _ = writeln!(out, "ry({:.12}) q[{q0}];", p[0]);
+            }
+            GateKind::RZ => {
+                let _ = writeln!(out, "rz({:.12}) q[{q0}];", p[0]);
+            }
+            GateKind::U1 => {
+                let _ = writeln!(out, "u1({:.12}) q[{q0}];", p[0]);
+            }
+            GateKind::U2 => {
+                let _ = writeln!(out, "u2({:.12},{:.12}) q[{q0}];", p[0], p[1]);
+            }
+            GateKind::U3 => {
+                let _ = writeln!(out, "u3({:.12},{:.12},{:.12}) q[{q0}];", p[0], p[1], p[2]);
+            }
+            GateKind::CX => {
+                let _ = writeln!(out, "cx q[{q0}],q[{q1}];");
+            }
+            GateKind::CY => {
+                let _ = writeln!(out, "cy q[{q0}],q[{q1}];");
+            }
+            GateKind::CZ => {
+                let _ = writeln!(out, "cz q[{q0}],q[{q1}];");
+            }
+            GateKind::CH => {
+                let _ = writeln!(out, "ch q[{q0}],q[{q1}];");
+            }
+            GateKind::Swap => {
+                let _ = writeln!(out, "swap q[{q0}],q[{q1}];");
+            }
+            // √SWAP has no qelib1 name: exact XX+YY+ZZ rotation product.
+            GateKind::SqrtSwap => {
+                let t = std::f64::consts::FRAC_PI_4;
+                let _ = writeln!(out, "rxx({t:.12}) q[{q0}],q[{q1}];");
+                let _ = writeln!(out, "ryy({t:.12}) q[{q0}],q[{q1}];");
+                let _ = writeln!(out, "rzz({t:.12}) q[{q0}],q[{q1}];");
+            }
+            GateKind::CRX => {
+                let _ = writeln!(out, "crx({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::CRY => {
+                let _ = writeln!(out, "cry({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::CRZ => {
+                let _ = writeln!(out, "crz({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::CU1 => {
+                let _ = writeln!(out, "cu1({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::CU3 => {
+                let _ = writeln!(
+                    out,
+                    "cu3({:.12},{:.12},{:.12}) q[{q0}],q[{q1}];",
+                    p[0], p[1], p[2]
+                );
+            }
+            GateKind::RZZ => {
+                let _ = writeln!(out, "rzz({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::RXX => {
+                let _ = writeln!(out, "rxx({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            GateKind::RYY => {
+                let _ = writeln!(out, "ryy({:.12}) q[{q0}],q[{q1}];", p[0]);
+            }
+            // ZX coupling: H-conjugated rzz, kept explicit.
+            GateKind::RZX => {
+                let _ = writeln!(out, "h q[{q1}];");
+                let _ = writeln!(out, "rzz({:.12}) q[{q0}],q[{q1}];", p[0]);
+                let _ = writeln!(out, "h q[{q1}];");
+            }
+        }
+    }
+    for q in 0..n {
+        let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Param;
+
+    #[test]
+    fn header_registers_and_measures() {
+        let mut c = Circuit::new(3);
+        c.push(GateKind::H, &[0], &[]);
+        let q = to_qasm(&c, &[], &[]).expect("qasm export");
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(q.contains("creg c[3];"));
+        assert_eq!(q.matches("measure").count(), 3);
+    }
+
+    #[test]
+    fn every_gate_kind_exports() {
+        for &kind in GateKind::all() {
+            let mut c = Circuit::new(2);
+            let qs: Vec<usize> = (0..kind.num_qubits()).collect();
+            let ps: Vec<Param> = (0..kind.num_params())
+                .map(|i| Param::Fixed(0.1 * (i + 1) as f64))
+                .collect();
+            c.push(kind, &qs, &ps);
+            let q = to_qasm(&c, &[], &[]).expect("every gate maps");
+            assert!(q.lines().count() >= 5, "{kind}: {q}");
+        }
+    }
+
+    #[test]
+    fn parameters_are_resolved() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[Param::Input(0)]);
+        c.push(GateKind::RZ, &[0], &[Param::Train(0)]);
+        let q = to_qasm(&c, &[2.5], &[1.25]).expect("qasm export");
+        assert!(q.contains("rx(1.25"));
+        assert!(q.contains("rz(2.5"));
+    }
+
+    #[test]
+    fn sqrt_h_expansion_is_exact_up_to_phase() {
+        // The QASM emission for SH is ry(-π/4) rz(π/2) ry(π/4); check the
+        // matrix product against the gate's own matrix.
+        let q = std::f64::consts::FRAC_PI_4;
+        let seq = |kind: GateKind, angle: f64| match kind.matrix(&[angle]) {
+            crate::GateMatrix::One(m) => m,
+            _ => unreachable!(),
+        };
+        // Applied first = rightmost in the product.
+        let m = seq(GateKind::RY, q)
+            .mul_mat(&seq(GateKind::RZ, 2.0 * q))
+            .mul_mat(&seq(GateKind::RY, -q));
+        let sh = match GateKind::SH.matrix(&[]) {
+            crate::GateMatrix::One(m) => m,
+            _ => unreachable!(),
+        };
+        // m ≅ sh up to global phase: m† sh must be a phase times identity.
+        let prod = m.adjoint().mul_mat(&sh);
+        let phase = prod.m[0];
+        assert!((phase.abs() - 1.0).abs() < 1e-10);
+        assert!(prod.approx_eq(
+            &qns_tensor::Mat2::identity().scale(phase),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn affine_parameters_resolve_numerically() {
+        let mut c = Circuit::new(1);
+        c.push(
+            GateKind::RZ,
+            &[0],
+            &[Param::AffineTrain {
+                index: 0,
+                scale: 2.0,
+                offset: 1.0,
+            }],
+        );
+        let q = to_qasm(&c, &[0.5], &[]).expect("qasm export");
+        assert!(q.contains("rz(2."), "{q}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Ready-to-use circuit templates, mirroring QuantumEngine's
+//! `RandomLayer` and `StronglyEntanglingLayers`.
+
+use crate::{Circuit, GateKind, Param};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Appends `layers` strongly-entangling layers (PennyLane/QuantumEngine
+/// style): per layer, one trainable `U3` on every qubit followed by a CX
+/// ring with stride increasing per layer. Returns the number of trainable
+/// parameters appended.
+///
+/// # Panics
+///
+/// Panics if the circuit has fewer than 2 qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{strongly_entangling_layers, Circuit};
+/// let mut c = Circuit::new(4);
+/// let n_params = strongly_entangling_layers(&mut c, 2, 0);
+/// assert_eq!(n_params, 24); // 2 layers × 4 qubits × 3 angles
+/// assert_eq!(c.count_2q(), 8);
+/// ```
+pub fn strongly_entangling_layers(
+    circuit: &mut Circuit,
+    layers: usize,
+    first_param: usize,
+) -> usize {
+    let n = circuit.num_qubits();
+    assert!(n >= 2, "entangling layers need at least 2 qubits");
+    let mut t = first_param;
+    for layer in 0..layers {
+        for q in 0..n {
+            circuit.push(
+                GateKind::U3,
+                &[q],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+        // Entangle with stride 1, 2, ... (mod n), never zero.
+        let stride = (layer % (n - 1)) + 1;
+        for q in 0..n {
+            let target = (q + stride) % n;
+            circuit.push(GateKind::CX, &[q, target], &[]);
+        }
+    }
+    t - first_param
+}
+
+/// Appends a seeded random layer of `n_ops` gates drawn from `gate_pool`
+/// (QuantumEngine's `RandomLayer`). Trainable parameters are allocated
+/// consecutively from `first_param`; returns how many were added.
+///
+/// # Panics
+///
+/// Panics if `gate_pool` is empty or contains a two-qubit gate while the
+/// circuit has a single qubit.
+pub fn random_layer(
+    circuit: &mut Circuit,
+    gate_pool: &[GateKind],
+    n_ops: usize,
+    first_param: usize,
+    seed: u64,
+) -> usize {
+    assert!(!gate_pool.is_empty(), "gate pool must be non-empty");
+    let n = circuit.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = first_param;
+    for _ in 0..n_ops {
+        let kind = gate_pool[rng.gen_range(0..gate_pool.len())];
+        let qs: Vec<usize> = if kind.num_qubits() == 1 {
+            vec![rng.gen_range(0..n)]
+        } else {
+            assert!(n >= 2, "two-qubit gate in a 1-qubit circuit");
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            vec![a, b]
+        };
+        let ps: Vec<Param> = (0..kind.num_params())
+            .map(|_| {
+                let p = Param::Train(t);
+                t += 1;
+                p
+            })
+            .collect();
+        circuit.push(kind, &qs, &ps);
+    }
+    t - first_param
+}
+
+/// Appends a basic entangler: one trainable `RY` per qubit plus a CX ring
+/// (the cheapest hardware-efficient layer).
+pub fn basic_entangler_layers(circuit: &mut Circuit, layers: usize, first_param: usize) -> usize {
+    let n = circuit.num_qubits();
+    assert!(n >= 2, "entangler needs at least 2 qubits");
+    let mut t = first_param;
+    for _ in 0..layers {
+        for q in 0..n {
+            circuit.push(GateKind::RY, &[q], &[Param::Train(t)]);
+            t += 1;
+        }
+        for q in 0..n {
+            circuit.push(GateKind::CX, &[q, (q + 1) % n], &[]);
+        }
+    }
+    t - first_param
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongly_entangling_varies_stride() {
+        let mut c = Circuit::new(4);
+        strongly_entangling_layers(&mut c, 3, 0);
+        // Layer 0 stride 1: cx(0,1); layer 1 stride 2: cx(0,2).
+        let cx_targets: Vec<[usize; 2]> = c
+            .iter()
+            .filter(|o| o.kind == GateKind::CX)
+            .map(|o| o.qubits)
+            .collect();
+        assert_eq!(cx_targets[0], [0, 1]);
+        assert_eq!(cx_targets[4], [0, 2]);
+        assert_eq!(cx_targets[8], [0, 3]);
+    }
+
+    #[test]
+    fn random_layer_is_seeded_and_counts_params() {
+        let pool = [GateKind::RX, GateKind::CRY, GateKind::CX];
+        let mut a = Circuit::new(3);
+        let na = random_layer(&mut a, &pool, 12, 0, 5);
+        let mut b = Circuit::new(3);
+        let nb = random_layer(&mut b, &pool, 12, 0, 5);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert_eq!(a.num_ops(), 12);
+        assert_eq!(a.num_train_params(), na);
+    }
+
+    #[test]
+    fn basic_entangler_param_count() {
+        let mut c = Circuit::new(5);
+        let n = basic_entangler_layers(&mut c, 2, 3);
+        assert_eq!(n, 10);
+        assert_eq!(c.num_train_params(), 13); // offset 3 + 10 params
+        assert_eq!(c.count_2q(), 10);
+    }
+
+    #[test]
+    fn templates_compose_with_offsets() {
+        let mut c = Circuit::new(3);
+        let n1 = basic_entangler_layers(&mut c, 1, 0);
+        let n2 = strongly_entangling_layers(&mut c, 1, n1);
+        assert_eq!(c.num_train_params(), n1 + n2);
+        // No parameter index is reused.
+        let refs = c.referenced_train_indices();
+        assert_eq!(refs.len(), n1 + n2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Trainability analysis: barren-plateau probes.
+//!
+//! The paper's outlook asks whether searched ansatzes alleviate the barren
+//! plateau (McClean et al.): in deep random circuits the gradient variance
+//! of any cost function decays exponentially in qubit count, flattening
+//! the landscape. This module measures that variance directly, so the
+//! effect — and the searched circuits' position relative to it — can be
+//! quantified.
+
+use crate::{DesignSpace, SpaceKind, SubConfig, SuperCircuit};
+use qns_circuit::Circuit;
+use qns_sim::{adjoint_gradient, DiagObservable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Variance of `∂<O>/∂θ_k` over random parameter initializations — the
+/// standard barren-plateau diagnostic.
+///
+/// Parameters are drawn uniformly from `[-π, π)`; the observable is
+/// `Z` on qubit 0 (the McClean et al. convention) unless `weights`
+/// overrides it. Returns the variance of the gradient entry `param_index`.
+///
+/// # Panics
+///
+/// Panics if the circuit has no trainable parameters or `param_index` is
+/// out of range.
+///
+/// # Examples
+///
+/// ```
+/// use quantumnas::{gradient_variance, DesignSpace, SpaceKind, SuperCircuit};
+///
+/// let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::Rxyz), 4, 2);
+/// let circuit = sc.build(&sc.max_config(), None);
+/// let var = gradient_variance(&circuit, None, 0, 32, 7);
+/// assert!(var >= 0.0);
+/// ```
+pub fn gradient_variance(
+    circuit: &Circuit,
+    weights: Option<Vec<f64>>,
+    param_index: usize,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    let n_params = circuit.num_train_params();
+    assert!(n_params > 0, "circuit has no trainable parameters");
+    assert!(param_index < n_params, "param index out of range");
+    let mut obs_weights = weights.unwrap_or_else(|| {
+        let mut w = vec![0.0; circuit.num_qubits()];
+        w[0] = 1.0;
+        w
+    });
+    obs_weights.resize(circuit.num_qubits(), 0.0);
+    let obs = DiagObservable::new(obs_weights);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA88E7);
+    let mut grads = Vec::with_capacity(n_samples);
+    let input = vec![0.0; circuit.num_inputs()];
+    for _ in 0..n_samples {
+        let params: Vec<f64> = (0..n_params)
+            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        let (_, g) = adjoint_gradient(circuit, &params, &input, &obs);
+        grads.push(g[param_index]);
+    }
+    let mean: f64 = grads.iter().sum::<f64>() / n_samples as f64;
+    grads.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n_samples as f64
+}
+
+/// One row of a barren-plateau scan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlateauPoint {
+    /// Number of qubits.
+    pub n_qubits: usize,
+    /// Number of blocks (depth proxy).
+    pub n_blocks: usize,
+    /// Gradient variance of the first parameter.
+    pub variance: f64,
+}
+
+/// Scans gradient variance over qubit counts for full-width circuits in a
+/// design space — the exponential decay in `n_qubits` is the barren
+/// plateau.
+///
+/// # Panics
+///
+/// Panics if `qubit_counts` contains a value below 2.
+pub fn barren_plateau_scan(
+    space: SpaceKind,
+    qubit_counts: &[usize],
+    n_blocks: usize,
+    n_samples: usize,
+    seed: u64,
+) -> Vec<PlateauPoint> {
+    qubit_counts
+        .iter()
+        .map(|&n| {
+            let sc = SuperCircuit::new(DesignSpace::new(space), n, n_blocks);
+            let circuit = sc.build(&sc.max_config(), None);
+            PlateauPoint {
+                n_qubits: n,
+                n_blocks,
+                variance: gradient_variance(&circuit, None, 0, n_samples, seed),
+            }
+        })
+        .collect()
+}
+
+/// Compares the gradient variance of a searched SubCircuit against the
+/// full-width SuperCircuit at the same qubit count — the paper's outlook
+/// question ("can a searched ansatz alleviate the barren plateau?").
+///
+/// Returns `(searched_variance, full_variance)`.
+pub fn plateau_relief(
+    sc: &SuperCircuit,
+    searched: &SubConfig,
+    n_samples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let searched_circuit = sc.build(searched, None);
+    let full_circuit = sc.build(&sc.max_config(), None);
+    (
+        gradient_variance(&searched_circuit, None, 0, n_samples, seed),
+        gradient_variance(&full_circuit, None, 0, n_samples, seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rotation_variance_is_analytic() {
+        // <Z> of RY(θ): gradient is -sin θ; over θ ~ U[-π, π) the variance
+        // of -sin θ is 1/2.
+        let mut c = Circuit::new(2);
+        c.push(
+            qns_circuit::GateKind::RY,
+            &[0],
+            &[qns_circuit::Param::Train(0)],
+        );
+        let var = gradient_variance(&c, None, 0, 4000, 3);
+        assert!((var - 0.5).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn variance_decays_with_qubit_count() {
+        // The barren plateau: more qubits (at fixed blocks of a
+        // hardware-efficient space) → smaller gradient variance.
+        let scan = barren_plateau_scan(SpaceKind::Rxyz, &[2, 4, 6], 3, 64, 5);
+        assert_eq!(scan.len(), 3);
+        assert!(
+            scan[0].variance > scan[2].variance,
+            "no decay: {:?}",
+            scan
+        );
+    }
+
+    #[test]
+    fn shallow_circuits_have_larger_gradients() {
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::Rxyz), 5, 6);
+        let mut shallow = sc.max_config();
+        shallow.n_blocks = 1;
+        let (searched_var, full_var) = plateau_relief(&sc, &shallow, 64, 9);
+        assert!(
+            searched_var > full_var,
+            "shallow {searched_var} vs full {full_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no trainable parameters")]
+    fn empty_circuit_panics() {
+        let c = Circuit::new(2);
+        let _ = gradient_variance(&c, None, 0, 4, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! `qnas` — command-line front end for the QuantumNAS pipeline.
+//!
+//! ```text
+//! qnas devices                         list the device models
+//! qnas spaces                          list the design spaces
+//! qnas run [options]                   run the full pipeline
+//!   --task    mnist2|mnist4|fashion2|fashion4|vowel4|vqe-h2|vqe-lih
+//!   --space   u3cu3|zzry|rxyz|zxxx|rxyzu1cu3|ibmq
+//!   --device  yorktown|belem|...       (see `qnas devices`)
+//!   --seed    <u64>
+//!   --qasm    <path>                   export the deployed circuit
+//! ```
+
+use quantumnas::{QuantumNas, QuantumNasConfig, SpaceKind, Task};
+use qns_chem::Molecule;
+use qns_circuit::to_qasm;
+use qns_noise::Device;
+use qns_transpile::transpile;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
+         [--seed N] [--qasm PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_task(name: &str, seed: u64) -> Task {
+    match name {
+        "mnist2" => Task::qml_digits(&[3, 6], 150, 4, seed),
+        "mnist4" => Task::qml_digits(&[0, 1, 2, 3], 150, 4, seed),
+        "fashion2" => Task::qml_fashion(&[3, 6], 150, 4, seed),
+        "fashion4" => Task::qml_fashion(&[0, 1, 2, 3], 150, 4, seed),
+        "vowel4" => Task::qml_vowel(seed),
+        "vqe-h2" => Task::vqe(&Molecule::h2()),
+        "vqe-lih" => Task::vqe(&Molecule::lih()),
+        other => {
+            eprintln!("unknown task '{other}'");
+            usage()
+        }
+    }
+}
+
+fn parse_space(name: &str) -> SpaceKind {
+    match name {
+        "u3cu3" => SpaceKind::U3Cu3,
+        "zzry" => SpaceKind::ZzRy,
+        "rxyz" => SpaceKind::Rxyz,
+        "zxxx" => SpaceKind::ZxXx,
+        "rxyzu1cu3" => SpaceKind::RxyzU1Cu3,
+        "ibmq" => SpaceKind::IbmqBasis,
+        other => {
+            eprintln!("unknown space '{other}'");
+            usage()
+        }
+    }
+}
+
+fn cmd_devices() {
+    println!(
+        "{:<11} {:>7} {:>10} {:>10} {:>10}",
+        "name", "qubits", "topology", "QV", "mean e2q"
+    );
+    let names = [
+        "santiago",
+        "athens",
+        "rome",
+        "belem",
+        "quito",
+        "lima",
+        "yorktown",
+        "jakarta",
+        "melbourne",
+        "guadalupe",
+        "toronto",
+        "manhattan",
+    ];
+    for name in names {
+        let d = Device::by_name(name).expect("known device");
+        println!(
+            "{:<11} {:>7} {:>10} {:>10} {:>10.4}",
+            d.name(),
+            d.num_qubits(),
+            format!("{:?}", d.topology()),
+            d.quantum_volume(),
+            d.mean_err_2q()
+        );
+    }
+}
+
+fn cmd_spaces() {
+    println!("{:<14} {:>8} {:>14}", "space", "blocks", "layers/block");
+    for &kind in SpaceKind::all() {
+        let s = quantumnas::DesignSpace::new(kind);
+        println!(
+            "{:<14} {:>8} {:>14}",
+            s.kind().name(),
+            s.default_blocks(),
+            s.layers_per_block().len()
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let get = |flag: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+    let seed: u64 = get("--seed", "42").parse().unwrap_or_else(|_| usage());
+    let task = parse_task(&get("--task", "mnist2"), seed);
+    let space = parse_space(&get("--space", "u3cu3"));
+    let device = Device::by_name(&get("--device", "yorktown")).unwrap_or_else(|| {
+        eprintln!("unknown device (see `qnas devices`)");
+        usage()
+    });
+    let qasm_path = args
+        .iter()
+        .position(|a| a == "--qasm")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    println!(
+        "QuantumNAS: task {} | space {} | device {} | seed {}",
+        task.name(),
+        space.name(),
+        device.name(),
+        seed
+    );
+    let is_qml = task.is_qml();
+    let mut config = QuantumNasConfig::fast();
+    if !is_qml {
+        // VQE needs longer, hotter optimization than the QML defaults.
+        config.train = quantumnas::TrainConfig {
+            epochs: 250,
+            lr: 0.05,
+            ..Default::default()
+        };
+        config.prune = None;
+    }
+    let nas = QuantumNas::new(space, device.clone(), task, config);
+    let report = nas.run(seed);
+
+    println!("\nsearched architecture: {} blocks, {} parameters", report.gene.config.n_blocks, report.n_params);
+    println!("qubit mapping: {:?}", report.gene.layout);
+    println!("noise-free validation loss: {:.4}", report.trained_loss);
+    if is_qml {
+        println!("measured accuracy (before prune): {:.3}", report.accuracy_before_prune);
+        println!(
+            "measured accuracy (after pruning {:.0}%): {:.3}",
+            100.0 * report.pruned_ratio,
+            report.final_accuracy
+        );
+    } else {
+        println!("measured energy: {:.4}", report.final_energy);
+    }
+
+    if let Some(path) = qasm_path {
+        // Export the deployed (compiled, trained) circuit. Data-encoding
+        // inputs resolve against the all-zeros sample.
+        let t = transpile(
+            &report.final_circuit,
+            &device,
+            &report.gene.layout(),
+            2,
+        );
+        let inputs = vec![0.0; t.circuit.num_inputs()];
+        match to_qasm(&t.circuit, &report.final_params, &inputs) {
+            Ok(qasm) => {
+                let header = format!(
+                    "// QuantumNAS deployed circuit ({} params, mapping {:?})\n\
+                     // data-encoding angles bound to the all-zeros sample\n",
+                    report.n_params, report.gene.layout
+                );
+                if std::fs::write(&path, header + &qasm).is_ok() {
+                    println!("wrote OpenQASM to {path}");
+                } else {
+                    eprintln!("failed to write {path}");
+                }
+            }
+            Err(gate) => eprintln!("cannot export gate {gate}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("devices") => cmd_devices(),
+        Some("spaces") => cmd_spaces(),
+        Some("run") => cmd_run(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,506 @@
+//! Performance estimators: the search engine's fitness function and the
+//! final "measured on device" evaluation.
+
+use crate::{Readout, Task};
+use qns_chem::qwc_groups;
+use qns_circuit::Circuit;
+use qns_data::Dataset;
+use qns_ml::{accuracy, nll_loss};
+use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
+use qns_sim::{parallel_map, run, ExecMode};
+use qns_transpile::{transpile, Layout, Transpiled};
+
+/// How SubCircuit performance is estimated during search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimatorKind {
+    /// Noise-free simulation only (the paper's noise-unaware baseline).
+    Noiseless,
+    /// Trajectory simulation with the device noise model — the paper's
+    /// accurate-but-slower first method.
+    NoisySim(TrajectoryConfig),
+    /// Noise-free loss scaled by the compiled circuit's gate success rate —
+    /// the paper's fast second method for larger circuits.
+    SuccessRate,
+    /// Exact density-matrix simulation with the device noise model — what
+    /// Qiskit's noisy simulator computes. Exact but `4^n` memory: use for
+    /// small circuits and high-precision reference runs.
+    DensitySim,
+}
+
+/// Scores (circuit, qubit-mapping) pairs on a device.
+///
+/// Lower scores are better: validation NLL for QML, energy for VQE — the
+/// same fitness the paper's evolution engine minimizes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use quantumnas::{Estimator, EstimatorKind, Task};
+/// use qns_noise::{Device, TrajectoryConfig};
+/// use qns_transpile::Layout;
+///
+/// let task = Task::qml_digits(&[3, 6], 40, 4, 0);
+/// let est = Estimator::new(
+///     Device::yorktown(),
+///     EstimatorKind::NoisySim(TrajectoryConfig::default()),
+///     2,
+/// );
+/// # let circuit = qns_circuit::Circuit::new(4);
+/// # let params: Vec<f64> = vec![];
+/// let score = est.score(&circuit, &params, &task, &Layout::trivial(4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Estimator {
+    device: Device,
+    kind: EstimatorKind,
+    opt_level: u8,
+    /// Cap on validation samples scored per call (speed knob; the paper
+    /// evaluates the full validation split).
+    valid_cap: usize,
+}
+
+impl Estimator {
+    /// Creates an estimator for a device at a transpiler optimization
+    /// level (the paper uses level 2).
+    pub fn new(device: Device, kind: EstimatorKind, opt_level: u8) -> Self {
+        Estimator {
+            device,
+            kind,
+            opt_level,
+            valid_cap: 24,
+        }
+    }
+
+    /// Caps how many validation samples each score call touches.
+    pub fn with_valid_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "need at least one validation sample");
+        self.valid_cap = cap;
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Replaces the device (drifting-noise experiments).
+    pub fn set_device(&mut self, device: Device) {
+        self.device = device;
+    }
+
+    /// The estimation mode.
+    pub fn kind(&self) -> EstimatorKind {
+        self.kind
+    }
+
+    fn compile(&self, circuit: &Circuit, layout: &Layout) -> Transpiled {
+        transpile(circuit, &self.device, layout, self.opt_level)
+    }
+
+    /// Scores a logical circuit with the given parameters and mapping.
+    /// Lower is better (QML validation loss / VQE energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout width differs from the circuit width.
+    pub fn score(&self, circuit: &Circuit, params: &[f64], task: &Task, layout: &Layout) -> f64 {
+        match task {
+            Task::Qml {
+                splits, readout, ..
+            } => self.score_qml(circuit, params, &splits.valid, readout, layout),
+            Task::Vqe { hamiltonian, .. } => {
+                self.score_vqe(circuit, params, hamiltonian, layout)
+            }
+        }
+    }
+
+    fn score_qml(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        valid: &Dataset,
+        readout: &Readout,
+        layout: &Layout,
+    ) -> f64 {
+        let n = valid.num_samples().min(self.valid_cap);
+        assert!(n > 0, "empty validation split");
+        let samples: Vec<usize> = (0..n).collect();
+        match self.kind {
+            EstimatorKind::Noiseless => {
+                let losses = parallel_map(&samples, |&i| {
+                    let s = run(circuit, params, &valid.features[i], ExecMode::Static);
+                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                });
+                mean(&losses)
+            }
+            EstimatorKind::SuccessRate => {
+                let t = self.compile(circuit, layout);
+                let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
+                let losses = parallel_map(&samples, |&i| {
+                    let s = run(circuit, params, &valid.features[i], ExecMode::Static);
+                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                });
+                qns_noise::augmented_loss(mean(&losses), rate.max(1e-6))
+            }
+            EstimatorKind::NoisySim(cfg) => {
+                let t = self.compile(circuit, layout);
+                let exec = TrajectoryExecutor::new(self.device.clone(), cfg);
+                let losses = parallel_map(&samples, |&i| {
+                    let noisy =
+                        exec.expect_z(&t.circuit, params, &valid.features[i], &t.phys_of);
+                    let logical: Vec<f64> = t
+                        .dense_of_logical
+                        .iter()
+                        .map(|&d| noisy.expect_z[d])
+                        .collect();
+                    nll_loss(&readout.logits(&logical), valid.labels[i])
+                });
+                mean(&losses)
+            }
+            EstimatorKind::DensitySim => {
+                let t = self.compile(circuit, layout);
+                let losses = parallel_map(&samples, |&i| {
+                    let exact = qns_noise::density_expect_z(
+                        &t.circuit,
+                        params,
+                        &valid.features[i],
+                        &self.device,
+                        &t.phys_of,
+                        true,
+                    );
+                    let logical: Vec<f64> =
+                        t.dense_of_logical.iter().map(|&d| exact[d]).collect();
+                    nll_loss(&readout.logits(&logical), valid.labels[i])
+                });
+                mean(&losses)
+            }
+        }
+    }
+
+    fn score_vqe(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        hamiltonian: &qns_chem::PauliSum,
+        layout: &Layout,
+    ) -> f64 {
+        match self.kind {
+            EstimatorKind::Noiseless => {
+                let s = run(circuit, params, &[], ExecMode::Static);
+                hamiltonian.expectation(&s)
+            }
+            EstimatorKind::SuccessRate => {
+                let t = self.compile(circuit, layout);
+                let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
+                let s = run(circuit, params, &[], ExecMode::Static);
+                let e = hamiltonian.expectation(&s);
+                // Depolarization drives <H> toward the identity component,
+                // so the estimated measured energy interpolates with the
+                // success rate.
+                let offset = hamiltonian.identity_coeff();
+                offset + rate * (e - offset)
+            }
+            EstimatorKind::NoisySim(cfg) => {
+                self.vqe_energy_measured(circuit, params, hamiltonian, layout, cfg)
+            }
+            EstimatorKind::DensitySim => {
+                let (offset, groups) = qwc_groups(hamiltonian);
+                let mut energy = offset;
+                for group in &groups {
+                    let mut logical = circuit.clone();
+                    logical.extend_from(&group.rotation_circuit());
+                    let t = self.compile(&logical, layout);
+                    let masks: Vec<u64> = group
+                        .z_masks()
+                        .iter()
+                        .map(|&m| {
+                            let mut dense = 0u64;
+                            for l in 0..circuit.num_qubits() {
+                                if m & (1 << l) != 0 {
+                                    dense |= 1 << t.dense_of_logical[l];
+                                }
+                            }
+                            dense
+                        })
+                        .collect();
+                    let parities = qns_noise::density_expect_masks(
+                        &t.circuit,
+                        params,
+                        &[],
+                        &self.device,
+                        &t.phys_of,
+                        &masks,
+                        true,
+                    );
+                    energy += group.energy_from_parities(&parities);
+                }
+                energy
+            }
+        }
+    }
+
+    /// "Measured" VQE energy: transpiles the ansatz plus each
+    /// qubit-wise-commuting group's basis rotation, runs the noisy
+    /// trajectory executor, and recombines parities — the full hardware
+    /// estimation path.
+    pub fn vqe_energy_measured(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        hamiltonian: &qns_chem::PauliSum,
+        layout: &Layout,
+        cfg: TrajectoryConfig,
+    ) -> f64 {
+        let (offset, groups) = qwc_groups(hamiltonian);
+        let exec = TrajectoryExecutor::new(self.device.clone(), cfg);
+        let mut energy = offset;
+        for group in &groups {
+            let mut logical = circuit.clone();
+            logical.extend_from(&group.rotation_circuit());
+            let t = self.compile(&logical, layout);
+            // Translate logical parity masks to dense simulator qubits.
+            let masks: Vec<u64> = group
+                .z_masks()
+                .iter()
+                .map(|&m| {
+                    let mut dense = 0u64;
+                    for l in 0..circuit.num_qubits() {
+                        if m & (1 << l) != 0 {
+                            dense |= 1 << t.dense_of_logical[l];
+                        }
+                    }
+                    dense
+                })
+                .collect();
+            let parities = exec.expect_z_masks(&t.circuit, params, &[], &t.phys_of, &masks);
+            energy += group.energy_from_parities(&parities);
+        }
+        energy
+    }
+
+    /// "Measured" QML accuracy on (a subset of) the test split: the final
+    /// deployment metric the paper reports from real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a VQE task.
+    pub fn test_accuracy(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        task: &Task,
+        layout: &Layout,
+        n_test: usize,
+        traj: TrajectoryConfig,
+    ) -> f64 {
+        let (splits, readout) = match task {
+            Task::Qml {
+                splits, readout, ..
+            } => (splits, readout),
+            Task::Vqe { .. } => panic!("test_accuracy is a QML metric"),
+        };
+        let test = splits.test.subsample(n_test, 0x7E57);
+        let t = self.compile(circuit, layout);
+        let exec = TrajectoryExecutor::new(self.device.clone(), traj);
+        let logits: Vec<Vec<f64>> = parallel_map(&test.features, |input| {
+            let noisy = exec.expect_z(&t.circuit, params, input, &t.phys_of);
+            let logical: Vec<f64> = t
+                .dense_of_logical
+                .iter()
+                .map(|&d| noisy.expect_z[d])
+                .collect();
+            readout.logits(&logical)
+        });
+        accuracy(&logits, &test.labels)
+    }
+
+    /// Noise-free accuracy on (a subset of) the test split.
+    pub fn ideal_accuracy(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        task: &Task,
+        n_test: usize,
+    ) -> f64 {
+        let (splits, readout) = match task {
+            Task::Qml {
+                splits, readout, ..
+            } => (splits, readout),
+            Task::Vqe { .. } => panic!("ideal_accuracy is a QML metric"),
+        };
+        let test = splits.test.subsample(n_test, 0x7E57);
+        let logits: Vec<Vec<f64>> = parallel_map(&test.features, |input| {
+            let s = run(circuit, params, input, ExecMode::Static);
+            readout.logits(&s.expect_z_all())
+        });
+        accuracy(&logits, &test.labels)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignSpace, SpaceKind, SuperCircuit};
+    use qns_chem::Molecule;
+
+    fn tiny_setup() -> (Task, Circuit, Vec<f64>) {
+        let task = Task::qml_digits(&[1, 8], 15, 4, 2);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 1);
+        let encoder = match &task {
+            Task::Qml { encoder, .. } => encoder.clone(),
+            _ => unreachable!(),
+        };
+        let circuit = sc.build(&sc.max_config(), Some(&encoder));
+        let params: Vec<f64> = (0..circuit.num_train_params())
+            .map(|i| 0.1 * (i as f64 % 7.0) - 0.3)
+            .collect();
+        (task, circuit, params)
+    }
+
+    #[test]
+    fn noiseless_score_is_finite_and_positive() {
+        let (task, circuit, params) = tiny_setup();
+        let est = Estimator::new(Device::yorktown(), EstimatorKind::Noiseless, 1)
+            .with_valid_cap(4);
+        let s = est.score(&circuit, &params, &task, &Layout::trivial(4));
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn success_rate_score_exceeds_noiseless() {
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        let noiseless = Estimator::new(Device::yorktown(), EstimatorKind::Noiseless, 1)
+            .with_valid_cap(4)
+            .score(&circuit, &params, &task, &layout);
+        let augmented = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1)
+            .with_valid_cap(4)
+            .score(&circuit, &params, &task, &layout);
+        assert!(augmented > noiseless, "{augmented} vs {noiseless}");
+    }
+
+    #[test]
+    fn noisy_score_runs_and_exceeds_noiseless_on_noisy_device() {
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        let cfg = TrajectoryConfig {
+            trajectories: 4,
+            seed: 1,
+            readout: true,
+        };
+        let noisy = Estimator::new(Device::yorktown(), EstimatorKind::NoisySim(cfg), 1)
+            .with_valid_cap(3)
+            .score(&circuit, &params, &task, &layout);
+        assert!(noisy.is_finite() && noisy > 0.0);
+    }
+
+    #[test]
+    fn vqe_noiseless_matches_direct_expectation() {
+        let mol = Molecule::h2();
+        let task = Task::vqe(&mol);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+        let circuit = sc.build(&sc.max_config(), None);
+        let params = vec![0.2; circuit.num_train_params()];
+        let est = Estimator::new(Device::belem(), EstimatorKind::Noiseless, 1);
+        let s = est.score(&circuit, &params, &task, &Layout::trivial(2));
+        let direct = {
+            let state = run(&circuit, &params, &[], ExecMode::Static);
+            mol.hamiltonian().expectation(&state)
+        };
+        assert!((s - direct).abs() < 1e-10);
+    }
+
+    #[test]
+    fn vqe_measured_energy_is_damped_toward_offset() {
+        let mol = Molecule::h2();
+        let task = Task::vqe(&mol);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+        let circuit = sc.build(&sc.max_config(), None);
+        // Train briefly so the ideal energy is meaningfully negative.
+        let (params, _) = crate::train::train_task(
+            &circuit,
+            &task,
+            &crate::TrainConfig {
+                epochs: 120,
+                lr: 0.05,
+                ..Default::default()
+            },
+            None,
+        );
+        let layout = Layout::trivial(2);
+        let ideal = Estimator::new(Device::santiago(), EstimatorKind::Noiseless, 1).score(
+            &circuit, &params, &task, &layout,
+        );
+        let cfg = TrajectoryConfig {
+            trajectories: 16,
+            seed: 2,
+            readout: true,
+        };
+        let measured = Estimator::new(Device::yorktown(), EstimatorKind::NoisySim(cfg), 1)
+            .score(&circuit, &params, &task, &layout);
+        // Noise pulls the energy up toward the identity offset.
+        assert!(measured > ideal - 0.05, "measured {measured} vs ideal {ideal}");
+        assert!(measured < 0.0, "still bound: {measured}");
+    }
+
+    #[test]
+    fn density_estimator_matches_many_trajectory_limit() {
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        let device = Device::yorktown().scaled_errors(3.0);
+        let exact = Estimator::new(device.clone(), EstimatorKind::DensitySim, 1)
+            .with_valid_cap(2)
+            .score(&circuit, &params, &task, &layout);
+        let sampled = Estimator::new(
+            device,
+            EstimatorKind::NoisySim(TrajectoryConfig {
+                trajectories: 600,
+                seed: 3,
+                readout: true,
+            }),
+            1,
+        )
+        .with_valid_cap(2)
+        .score(&circuit, &params, &task, &layout);
+        assert!(
+            (exact - sampled).abs() < 0.05,
+            "density {exact} vs trajectory {sampled}"
+        );
+    }
+
+    #[test]
+    fn density_vqe_estimator_is_finite_and_bound() {
+        let mol = Molecule::h2();
+        let task = Task::vqe(&mol);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+        let circuit = sc.build(&sc.max_config(), None);
+        let params = vec![0.3; circuit.num_train_params()];
+        let e = Estimator::new(Device::belem(), EstimatorKind::DensitySim, 1).score(
+            &circuit,
+            &params,
+            &task,
+            &Layout::trivial(2),
+        );
+        assert!(e.is_finite());
+        assert!(e > mol.fci_energy() - 1e-6, "below the ground energy: {e}");
+    }
+
+    #[test]
+    fn test_accuracy_is_in_unit_interval() {
+        let (task, circuit, params) = tiny_setup();
+        let est = Estimator::new(Device::belem(), EstimatorKind::Noiseless, 1);
+        let cfg = TrajectoryConfig {
+            trajectories: 2,
+            seed: 0,
+            readout: true,
+        };
+        let acc = est.test_accuracy(&circuit, &params, &task, &Layout::trivial(4), 10, cfg);
+        assert!((0.0..=1.0).contains(&acc));
+        let ideal = est.ideal_accuracy(&circuit, &params, &task, 10);
+        assert!((0.0..=1.0).contains(&ideal));
+    }
+}

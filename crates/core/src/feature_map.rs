@@ -1,0 +1,216 @@
+//! Quantum feature-map (data-encoder) search — the paper's outlook #1.
+//!
+//! QuantumNAS searches the *processing* circuit but fixes the data
+//! encoder. The paper's outlook asks how to extend the noise-adaptive
+//! strategy to the feature map itself. This module does the natural first
+//! step: a catalogue of encoder variants (different rotation-axis
+//! schedules over the same input budget), each co-searched with the
+//! standard machinery, with the best validation score winning.
+
+use crate::{
+    evolutionary_search, train_supercircuit, Estimator, EvoConfig, SuperCircuit,
+    SuperTrainConfig, Task,
+};
+use qns_circuit::{Circuit, GateKind, Param};
+
+/// A named data-encoder variant.
+#[derive(Clone, Debug)]
+pub struct EncoderVariant {
+    /// Display name (the axis schedule, e.g. `"XYZX"`).
+    pub name: String,
+    /// The encoder circuit.
+    pub circuit: Circuit,
+}
+
+/// Builds an encoder over `n_qubits` consuming `n_inputs` values with the
+/// given per-layer rotation axes (cycling over qubits).
+///
+/// # Panics
+///
+/// Panics if `axes` is empty or contains a non-rotation gate.
+pub fn axis_encoder(n_qubits: usize, n_inputs: usize, axes: &[GateKind]) -> Circuit {
+    assert!(!axes.is_empty(), "need at least one axis");
+    for a in axes {
+        assert!(
+            matches!(a, GateKind::RX | GateKind::RY | GateKind::RZ),
+            "encoders use rotation gates"
+        );
+    }
+    let mut c = Circuit::new(n_qubits);
+    let mut input = 0usize;
+    'outer: for &axis in axes.iter().cycle() {
+        for q in 0..n_qubits {
+            if input >= n_inputs {
+                break 'outer;
+            }
+            c.push(axis, &[q], &[Param::Input(input)]);
+            input += 1;
+        }
+    }
+    c
+}
+
+/// The encoder catalogue searched by [`search_feature_map`]: the paper's
+/// XYZX default plus axis permutations and a single-axis baseline.
+pub fn encoder_catalogue(n_qubits: usize, n_inputs: usize) -> Vec<EncoderVariant> {
+    use GateKind::{RX, RY, RZ};
+    let schedules: [(&str, Vec<GateKind>); 5] = [
+        ("XYZX", vec![RX, RY, RZ, RX]),
+        ("YZXY", vec![RY, RZ, RX, RY]),
+        ("ZXYZ", vec![RZ, RX, RY, RZ]),
+        ("XYXY", vec![RX, RY, RX, RY]),
+        ("YYYY", vec![RY, RY, RY, RY]),
+    ];
+    schedules
+        .into_iter()
+        .map(|(name, axes)| EncoderVariant {
+            name: name.to_string(),
+            circuit: axis_encoder(n_qubits, n_inputs, &axes),
+        })
+        .collect()
+}
+
+/// The outcome of a feature-map search.
+#[derive(Clone, Debug)]
+pub struct FeatureMapResult {
+    /// Winning encoder name.
+    pub encoder_name: String,
+    /// Winning encoder circuit.
+    pub encoder: Circuit,
+    /// Its searched gene.
+    pub gene: crate::Gene,
+    /// Its estimator score.
+    pub score: f64,
+    /// `(name, score)` per catalogue entry, in catalogue order.
+    pub all_scores: Vec<(String, f64)>,
+}
+
+/// Co-searches the data encoder alongside the circuit and mapping: for
+/// each catalogue encoder, trains a SuperCircuit and runs the standard
+/// noise-adaptive evolutionary search; the lowest estimator score wins.
+///
+/// # Panics
+///
+/// Panics if `task` is not a QML task (VQE has no data encoder).
+pub fn search_feature_map(
+    task: &Task,
+    sc: &SuperCircuit,
+    estimator: &Estimator,
+    super_cfg: &SuperTrainConfig,
+    evo: &EvoConfig,
+) -> FeatureMapResult {
+    let (splits, readout, n_inputs) = match task {
+        Task::Qml {
+            splits,
+            readout,
+            encoder,
+            ..
+        } => (splits.clone(), readout.clone(), encoder.num_inputs()),
+        Task::Vqe { .. } => panic!("feature-map search applies to QML tasks"),
+    };
+    let mut best: Option<FeatureMapResult> = None;
+    let mut all_scores = Vec::new();
+    for (i, variant) in encoder_catalogue(sc.num_qubits(), n_inputs)
+        .into_iter()
+        .enumerate()
+    {
+        // Rebuild the task around this encoder.
+        let variant_task = Task::Qml {
+            name: format!("{}+enc{}", task.name(), variant.name),
+            splits: splits.clone(),
+            encoder: variant.circuit.clone(),
+            readout: readout.clone(),
+        };
+        let mut cfg = *super_cfg;
+        cfg.seed = super_cfg.seed ^ (i as u64);
+        let (shared, _) = train_supercircuit(sc, &variant_task, &cfg);
+        let mut evo_cfg = *evo;
+        evo_cfg.seed = evo.seed ^ (i as u64) << 4;
+        let search = evolutionary_search(sc, &shared, &variant_task, estimator, &evo_cfg);
+        all_scores.push((variant.name.clone(), search.best_score));
+        let better = best
+            .as_ref()
+            .map(|b| search.best_score < b.score)
+            .unwrap_or(true);
+        if better {
+            best = Some(FeatureMapResult {
+                encoder_name: variant.name,
+                encoder: variant.circuit,
+                gene: search.best,
+                score: search.best_score,
+                all_scores: Vec::new(),
+            });
+        }
+    }
+    let mut result = best.expect("catalogue is non-empty");
+    result.all_scores = all_scores;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignSpace, EstimatorKind, SpaceKind};
+    use qns_noise::Device;
+
+    #[test]
+    fn axis_encoder_consumes_exact_inputs() {
+        let enc = axis_encoder(4, 10, &[GateKind::RX, GateKind::RY]);
+        assert_eq!(enc.num_inputs(), 10);
+        assert_eq!(enc.num_ops(), 10);
+        assert_eq!(enc.num_train_params(), 0);
+    }
+
+    #[test]
+    fn catalogue_variants_are_distinct() {
+        let cat = encoder_catalogue(4, 16);
+        assert_eq!(cat.len(), 5);
+        for v in &cat {
+            assert_eq!(v.circuit.num_inputs(), 16);
+        }
+        assert_ne!(cat[0].circuit, cat[1].circuit);
+        // The default XYZX matches qns-data's encoder shape.
+        let reference = qns_data::encoder_4x4();
+        assert_eq!(cat[0].circuit, reference);
+    }
+
+    #[test]
+    fn feature_map_search_picks_lowest_score() {
+        let task = Task::qml_digits(&[1, 8], 20, 4, 3);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::ZzRy), 4, 1);
+        let estimator = Estimator::new(Device::belem(), EstimatorKind::SuccessRate, 1)
+            .with_valid_cap(4);
+        let super_cfg = SuperTrainConfig {
+            steps: 15,
+            batch_size: 6,
+            warmup_steps: 2,
+            ..Default::default()
+        };
+        let evo = EvoConfig {
+            iterations: 2,
+            population: 4,
+            parents: 2,
+            mutations: 1,
+            crossovers: 1,
+            ..EvoConfig::fast(1)
+        };
+        let result = search_feature_map(&task, &sc, &estimator, &super_cfg, &evo);
+        assert_eq!(result.all_scores.len(), 5);
+        let min = result
+            .all_scores
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min);
+        assert!((result.score - min).abs() < 1e-12);
+        assert!(result
+            .all_scores
+            .iter()
+            .any(|(n, _)| *n == result.encoder_name));
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation gates")]
+    fn non_rotation_axis_panics() {
+        let _ = axis_encoder(2, 4, &[GateKind::H]);
+    }
+}

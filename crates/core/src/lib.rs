@@ -1,0 +1,80 @@
+//! QuantumNAS: noise-adaptive co-search of variational quantum circuits
+//! and qubit mappings (Wang et al., HPCA 2022).
+//!
+//! The pipeline (paper Figure 5):
+//!
+//! 1. **SuperCircuit training** — a gate-sharing SuperCircuit spanning the
+//!    design space is trained once by sampling SubCircuits per step
+//!    ([`SuperCircuit`], [`Sampler`] with progressive shrinking and
+//!    restricted sampling, [`train_supercircuit`]).
+//! 2. **Noise-adaptive evolutionary co-search** — a genetic algorithm over
+//!    (SubCircuit, qubit-mapping) genes, scored by a noise-aware
+//!    [`Estimator`] with parameters inherited from the SuperCircuit
+//!    ([`evolutionary_search`]).
+//! 3. **From-scratch training** of the searched SubCircuit
+//!    ([`train_task`]).
+//! 4. **Iterative pruning** of small-magnitude angles with finetuning
+//!    ([`iterative_prune`]).
+//! 5. **Compile & deploy** — transpile with the searched mapping and
+//!    evaluate on the noisy device model ([`Estimator::test_accuracy`]).
+//!
+//! Every stage is also exposed separately so the benchmark harness can
+//! reproduce each table and figure of the paper.
+//!
+//! # Examples
+//!
+//! End-to-end on a tiny task (see `examples/quickstart.rs` for a fuller
+//! version):
+//!
+//! ```no_run
+//! use quantumnas::{QuantumNas, QuantumNasConfig, SpaceKind, Task};
+//! use qns_noise::Device;
+//!
+//! let task = Task::qml_digits(&[3, 6], 60, 4, 0);
+//! let nas = QuantumNas::new(
+//!     SpaceKind::U3Cu3,
+//!     Device::yorktown(),
+//!     task,
+//!     QuantumNasConfig::fast(),
+//! );
+//! let report = nas.run(0);
+//! println!("measured accuracy: {:.3}", report.final_accuracy);
+//! ```
+
+mod analysis;
+mod baselines;
+mod cost;
+mod estimator;
+mod feature_map;
+mod hardware;
+mod pipeline;
+mod prune;
+mod sampler;
+mod search;
+mod space;
+mod supercircuit;
+mod task;
+mod train;
+
+pub use analysis::{barren_plateau_scan, gradient_variance, plateau_relief, PlateauPoint};
+pub use baselines::{human_design, random_design};
+pub use feature_map::{
+    axis_encoder, encoder_catalogue, search_feature_map, EncoderVariant, FeatureMapResult,
+};
+pub use cost::{CircuitRunCounter, RunCost};
+pub use estimator::{Estimator, EstimatorKind};
+pub use hardware::{train_qml_on_device, train_vqe_on_device, OnDeviceTrainConfig};
+pub use pipeline::{QuantumNas, QuantumNasConfig, Report};
+pub use prune::{iterative_prune, polynomial_ratio, PruneConfig, PruneResult};
+pub use sampler::{Sampler, SamplerConfig};
+pub use search::{
+    evolutionary_search, evolutionary_search_seeded, random_search, EvoConfig, Gene,
+    SearchResult,
+};
+pub use space::{DesignSpace, LayerArrangement, LayerSpec, SpaceKind};
+pub use supercircuit::{SubConfig, SuperCircuit};
+pub use task::{Readout, Task};
+pub use train::{
+    eval_task, inherited_eval, qml_sample_grad, train_supercircuit, train_task, Split,
+    SuperTrainConfig, TrainConfig,
+};

@@ -1,0 +1,323 @@
+//! SubCircuit sampling: progressive shrinking and restricted sampling.
+
+use crate::{SubConfig, SuperCircuit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the SuperCircuit training sampler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplerConfig {
+    /// Final lower bound on sampled block count (the paper's `d_min`).
+    pub min_blocks: usize,
+    /// Step at which progressive shrinking starts.
+    pub shrink_start: usize,
+    /// Step at which `d_min` reaches `min_blocks`.
+    pub shrink_end: usize,
+    /// Maximum number of layers that may differ between consecutive
+    /// samples (the paper uses 7).
+    pub max_layer_diff: usize,
+    /// Enable progressive shrinking.
+    pub progressive: bool,
+    /// Enable restricted sampling.
+    pub restricted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            min_blocks: 1,
+            shrink_start: 0,
+            shrink_end: 100,
+            max_layer_diff: 7,
+            progressive: true,
+            restricted: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Samples SubCircuit configurations for SuperCircuit training.
+///
+/// **Progressive shrinking** (paper Figure 6): only SubCircuits with
+/// `d_min(t) ..= d_max` blocks are sampled, and `d_min(t)` decreases
+/// linearly from `d_max` to [`SamplerConfig::min_blocks`] between
+/// `shrink_start` and `shrink_end`; afterwards all block counts are
+/// uniform.
+///
+/// **Restricted sampling** (paper Figure 7): consecutive samples differ in
+/// at most [`SamplerConfig::max_layer_diff`] layers, counting the layers of
+/// added/removed blocks.
+///
+/// # Examples
+///
+/// ```
+/// use quantumnas::{DesignSpace, Sampler, SamplerConfig, SpaceKind, SuperCircuit};
+///
+/// let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 4);
+/// let mut sampler = Sampler::new(&sc, SamplerConfig::default());
+/// let a = sampler.next_config();
+/// let b = sampler.next_config();
+/// assert!(a.layer_distance(&b) <= 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    config: SamplerConfig,
+    n_qubits: usize,
+    n_blocks: usize,
+    n_layers: usize,
+    prev: SubConfig,
+    step: usize,
+    rng: StdRng,
+}
+
+impl Sampler {
+    /// Creates a sampler for a SuperCircuit. The first sample is restricted
+    /// against the maximal configuration (matching "train large first").
+    pub fn new(supercircuit: &SuperCircuit, config: SamplerConfig) -> Self {
+        assert!(
+            config.min_blocks >= 1 && config.min_blocks <= supercircuit.num_blocks(),
+            "min_blocks out of range"
+        );
+        assert!(config.shrink_end > config.shrink_start, "empty shrink window");
+        Sampler {
+            config,
+            n_qubits: supercircuit.num_qubits(),
+            n_blocks: supercircuit.num_blocks(),
+            n_layers: supercircuit.space().layers_per_block().len(),
+            prev: supercircuit.max_config(),
+            step: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Current lower bound on block count.
+    pub fn d_min(&self) -> usize {
+        if !self.config.progressive {
+            return self.config.min_blocks;
+        }
+        let (s0, s1) = (self.config.shrink_start, self.config.shrink_end);
+        if self.step <= s0 {
+            self.n_blocks
+        } else if self.step >= s1 {
+            self.config.min_blocks
+        } else {
+            let progress = (self.step - s0) as f64 / (s1 - s0) as f64;
+            let span = (self.n_blocks - self.config.min_blocks) as f64;
+            (self.n_blocks as f64 - progress * span).round() as usize
+        }
+    }
+
+    /// Draws the next configuration and advances the schedule.
+    pub fn next_config(&mut self) -> SubConfig {
+        let d_min = self.d_min();
+        // Unrestricted candidate.
+        let depth = self.rng.gen_range(d_min..=self.n_blocks);
+        let widths: Vec<Vec<usize>> = (0..self.n_blocks)
+            .map(|_| {
+                (0..self.n_layers)
+                    .map(|_| self.rng.gen_range(1..=self.n_qubits))
+                    .collect()
+            })
+            .collect();
+        let candidate = SubConfig {
+            n_blocks: depth,
+            widths,
+        };
+
+        let next = if self.config.restricted {
+            self.restrict(candidate, d_min)
+        } else {
+            candidate
+        };
+        self.prev = next.clone();
+        self.step += 1;
+        next
+    }
+
+    /// Clamps a candidate to within `max_layer_diff` layers of the
+    /// previous sample.
+    fn restrict(&mut self, candidate: SubConfig, d_min: usize) -> SubConfig {
+        let budget = self.config.max_layer_diff;
+        // Depth moves cost n_layers changed layers per block.
+        let max_depth_move = budget / self.n_layers;
+        let depth = candidate
+            .n_blocks
+            .clamp(
+                self.prev.n_blocks.saturating_sub(max_depth_move).max(d_min),
+                (self.prev.n_blocks + max_depth_move).min(self.n_blocks),
+            )
+            .max(d_min);
+        let depth_cost = depth.abs_diff(self.prev.n_blocks) * self.n_layers;
+        let remaining = budget.saturating_sub(depth_cost);
+
+        // Start from the previous widths; adopt candidate widths for a
+        // random subset of differing active cells within budget.
+        let mut widths = self.prev.widths.clone();
+        let active = depth.min(self.prev.n_blocks);
+        let mut cells: Vec<(usize, usize)> = (0..active)
+            .flat_map(|b| (0..self.n_layers).map(move |l| (b, l)))
+            .filter(|&(b, l)| candidate.widths[b][l] != self.prev.widths[b][l])
+            .collect();
+        // Newly activated blocks take candidate widths for free-ish: they
+        // count as changed layers against the depth cost already paid.
+        if depth > self.prev.n_blocks {
+            widths[self.prev.n_blocks..depth]
+                .clone_from_slice(&candidate.widths[self.prev.n_blocks..depth]);
+        }
+        // Fisher-Yates subset selection.
+        for i in (1..cells.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            cells.swap(i, j);
+        }
+        for &(b, l) in cells.iter().take(remaining.min(cells.len())) {
+            widths[b][l] = candidate.widths[b][l];
+        }
+        SubConfig {
+            n_blocks: depth,
+            widths,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignSpace, SpaceKind};
+
+    fn supercircuit() -> SuperCircuit {
+        SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 8)
+    }
+
+    #[test]
+    fn progressive_shrinking_lowers_d_min() {
+        let sc = supercircuit();
+        let mut s = Sampler::new(
+            &sc,
+            SamplerConfig {
+                shrink_start: 10,
+                shrink_end: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.d_min(), 8);
+        for _ in 0..30 {
+            let _ = s.next_config();
+        }
+        let mid = s.d_min();
+        assert!(mid < 8 && mid > 1, "d_min mid-schedule: {mid}");
+        for _ in 0..30 {
+            let _ = s.next_config();
+        }
+        assert_eq!(s.d_min(), 1);
+    }
+
+    #[test]
+    fn samples_respect_d_min() {
+        let sc = supercircuit();
+        let mut s = Sampler::new(
+            &sc,
+            SamplerConfig {
+                shrink_start: 0,
+                shrink_end: 20,
+                restricted: false,
+                ..Default::default()
+            },
+        );
+        for _ in 0..100 {
+            let d_min = s.d_min();
+            let cfg = s.next_config();
+            assert!(cfg.n_blocks >= d_min && cfg.n_blocks <= 8);
+        }
+    }
+
+    #[test]
+    fn restricted_sampling_bounds_layer_distance() {
+        let sc = supercircuit();
+        let mut s = Sampler::new(
+            &sc,
+            SamplerConfig {
+                progressive: false,
+                max_layer_diff: 7,
+                ..Default::default()
+            },
+        );
+        let mut prev = sc.max_config();
+        for _ in 0..200 {
+            let cfg = s.next_config();
+            let d = cfg.layer_distance(&prev);
+            assert!(d <= 7, "layer distance {d} exceeds 7");
+            prev = cfg;
+        }
+    }
+
+    #[test]
+    fn unrestricted_sampling_wanders_further() {
+        let sc = supercircuit();
+        let restricted_max = {
+            let mut s = Sampler::new(
+                &sc,
+                SamplerConfig {
+                    progressive: false,
+                    restricted: true,
+                    ..Default::default()
+                },
+            );
+            let mut prev = s.next_config();
+            let mut max_d = 0;
+            for _ in 0..50 {
+                let cfg = s.next_config();
+                max_d = max_d.max(cfg.layer_distance(&prev));
+                prev = cfg;
+            }
+            max_d
+        };
+        let unrestricted_max = {
+            let mut s = Sampler::new(
+                &sc,
+                SamplerConfig {
+                    progressive: false,
+                    restricted: false,
+                    ..Default::default()
+                },
+            );
+            let mut prev = s.next_config();
+            let mut max_d = 0;
+            for _ in 0..50 {
+                let cfg = s.next_config();
+                max_d = max_d.max(cfg.layer_distance(&prev));
+                prev = cfg;
+            }
+            max_d
+        };
+        assert!(restricted_max <= 7);
+        assert!(unrestricted_max > 7, "unrestricted max {unrestricted_max}");
+    }
+
+    #[test]
+    fn sampled_configs_build_valid_circuits() {
+        let sc = supercircuit();
+        let mut s = Sampler::new(&sc, SamplerConfig::default());
+        for _ in 0..20 {
+            let cfg = s.next_config();
+            let c = sc.build(&cfg, None);
+            assert!(c.num_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = supercircuit();
+        let mut a = Sampler::new(&sc, SamplerConfig::default());
+        let mut b = Sampler::new(&sc, SamplerConfig::default());
+        for _ in 0..10 {
+            assert_eq!(a.next_config(), b.next_config());
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Noise-adaptive evolutionary co-search of SubCircuit and qubit mapping.
+
+use crate::{Estimator, SubConfig, SuperCircuit, Task};
+use qns_transpile::Layout;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One individual: a SubCircuit architecture plus a qubit mapping — the
+/// concatenated gene of paper Section III-C.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gene {
+    /// SubCircuit architecture (depth + layer widths).
+    pub config: SubConfig,
+    /// Logical→physical qubit mapping.
+    pub layout: Vec<usize>,
+}
+
+impl Gene {
+    /// The mapping as a transpiler [`Layout`].
+    pub fn layout(&self) -> Layout {
+        Layout::from_vec(self.layout.clone())
+    }
+}
+
+/// Evolution hyperparameters. The paper uses 40 iterations, population 40,
+/// 10 parents, 20 mutations at probability 0.4, and 10 crossovers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvoConfig {
+    /// Number of generations.
+    pub iterations: usize,
+    /// Population size (kept constant).
+    pub population: usize,
+    /// Survivors per generation.
+    pub parents: usize,
+    /// Mutated offspring per generation.
+    pub mutations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_prob: f64,
+    /// Crossover offspring per generation.
+    pub crossovers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional cap on trainable parameters; genes over budget are
+    /// heavily penalized (used for the accuracy-vs-#parameters sweeps).
+    pub max_params: Option<usize>,
+    /// Search over architectures (`false` freezes the seed architecture —
+    /// the paper's "mapping search only" ablation).
+    pub search_arch: bool,
+    /// Search over qubit mappings (`false` freezes the trivial layout —
+    /// the paper's "circuit search only" ablation).
+    pub search_layout: bool,
+}
+
+impl Default for EvoConfig {
+    fn default() -> Self {
+        EvoConfig {
+            iterations: 40,
+            population: 40,
+            parents: 10,
+            mutations: 20,
+            mutation_prob: 0.4,
+            crossovers: 10,
+            seed: 0,
+            max_params: None,
+            search_arch: true,
+            search_layout: true,
+        }
+    }
+}
+
+impl EvoConfig {
+    /// A scaled-down configuration for quick experiments.
+    pub fn fast(seed: u64) -> Self {
+        EvoConfig {
+            iterations: 8,
+            population: 12,
+            parents: 4,
+            mutations: 5,
+            crossovers: 3,
+            mutation_prob: 0.4,
+            seed,
+            max_params: None,
+            search_arch: true,
+            search_layout: true,
+        }
+    }
+}
+
+/// The outcome of a search run.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Best gene found.
+    pub best: Gene,
+    /// Its estimator score (lower is better).
+    pub best_score: f64,
+    /// Best-so-far score after each iteration — the optimization curve of
+    /// paper Figure 22.
+    pub history: Vec<f64>,
+    /// Total genes evaluated.
+    pub evaluations: usize,
+}
+
+struct GenePool<'a> {
+    sc: &'a SuperCircuit,
+    n_phys: usize,
+    rng: StdRng,
+    /// Frozen architecture (mapping-only search) when set.
+    fixed_arch: Option<SubConfig>,
+    /// Frozen layout (circuit-only search) when set.
+    fixed_layout: Option<Vec<usize>>,
+}
+
+impl GenePool<'_> {
+    fn random_gene(&mut self) -> Gene {
+        let n_qubits = self.sc.num_qubits();
+        let n_blocks = self.sc.num_blocks();
+        let n_layers = self.sc.space().layers_per_block().len();
+        let config = match &self.fixed_arch {
+            Some(cfg) => cfg.clone(),
+            None => SubConfig {
+                n_blocks: self.rng.gen_range(1..=n_blocks),
+                widths: (0..n_blocks)
+                    .map(|_| {
+                        (0..n_layers)
+                            .map(|_| self.rng.gen_range(1..=n_qubits))
+                            .collect()
+                    })
+                    .collect(),
+            },
+        };
+        let layout = match &self.fixed_layout {
+            Some(l) => l.clone(),
+            None => {
+                let mut phys: Vec<usize> = (0..self.n_phys).collect();
+                phys.shuffle(&mut self.rng);
+                phys.truncate(n_qubits);
+                phys
+            }
+        };
+        Gene { config, layout }
+    }
+
+    fn mutate(&mut self, gene: &Gene, prob: f64) -> Gene {
+        let n_qubits = self.sc.num_qubits();
+        let mut out = gene.clone();
+        if self.fixed_arch.is_none() {
+            // Depth gene.
+            if self.rng.gen_bool(prob) {
+                out.config.n_blocks = self.rng.gen_range(1..=self.sc.num_blocks());
+            }
+            // Width genes.
+            for block in &mut out.config.widths {
+                for w in block.iter_mut() {
+                    if self.rng.gen_bool(prob) {
+                        *w = self.rng.gen_range(1..=n_qubits);
+                    }
+                }
+            }
+        }
+        if self.fixed_layout.is_some() {
+            return out;
+        }
+        // Mapping genes: swap two positions or rehome one qubit.
+        for i in 0..out.layout.len() {
+            if !self.rng.gen_bool(prob) {
+                continue;
+            }
+            if self.rng.gen_bool(0.5) && out.layout.len() > 1 {
+                let j = self.rng.gen_range(0..out.layout.len());
+                out.layout.swap(i, j);
+            } else {
+                let unused: Vec<usize> = (0..self.n_phys)
+                    .filter(|p| !out.layout.contains(p))
+                    .collect();
+                if let Some(&p) = unused.as_slice().choose(&mut self.rng) {
+                    out.layout[i] = p;
+                }
+            }
+        }
+        out
+    }
+
+    fn crossover(&mut self, a: &Gene, b: &Gene) -> Gene {
+        let mut config = a.config.clone();
+        if self.rng.gen_bool(0.5) {
+            config.n_blocks = b.config.n_blocks;
+        }
+        for (bi, block) in config.widths.iter_mut().enumerate() {
+            for (li, w) in block.iter_mut().enumerate() {
+                if self.rng.gen_bool(0.5) {
+                    *w = b.config.widths[bi][li];
+                }
+            }
+        }
+        // Mapping crossover with duplicate repair.
+        let mut layout = Vec::with_capacity(a.layout.len());
+        for i in 0..a.layout.len() {
+            let pick = if self.rng.gen_bool(0.5) {
+                a.layout[i]
+            } else {
+                b.layout[i]
+            };
+            layout.push(pick);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for slot in layout.iter_mut() {
+            if !seen.insert(*slot) {
+                let replacement = (0..self.n_phys)
+                    .find(|p| !seen.contains(p))
+                    .expect("device has enough qubits");
+                *slot = replacement;
+                seen.insert(replacement);
+            }
+        }
+        Gene { config, layout }
+    }
+}
+
+fn score_gene(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    gene: &Gene,
+    max_params: Option<usize>,
+) -> f64 {
+    let circuit = match task {
+        Task::Qml { encoder, .. } => sc.build(&gene.config, Some(encoder)),
+        Task::Vqe { .. } => sc.build(&gene.config, None),
+    };
+    if let Some(cap) = max_params {
+        if circuit.referenced_train_indices().len() > cap {
+            return 1e9;
+        }
+    }
+    estimator.score(&circuit, shared_params, task, &gene.layout())
+}
+
+/// The paper's evolutionary co-search: a genetic algorithm over
+/// (architecture, mapping) genes, scored with SuperCircuit-inherited
+/// parameters on a noise-aware estimator.
+///
+/// # Panics
+///
+/// Panics if the device is smaller than the SuperCircuit or the population
+/// is not larger than the parent count.
+pub fn evolutionary_search(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    config: &EvoConfig,
+) -> SearchResult {
+    evolutionary_search_seeded(sc, shared_params, task, estimator, config, &[])
+}
+
+/// [`evolutionary_search`] with caller-provided seed genes injected into
+/// the initial population (e.g. the human design, so the search starts
+/// from a known-good architecture at a parameter budget).
+pub fn evolutionary_search_seeded(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    config: &EvoConfig,
+    seeds: &[Gene],
+) -> SearchResult {
+    assert!(
+        estimator.device().num_qubits() >= sc.num_qubits(),
+        "device too small"
+    );
+    assert!(
+        config.parents >= 2 && config.parents < config.population,
+        "need 2 <= parents < population"
+    );
+    // Frozen components come from the first seed gene when provided (so
+    // ablations stay parameter-matched), else fall back to the maximal
+    // architecture / trivial layout.
+    let mut pool = GenePool {
+        sc,
+        n_phys: estimator.device().num_qubits(),
+        rng: StdRng::seed_from_u64(config.seed ^ 0xE70),
+        fixed_arch: if config.search_arch {
+            None
+        } else {
+            Some(
+                seeds
+                    .first()
+                    .map(|g| g.config.clone())
+                    .unwrap_or_else(|| sc.max_config()),
+            )
+        },
+        fixed_layout: if config.search_layout {
+            None
+        } else {
+            Some(
+                seeds
+                    .first()
+                    .map(|g| g.layout.clone())
+                    .unwrap_or_else(|| (0..sc.num_qubits()).collect()),
+            )
+        },
+    };
+    let mut population: Vec<Gene> = seeds.iter().take(config.population).cloned().collect();
+    while population.len() < config.population {
+        population.push(pool.random_gene());
+    }
+    let mut history = Vec::with_capacity(config.iterations);
+    let mut evaluations = 0usize;
+    let mut best: Option<(Gene, f64)> = None;
+
+    for _ in 0..config.iterations {
+        let mut scored: Vec<(Gene, f64)> = population
+            .drain(..)
+            .map(|g| {
+                let s = score_gene(sc, shared_params, task, estimator, &g, config.max_params);
+                evaluations += 1;
+                (g, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        if best.as_ref().map(|(_, s)| scored[0].1 < *s).unwrap_or(true) {
+            best = Some(scored[0].clone());
+        }
+        history.push(best.as_ref().expect("just set").1);
+
+        let parents: Vec<Gene> = scored
+            .into_iter()
+            .take(config.parents)
+            .map(|(g, _)| g)
+            .collect();
+        let mut next = parents.clone();
+        for _ in 0..config.mutations {
+            let p = parents.as_slice().choose(&mut pool.rng).expect("parents");
+            next.push(pool.mutate(p, config.mutation_prob));
+        }
+        for _ in 0..config.crossovers {
+            let a = parents.as_slice().choose(&mut pool.rng).expect("parents");
+            let b = parents.as_slice().choose(&mut pool.rng).expect("parents");
+            next.push(pool.crossover(a, b));
+        }
+        while next.len() < config.population {
+            next.push(pool.random_gene());
+        }
+        next.truncate(config.population);
+        population = next;
+    }
+
+    let (best, best_score) = best.expect("at least one iteration");
+    SearchResult {
+        best,
+        best_score,
+        history,
+        evaluations,
+    }
+}
+
+/// The random-search baseline of paper Figures 21-22: the same evaluation
+/// budget spent on uniformly random genes.
+pub fn random_search(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    config: &EvoConfig,
+) -> SearchResult {
+    let mut pool = GenePool {
+        sc,
+        n_phys: estimator.device().num_qubits(),
+        rng: StdRng::seed_from_u64(config.seed ^ 0x4A4D),
+        fixed_arch: if config.search_arch {
+            None
+        } else {
+            Some(sc.max_config())
+        },
+        fixed_layout: if config.search_layout {
+            None
+        } else {
+            Some((0..sc.num_qubits()).collect())
+        },
+    };
+    let mut best: Option<(Gene, f64)> = None;
+    let mut history = Vec::with_capacity(config.iterations);
+    let mut evaluations = 0usize;
+    for _ in 0..config.iterations {
+        for _ in 0..config.population {
+            let g = pool.random_gene();
+            let s = score_gene(sc, shared_params, task, estimator, &g, config.max_params);
+            evaluations += 1;
+            if best.as_ref().map(|(_, bs)| s < *bs).unwrap_or(true) {
+                best = Some((g, s));
+            }
+        }
+        history.push(best.as_ref().expect("scored").1);
+    }
+    let (best, best_score) = best.expect("non-empty budget");
+    SearchResult {
+        best,
+        best_score,
+        history,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignSpace, EstimatorKind, SpaceKind};
+    use qns_noise::Device;
+
+    fn setup() -> (SuperCircuit, Vec<f64>, Task, Estimator) {
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+        let task = Task::qml_digits(&[1, 8], 15, 4, 4);
+        let params: Vec<f64> = (0..sc.num_params())
+            .map(|i| 0.2 * ((i % 5) as f64) - 0.4)
+            .collect();
+        let est = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1)
+            .with_valid_cap(4);
+        (sc, params, task, est)
+    }
+
+    #[test]
+    fn evolution_runs_and_improves_monotonically() {
+        let (sc, params, task, est) = setup();
+        let result = evolutionary_search(&sc, &params, &task, &est, &EvoConfig::fast(1));
+        assert_eq!(result.history.len(), 8);
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best-so-far must be monotone");
+        }
+        assert!(result.best_score.is_finite());
+        assert_eq!(result.best.layout.len(), 4);
+    }
+
+    #[test]
+    fn layouts_stay_injective_through_evolution() {
+        let (sc, params, task, est) = setup();
+        let result = evolutionary_search(&sc, &params, &task, &est, &EvoConfig::fast(7));
+        let mut seen = std::collections::HashSet::new();
+        assert!(result.best.layout.iter().all(|&p| seen.insert(p)));
+        assert!(result.best.layout.iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn evolution_beats_or_matches_random_given_same_budget() {
+        let (sc, params, task, est) = setup();
+        let cfg = EvoConfig::fast(3);
+        let evo = evolutionary_search(&sc, &params, &task, &est, &cfg);
+        let rand = random_search(&sc, &params, &task, &est, &cfg);
+        assert_eq!(evo.evaluations, rand.evaluations);
+        // Evolution should not be dramatically worse (allow small noise).
+        assert!(
+            evo.best_score <= rand.best_score * 1.15,
+            "evo {} vs random {}",
+            evo.best_score,
+            rand.best_score
+        );
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let (sc, _, _, est) = setup();
+        let mut pool = GenePool {
+            sc: &sc,
+            n_phys: est.device().num_qubits(),
+            rng: StdRng::seed_from_u64(5),
+            fixed_arch: None,
+            fixed_layout: None,
+        };
+        let g = pool.random_gene();
+        for _ in 0..50 {
+            let m = pool.mutate(&g, 0.8);
+            assert!(m.config.n_blocks >= 1 && m.config.n_blocks <= 2);
+            for block in &m.config.widths {
+                assert!(block.iter().all(|&w| (1..=4).contains(&w)));
+            }
+            let mut seen = std::collections::HashSet::new();
+            assert!(m.layout.iter().all(|&p| seen.insert(p)));
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let (sc, _, _, est) = setup();
+        let mut pool = GenePool {
+            sc: &sc,
+            n_phys: est.device().num_qubits(),
+            rng: StdRng::seed_from_u64(9),
+            fixed_arch: None,
+            fixed_layout: None,
+        };
+        let a = pool.random_gene();
+        let b = pool.random_gene();
+        let c = pool.crossover(&a, &b);
+        // Every width comes from one of the parents.
+        for (bi, block) in c.config.widths.iter().enumerate() {
+            for (li, &w) in block.iter().enumerate() {
+                assert!(w == a.config.widths[bi][li] || w == b.config.widths[bi][li]);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        assert!(c.layout.iter().all(|&p| seen.insert(p)));
+    }
+}

@@ -1,0 +1,291 @@
+//! The six circuit design spaces of Section IV-A.
+
+use qns_circuit::GateKind;
+
+/// How a layer's gates are arranged over the qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerArrangement {
+    /// One single-qubit gate per qubit; width `w` uses the first `w`
+    /// qubits.
+    OneQubit,
+    /// Two-qubit gates on ring connections `(q, (q+1) mod n)`; width `w`
+    /// uses the first `w` ring pairs.
+    Ring,
+}
+
+/// One layer of a design-space block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Gate applied throughout the layer.
+    pub gate: GateKind,
+    /// Arrangement over qubits.
+    pub arrangement: LayerArrangement,
+}
+
+impl LayerSpec {
+    /// A one-qubit layer.
+    pub const fn one(gate: GateKind) -> Self {
+        LayerSpec {
+            gate,
+            arrangement: LayerArrangement::OneQubit,
+        }
+    }
+
+    /// A ring two-qubit layer.
+    pub const fn ring(gate: GateKind) -> Self {
+        LayerSpec {
+            gate,
+            arrangement: LayerArrangement::Ring,
+        }
+    }
+
+    /// Trainable parameters per gate in this layer.
+    pub fn params_per_gate(&self) -> usize {
+        self.gate.num_params()
+    }
+}
+
+/// The paper's named design spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpaceKind {
+    /// 'U3+CU3': per block one U3 layer and one CU3 ring layer; 8 blocks.
+    U3Cu3,
+    /// 'ZZ+RY': per block one RZZ ring layer and one RY layer; 8 blocks.
+    ZzRy,
+    /// 'RXYZ': per block RX, RY, RZ, CZ(ring); √H layer upfront; 8 blocks.
+    Rxyz,
+    /// 'ZX+XX': per block one RZX ring and one RXX ring layer; 8 blocks.
+    ZxXx,
+    /// 'RXYZ+U1+CU3': 11 layers per block (RX, S, CNOT, RY, T, SWAP, RZ,
+    /// H, √SWAP, U1, CU3); 4 blocks.
+    RxyzU1Cu3,
+    /// 'IBMQ Basis': 6 layers per block (RZ, X, RZ, SX, RZ, CNOT);
+    /// 20 blocks; depth-elastic only (no width sharing inside blocks).
+    IbmqBasis,
+}
+
+impl SpaceKind {
+    /// All six spaces in the paper's order.
+    pub fn all() -> &'static [SpaceKind] {
+        &[
+            SpaceKind::U3Cu3,
+            SpaceKind::ZzRy,
+            SpaceKind::Rxyz,
+            SpaceKind::ZxXx,
+            SpaceKind::RxyzU1Cu3,
+            SpaceKind::IbmqBasis,
+        ]
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpaceKind::U3Cu3 => "U3+CU3",
+            SpaceKind::ZzRy => "ZZ+RY",
+            SpaceKind::Rxyz => "RXYZ",
+            SpaceKind::ZxXx => "ZX+XX",
+            SpaceKind::RxyzU1Cu3 => "RXYZ+U1+CU3",
+            SpaceKind::IbmqBasis => "IBMQ Basis",
+        }
+    }
+}
+
+impl std::fmt::Display for SpaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete design space: block structure plus elasticity rules.
+///
+/// # Examples
+///
+/// ```
+/// use quantumnas::{DesignSpace, SpaceKind};
+/// let space = DesignSpace::new(SpaceKind::U3Cu3);
+/// assert_eq!(space.layers_per_block().len(), 2);
+/// assert_eq!(space.default_blocks(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DesignSpace {
+    kind: SpaceKind,
+    layers: Vec<LayerSpec>,
+    prefix: Vec<LayerSpec>,
+    default_blocks: usize,
+    elastic_width: bool,
+}
+
+impl DesignSpace {
+    /// Builds the named space with the paper's block structure.
+    pub fn new(kind: SpaceKind) -> Self {
+        use GateKind::*;
+        let (layers, prefix, default_blocks, elastic_width) = match kind {
+            SpaceKind::U3Cu3 => (
+                vec![LayerSpec::one(U3), LayerSpec::ring(CU3)],
+                vec![],
+                8,
+                true,
+            ),
+            SpaceKind::ZzRy => (
+                vec![LayerSpec::ring(RZZ), LayerSpec::one(RY)],
+                vec![],
+                8,
+                true,
+            ),
+            SpaceKind::Rxyz => (
+                vec![
+                    LayerSpec::one(RX),
+                    LayerSpec::one(RY),
+                    LayerSpec::one(RZ),
+                    LayerSpec::ring(CZ),
+                ],
+                vec![LayerSpec::one(SH)],
+                8,
+                true,
+            ),
+            SpaceKind::ZxXx => (
+                vec![LayerSpec::ring(RZX), LayerSpec::ring(RXX)],
+                vec![],
+                8,
+                true,
+            ),
+            SpaceKind::RxyzU1Cu3 => (
+                vec![
+                    LayerSpec::one(RX),
+                    LayerSpec::one(S),
+                    LayerSpec::ring(CX),
+                    LayerSpec::one(RY),
+                    LayerSpec::one(T),
+                    LayerSpec::ring(Swap),
+                    LayerSpec::one(RZ),
+                    LayerSpec::one(H),
+                    LayerSpec::ring(SqrtSwap),
+                    LayerSpec::one(U1),
+                    LayerSpec::ring(CU3),
+                ],
+                vec![],
+                4,
+                true,
+            ),
+            SpaceKind::IbmqBasis => (
+                vec![
+                    LayerSpec::one(RZ),
+                    LayerSpec::one(X),
+                    LayerSpec::one(RZ),
+                    LayerSpec::one(SX),
+                    LayerSpec::one(RZ),
+                    LayerSpec::ring(CX),
+                ],
+                vec![],
+                20,
+                false,
+            ),
+        };
+        DesignSpace {
+            kind,
+            layers,
+            prefix,
+            default_blocks,
+            elastic_width,
+        }
+    }
+
+    /// Which named space this is.
+    pub fn kind(&self) -> SpaceKind {
+        self.kind
+    }
+
+    /// The per-block layer structure.
+    pub fn layers_per_block(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Fixed layers prepended once before the blocks (e.g. RXYZ's √H).
+    pub fn prefix_layers(&self) -> &[LayerSpec] {
+        &self.prefix
+    }
+
+    /// The paper's SuperCircuit block count for this space.
+    pub fn default_blocks(&self) -> usize {
+        self.default_blocks
+    }
+
+    /// Whether SubCircuits may shrink layer widths (all spaces except
+    /// 'IBMQ Basis', which is depth-elastic only).
+    pub fn elastic_width(&self) -> bool {
+        self.elastic_width
+    }
+
+    /// Trainable parameters in one full-width block over `n_qubits`.
+    pub fn params_per_block(&self, n_qubits: usize) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.params_per_gate() * n_qubits)
+            .sum::<usize>()
+    }
+
+    /// log10 of the design-space size for `n_qubits` and `blocks` — the
+    /// paper quotes ~4 billion SubCircuits for U3+CU3 (4 qubits, 8
+    /// blocks).
+    pub fn log10_size(&self, n_qubits: usize, blocks: usize) -> f64 {
+        if !self.elastic_width {
+            return (blocks as f64).log10();
+        }
+        let layers = self.layers.len() * blocks;
+        layers as f64 * (n_qubits as f64).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_spaces_construct() {
+        for &kind in SpaceKind::all() {
+            let s = DesignSpace::new(kind);
+            assert!(!s.layers_per_block().is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn u3cu3_space_size_matches_paper() {
+        // 4^(2*8) ≈ 4.3e9 SubCircuits for 4 qubits, 8 blocks.
+        let s = DesignSpace::new(SpaceKind::U3Cu3);
+        let log = s.log10_size(4, 8);
+        assert!((log - 9.63).abs() < 0.05, "log10 size {log}");
+    }
+
+    #[test]
+    fn rxyz_u1_cu3_space_size_matches_paper() {
+        // 4^(11*4) ≈ 3e26.
+        let s = DesignSpace::new(SpaceKind::RxyzU1Cu3);
+        let log = s.log10_size(4, 4);
+        assert!((log - 26.5).abs() < 0.2, "log10 size {log}");
+    }
+
+    #[test]
+    fn rxyz_has_sqrt_h_prefix() {
+        let s = DesignSpace::new(SpaceKind::Rxyz);
+        assert_eq!(s.prefix_layers().len(), 1);
+        assert_eq!(s.prefix_layers()[0].gate, GateKind::SH);
+    }
+
+    #[test]
+    fn ibmq_basis_is_depth_elastic_only() {
+        let s = DesignSpace::new(SpaceKind::IbmqBasis);
+        assert!(!s.elastic_width());
+        assert_eq!(s.default_blocks(), 20);
+        assert_eq!(s.layers_per_block().len(), 6);
+    }
+
+    #[test]
+    fn params_per_block_counts() {
+        // U3 (3 params) + CU3 (3 params), each n gates per layer.
+        let s = DesignSpace::new(SpaceKind::U3Cu3);
+        assert_eq!(s.params_per_block(4), 24);
+        // ZZ (1) + RY (1).
+        let s = DesignSpace::new(SpaceKind::ZzRy);
+        assert_eq!(s.params_per_block(4), 8);
+    }
+}

@@ -1,0 +1,175 @@
+//! Labelled datasets and split handling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled dataset: flat feature vectors plus class labels in
+/// `0..num_classes`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// One flat feature vector per sample (raw pixels or formant features).
+    pub features: Vec<Vec<f64>>,
+    /// Class label per sample, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Number of distinct classes.
+    pub num_classes: usize,
+}
+
+/// Train/validation/test split of a [`Dataset`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Splits {
+    /// Training split.
+    pub train: Dataset,
+    /// Validation split (the evolutionary search's fitness data).
+    pub valid: Dataset,
+    /// Test split (reported accuracy).
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or a label is out of range.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.len(), labels.len(), "one label per sample");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Feature dimension (0 if empty).
+    pub fn dim(&self) -> usize {
+        self.features.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Deterministically shuffles and splits by the given fractions.
+    /// The paper uses train:valid = 95:5 for MNIST/Fashion and
+    /// train:valid:test = 6:1:3 for vowel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are not positive or sum above 1.
+    pub fn split(&self, train_frac: f64, valid_frac: f64, seed: u64) -> Splits {
+        assert!(train_frac > 0.0 && valid_frac > 0.0, "fractions must be positive");
+        assert!(train_frac + valid_frac <= 1.0 + 1e-12, "fractions exceed 1");
+        let mut idx: Vec<usize> = (0..self.num_samples()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = (self.num_samples() as f64 * train_frac).round() as usize;
+        let n_valid = (self.num_samples() as f64 * valid_frac).round() as usize;
+        let take = |ids: &[usize]| -> Dataset {
+            Dataset {
+                features: ids.iter().map(|&i| self.features[i].clone()).collect(),
+                labels: ids.iter().map(|&i| self.labels[i]).collect(),
+                num_classes: self.num_classes,
+            }
+        };
+        Splits {
+            train: take(&idx[..n_train]),
+            valid: take(&idx[n_train..(n_train + n_valid).min(idx.len())]),
+            test: take(&idx[(n_train + n_valid).min(idx.len())..]),
+        }
+    }
+
+    /// A deterministic subsample of `n` items (the paper's 300-image test
+    /// subset for measured accuracy).
+    pub fn subsample(&self, n: usize, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.num_samples()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(n.min(self.num_samples()));
+        Dataset {
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Applies a per-sample transform to the features.
+    pub fn map_features(&self, f: impl Fn(&[f64]) -> Vec<f64>) -> Dataset {
+        Dataset {
+            features: self.features.iter().map(|x| f(x)).collect(),
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 2).collect(),
+            2,
+        )
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let ds = toy(100);
+        let s = ds.split(0.6, 0.1, 1);
+        assert_eq!(s.train.num_samples(), 60);
+        assert_eq!(s.valid.num_samples(), 10);
+        assert_eq!(s.test.num_samples(), 30);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let ds = toy(50);
+        let a = ds.split(0.5, 0.2, 9);
+        let b = ds.split(0.5, 0.2, 9);
+        assert_eq!(a.train.features, b.train.features);
+        let mut all: Vec<f64> = a
+            .train
+            .features
+            .iter()
+            .chain(a.valid.features.iter())
+            .chain(a.test.features.iter())
+            .map(|v| v[0])
+            .collect();
+        all.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let expected: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn subsample_is_bounded_and_seeded() {
+        let ds = toy(40);
+        let a = ds.subsample(10, 3);
+        let b = ds.subsample(10, 3);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.num_samples(), 10);
+        assert_eq!(ds.subsample(1000, 3).num_samples(), 40);
+    }
+
+    #[test]
+    fn map_features_preserves_labels() {
+        let ds = toy(4);
+        let doubled = ds.map_features(|x| vec![2.0 * x[0]]);
+        assert_eq!(doubled.labels, ds.labels);
+        assert_eq!(doubled.features[1][0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let _ = Dataset::new(vec![vec![0.0]], vec![5], 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Rotation-gate data encoders from Section IV-A of the paper.
+
+use qns_circuit::{Circuit, GateKind, Param};
+
+/// Appends one encoding layer of `kind` gates over the first `count`
+/// qubits, consuming consecutive input indices starting at `next_input`.
+fn encode_layer(
+    c: &mut Circuit,
+    kind: GateKind,
+    count: usize,
+    next_input: &mut usize,
+) {
+    for q in 0..count {
+        c.push(kind, &[q], &[Param::Input(*next_input)]);
+        *next_input += 1;
+    }
+}
+
+/// Encoder for 4×4 down-sampled images on 4 qubits: four layers of
+/// 4×RX, 4×RY, 4×RZ, 4×RX consuming the 16 pixels as rotation angles.
+///
+/// # Examples
+///
+/// ```
+/// let enc = qns_data::encoder_4x4();
+/// assert_eq!(enc.num_qubits(), 4);
+/// assert_eq!(enc.num_inputs(), 16);
+/// assert_eq!(enc.num_ops(), 16);
+/// ```
+pub fn encoder_4x4() -> Circuit {
+    let mut c = Circuit::new(4);
+    let mut i = 0;
+    encode_layer(&mut c, GateKind::RX, 4, &mut i);
+    encode_layer(&mut c, GateKind::RY, 4, &mut i);
+    encode_layer(&mut c, GateKind::RZ, 4, &mut i);
+    encode_layer(&mut c, GateKind::RX, 4, &mut i);
+    c
+}
+
+/// Encoder for 6×6 down-sampled images on 10 qubits (MNIST-10): layers of
+/// 10×RX, 10×RY, 10×RZ, 6×RX consuming the 36 pixels.
+pub fn encoder_6x6() -> Circuit {
+    let mut c = Circuit::new(10);
+    let mut i = 0;
+    encode_layer(&mut c, GateKind::RX, 10, &mut i);
+    encode_layer(&mut c, GateKind::RY, 10, &mut i);
+    encode_layer(&mut c, GateKind::RZ, 10, &mut i);
+    encode_layer(&mut c, GateKind::RX, 6, &mut i);
+    c
+}
+
+/// Encoder for the 10 PCA'd vowel features on 4 qubits: layers of 4×RX,
+/// 4×RY, 2×RZ.
+pub fn encoder_vowel() -> Circuit {
+    let mut c = Circuit::new(4);
+    let mut i = 0;
+    encode_layer(&mut c, GateKind::RX, 4, &mut i);
+    encode_layer(&mut c, GateKind::RY, 4, &mut i);
+    encode_layer(&mut c, GateKind::RZ, 2, &mut i);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_sim::{run, ExecMode};
+
+    #[test]
+    fn encoder_6x6_consumes_36_inputs() {
+        let enc = encoder_6x6();
+        assert_eq!(enc.num_qubits(), 10);
+        assert_eq!(enc.num_inputs(), 36);
+        assert_eq!(enc.num_ops(), 36);
+    }
+
+    #[test]
+    fn encoder_vowel_consumes_10_inputs() {
+        let enc = encoder_vowel();
+        assert_eq!(enc.num_qubits(), 4);
+        assert_eq!(enc.num_inputs(), 10);
+    }
+
+    #[test]
+    fn encoders_have_no_trainable_params() {
+        for enc in [encoder_4x4(), encoder_6x6(), encoder_vowel()] {
+            assert_eq!(enc.num_train_params(), 0);
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_states() {
+        let enc = encoder_4x4();
+        let a = run(&enc, &[], &[0.3; 16], ExecMode::Dynamic);
+        let b = run(&enc, &[], &[1.2; 16], ExecMode::Dynamic);
+        assert!(a.inner(&b).abs() < 0.999);
+    }
+
+    #[test]
+    fn zero_input_is_zero_state_up_to_phase() {
+        let enc = encoder_4x4();
+        let s = run(&enc, &[], &[0.0; 16], ExecMode::Dynamic);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Image preprocessing: the paper's center-crop + average-pool pipeline.
+
+/// Center-crops a square image given as a flat row-major vector.
+///
+/// The paper crops 28×28 inputs to 24×24.
+///
+/// # Panics
+///
+/// Panics if `image.len() != from * from` or `to > from`.
+///
+/// # Examples
+///
+/// ```
+/// let img = vec![1.0; 28 * 28];
+/// let cropped = qns_data::center_crop(&img, 28, 24);
+/// assert_eq!(cropped.len(), 24 * 24);
+/// ```
+pub fn center_crop(image: &[f64], from: usize, to: usize) -> Vec<f64> {
+    assert_eq!(image.len(), from * from, "image must be {from}x{from}");
+    assert!(to <= from, "crop target larger than source");
+    let off = (from - to) / 2;
+    let mut out = Vec::with_capacity(to * to);
+    for y in 0..to {
+        for x in 0..to {
+            out.push(image[(y + off) * from + (x + off)]);
+        }
+    }
+    out
+}
+
+/// Average-pools a square image down to `to`×`to` (the paper pools 24×24 to
+/// 4×4 for 2/4-class tasks and to 6×6 for MNIST-10).
+///
+/// # Panics
+///
+/// Panics if `from` is not divisible by `to` or sizes mismatch.
+pub fn avg_pool(image: &[f64], from: usize, to: usize) -> Vec<f64> {
+    assert_eq!(image.len(), from * from, "image must be {from}x{from}");
+    assert!(to > 0 && from.is_multiple_of(to), "{from} not divisible by {to}");
+    let k = from / to;
+    let mut out = Vec::with_capacity(to * to);
+    for by in 0..to {
+        for bx in 0..to {
+            let mut sum = 0.0;
+            for dy in 0..k {
+                for dx in 0..k {
+                    sum += image[(by * k + dy) * from + (bx * k + dx)];
+                }
+            }
+            out.push(sum / (k * k) as f64);
+        }
+    }
+    out
+}
+
+/// Rescales pooled pixel values (≈[0, 1]) to rotation angles in `[0, π]`.
+pub fn normalize_to_angles(values: &[f64]) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| v.clamp(0.0, 1.0) * std::f64::consts::PI)
+        .collect()
+}
+
+/// The full image pipeline: 28×28 → center-crop 24×24 → average-pool to
+/// `side`×`side` → angles in `[0, π]`, flattened for the encoder circuit.
+///
+/// # Panics
+///
+/// Panics if the image is not 28×28 or `side` does not divide 24.
+pub fn image_to_input(image: &[f64], side: usize) -> Vec<f64> {
+    let cropped = center_crop(image, 28, 24);
+    let pooled = avg_pool(&cropped, 24, side);
+    normalize_to_angles(&pooled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crop_keeps_center() {
+        // Mark the exact center pixel of a 4x4 and crop to 2x2.
+        let mut img = vec![0.0; 16];
+        img[4 + 1] = 1.0; // inside the center 2x2 window (rows 1-2, cols 1-2)
+        let c = center_crop(&img, 4, 2);
+        assert_eq!(c, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_averages_blocks() {
+        // 4x4 image of one block of ones and three blocks of zeros.
+        let mut img = vec![0.0; 16];
+        for y in 0..2 {
+            for x in 0..2 {
+                img[y * 4 + x] = 1.0;
+            }
+        }
+        let p = avg_pool(&img, 4, 2);
+        assert_eq!(p, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_of_constant_is_constant() {
+        let img = vec![0.5; 24 * 24];
+        let p = avg_pool(&img, 24, 4);
+        assert_eq!(p.len(), 16);
+        assert!(p.iter().all(|&v| (v - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn angles_are_bounded() {
+        let a = normalize_to_angles(&[-0.5, 0.0, 0.5, 1.0, 2.0]);
+        assert_eq!(a[0], 0.0);
+        assert!((a[2] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((a[4] - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_pipeline_shapes() {
+        let img = vec![0.3; 28 * 28];
+        assert_eq!(image_to_input(&img, 4).len(), 16);
+        assert_eq!(image_to_input(&img, 6).len(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_pool_size_panics() {
+        let _ = avg_pool(&vec![0.0; 24 * 24], 24, 5);
+    }
+}

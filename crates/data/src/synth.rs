@@ -1,0 +1,369 @@
+//! Seeded synthetic image and feature generators.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const W: usize = 28;
+
+/// A 28×28 canvas with simple rasterization helpers.
+struct Canvas {
+    px: Vec<f64>,
+}
+
+impl Canvas {
+    fn new() -> Self {
+        Canvas {
+            px: vec![0.0; W * W],
+        }
+    }
+
+    fn set(&mut self, x: i32, y: i32, v: f64) {
+        if (0..W as i32).contains(&x) && (0..W as i32).contains(&y) {
+            let i = y as usize * W + x as usize;
+            self.px[i] = self.px[i].max(v);
+        }
+    }
+
+    /// Thick line from `(x0, y0)` to `(x1, y1)`.
+    fn line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, thickness: f64) {
+        let steps = ((x1 - x0).abs().max((y1 - y0).abs()) * 2.0).ceil() as usize + 1;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let cx = x0 + t * (x1 - x0);
+            let cy = y0 + t * (y1 - y0);
+            let r = thickness.ceil() as i32;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let d = ((dx * dx + dy * dy) as f64).sqrt();
+                    if d <= thickness {
+                        self.set(cx.round() as i32 + dx, cy.round() as i32 + dy, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Filled axis-aligned rectangle.
+    fn rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64) {
+        for y in y0.round() as i32..=y1.round() as i32 {
+            for x in x0.round() as i32..=x1.round() as i32 {
+                self.set(x, y, 1.0);
+            }
+        }
+    }
+
+    /// Filled trapezoid symmetric about a vertical axis.
+    fn trapezoid(&mut self, cx: f64, y0: f64, y1: f64, w_top: f64, w_bottom: f64) {
+        for y in y0.round() as i32..=y1.round() as i32 {
+            let t = (y as f64 - y0) / (y1 - y0).max(1.0);
+            let half = 0.5 * (w_top + t * (w_bottom - w_top));
+            for x in (cx - half).round() as i32..=(cx + half).round() as i32 {
+                self.set(x, y, 1.0);
+            }
+        }
+    }
+
+    /// Applies translation, multiplicative intensity, and pixel noise.
+    fn finish(mut self, rng: &mut StdRng) -> Vec<f64> {
+        let dx = rng.gen_range(-3i32..=3);
+        let dy = rng.gen_range(-3i32..=3);
+        let intensity = rng.gen_range(0.55..1.0);
+        let mut out = vec![0.0; W * W];
+        for y in 0..W as i32 {
+            for x in 0..W as i32 {
+                let sx = x - dx;
+                let sy = y - dy;
+                let v = if (0..W as i32).contains(&sx) && (0..W as i32).contains(&sy) {
+                    self.px[sy as usize * W + sx as usize]
+                } else {
+                    0.0
+                };
+                let noise = rng.gen_range(-0.22..0.22);
+                out[y as usize * W + x as usize] = (v * intensity + noise).clamp(0.0, 1.0);
+            }
+        }
+        self.px.clear();
+        out
+    }
+}
+
+/// Seven-segment-style segment endpoints on the 28×28 canvas.
+/// Segments: 0 top, 1 top-left, 2 top-right, 3 middle, 4 bottom-left,
+/// 5 bottom-right, 6 bottom.
+fn segment_coords(seg: usize, j: f64) -> (f64, f64, f64, f64) {
+    let (l, r, t, m, b) = (8.0 + j, 20.0 - j, 5.0, 14.0, 23.0);
+    match seg {
+        0 => (l, t, r, t),
+        1 => (l, t, l, m),
+        2 => (r, t, r, m),
+        3 => (l, m, r, m),
+        4 => (l, m, l, b),
+        5 => (r, m, r, b),
+        6 => (l, b, r, b),
+        _ => unreachable!("7 segments"),
+    }
+}
+
+/// Which segments make up each digit, seven-segment style.
+fn digit_segments(d: usize) -> &'static [usize] {
+    match d {
+        0 => &[0, 1, 2, 4, 5, 6],
+        1 => &[2, 5],
+        2 => &[0, 2, 3, 4, 6],
+        3 => &[0, 2, 3, 5, 6],
+        4 => &[1, 2, 3, 5],
+        5 => &[0, 1, 3, 5, 6],
+        6 => &[0, 1, 3, 4, 5, 6],
+        7 => &[0, 2, 5],
+        8 => &[0, 1, 2, 3, 4, 5, 6],
+        9 => &[0, 1, 2, 3, 5, 6],
+        _ => panic!("digit {d} out of range"),
+    }
+}
+
+/// Generates an MNIST-like synthetic digit dataset.
+///
+/// Each class uses a seven-segment-style stroke skeleton rendered at 28×28
+/// with per-sample stroke jitter, ±2 px translation, intensity variation,
+/// and pixel noise — enough intra-class variance to make classification
+/// non-trivial while keeping classes separable, which is what the NAS
+/// pipeline needs from MNIST. Labels are re-indexed to `0..classes.len()`.
+///
+/// # Panics
+///
+/// Panics if `classes` is empty or contains a digit above 9.
+pub fn synthetic_digits(classes: &[usize], n_per_class: usize, seed: u64) -> Dataset {
+    assert!(!classes.is_empty(), "need at least one class");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::with_capacity(classes.len() * n_per_class);
+    let mut labels = Vec::with_capacity(classes.len() * n_per_class);
+    for (label, &digit) in classes.iter().enumerate() {
+        for _ in 0..n_per_class {
+            let mut canvas = Canvas::new();
+            let jitter = rng.gen_range(-1.8..1.8);
+            let thickness = rng.gen_range(1.0..2.6);
+            for &seg in digit_segments(digit) {
+                let (x0, y0, x1, y1) = segment_coords(seg, jitter);
+                let wob = rng.gen_range(-1.4..1.4);
+                canvas.line(x0 + wob, y0, x1 + wob, y1, thickness);
+            }
+            features.push(canvas.finish(&mut rng));
+            labels.push(label);
+        }
+    }
+    Dataset::new(features, labels, classes.len())
+}
+
+/// Garment silhouettes for the Fashion-MNIST analogue. Class ids follow
+/// Fashion-MNIST: 0 t-shirt/top, 1 trouser, 2 pullover, 3 dress, 6 shirt.
+fn draw_garment(canvas: &mut Canvas, class: usize, rng: &mut StdRng) {
+    let j = rng.gen_range(-2.0..2.0);
+    match class {
+        0 => {
+            // T-shirt: torso + short sleeves.
+            canvas.rect(9.0 + j, 8.0, 19.0 + j, 24.0);
+            canvas.rect(4.0 + j, 8.0, 9.0 + j, 13.0);
+            canvas.rect(19.0 + j, 8.0, 24.0 + j, 13.0);
+        }
+        1 => {
+            // Trouser: waist + two legs.
+            canvas.rect(9.0 + j, 5.0, 19.0 + j, 10.0);
+            canvas.rect(9.0 + j, 10.0, 13.0 + j, 25.0);
+            canvas.rect(15.0 + j, 10.0, 19.0 + j, 25.0);
+        }
+        2 => {
+            // Pullover: torso + long sleeves.
+            canvas.rect(9.0 + j, 7.0, 19.0 + j, 24.0);
+            canvas.rect(3.0 + j, 7.0, 9.0 + j, 22.0);
+            canvas.rect(19.0 + j, 7.0, 25.0 + j, 22.0);
+        }
+        3 => {
+            // Dress: mildly flared trapezoid (kept close to a shirt torso
+            // so 2-class fashion stays non-trivial after pooling).
+            canvas.trapezoid(14.0 + j, 6.0, 24.0, 8.0, 12.0);
+        }
+        6 => {
+            // Shirt: torso + long sleeves + collar notch (kept dark).
+            canvas.rect(9.0 + j, 7.0, 19.0 + j, 24.0);
+            canvas.rect(4.0 + j, 7.0, 9.0 + j, 18.0);
+            canvas.rect(19.0 + j, 7.0, 24.0 + j, 18.0);
+            for y in 5..9 {
+                for x in 12..=16 {
+                    canvas.px[y * W + x] = 0.0;
+                }
+            }
+            canvas.line(12.0 + j, 7.0, 14.0 + j, 11.0, 0.8);
+            canvas.line(16.0 + j, 7.0, 14.0 + j, 11.0, 0.8);
+        }
+        _ => panic!("unsupported fashion class {class}"),
+    }
+}
+
+/// Generates a Fashion-MNIST-like synthetic dataset.
+///
+/// Supported class ids (Fashion-MNIST numbering): 0 t-shirt/top, 1 trouser,
+/// 2 pullover, 3 dress, 6 shirt — the classes the paper uses. Labels are
+/// re-indexed to `0..classes.len()`.
+///
+/// # Panics
+///
+/// Panics if `classes` is empty or contains an unsupported class id.
+pub fn synthetic_fashion(classes: &[usize], n_per_class: usize, seed: u64) -> Dataset {
+    assert!(!classes.is_empty(), "need at least one class");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA510);
+    let mut features = Vec::with_capacity(classes.len() * n_per_class);
+    let mut labels = Vec::with_capacity(classes.len() * n_per_class);
+    for (label, &class) in classes.iter().enumerate() {
+        for _ in 0..n_per_class {
+            let mut canvas = Canvas::new();
+            draw_garment(&mut canvas, class, &mut rng);
+            features.push(canvas.finish(&mut rng));
+            labels.push(label);
+        }
+    }
+    Dataset::new(features, labels, classes.len())
+}
+
+/// Generates a vowel-like dataset: `n_total` samples of 10-dimensional
+/// formant-style features in class-conditional Gaussian clusters (the
+/// paper's vowel-4 task uses 990 samples, 4 classes, PCA to 10 dims).
+///
+/// Cluster centers are seeded per class; overlapping covariance keeps the
+/// task non-trivial. Labels are `0..n_classes`.
+///
+/// # Panics
+///
+/// Panics if `n_classes` is zero.
+pub fn synthetic_vowel(n_classes: usize, n_total: usize, seed: u64) -> Dataset {
+    assert!(n_classes > 0, "need at least one class");
+    let dim = 10;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70E1);
+    // Class centers: well separated but with overlapping spread.
+    let centers: Vec<Vec<f64>> = (0..n_classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.5..1.5)).collect())
+        .collect();
+    let mut features = Vec::with_capacity(n_total);
+    let mut labels = Vec::with_capacity(n_total);
+    for i in 0..n_total {
+        let label = i % n_classes;
+        let x: Vec<f64> = centers[label]
+            .iter()
+            .map(|&c| {
+                // Approximate Gaussian: sum of uniforms.
+                let g: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum();
+                c + 1.3 * g
+            })
+            .collect();
+        features.push(x);
+        labels.push(label);
+    }
+    Dataset::new(features, labels, n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_have_correct_shape_and_range() {
+        let ds = synthetic_digits(&[0, 1, 2, 3], 5, 1);
+        assert_eq!(ds.num_samples(), 20);
+        assert_eq!(ds.dim(), 28 * 28);
+        assert_eq!(ds.num_classes, 4);
+        for x in &ds.features {
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_digits(&[3, 6], 4, 42);
+        let b = synthetic_digits(&[3, 6], 4, 42);
+        assert_eq!(a.features, b.features);
+        let c = synthetic_digits(&[3, 6], 4, 43);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean images of different digits should differ substantially.
+        let ds = synthetic_digits(&[1, 8], 20, 7);
+        let mean_of = |label: usize| -> Vec<f64> {
+            let rows: Vec<&Vec<f64>> = ds
+                .features
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l == label)
+                .map(|(f, _)| f)
+                .collect();
+            (0..ds.dim())
+                .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64)
+                .collect()
+        };
+        let m1 = mean_of(0);
+        let m8 = mean_of(1);
+        let dist: f64 = m1
+            .iter()
+            .zip(&m8)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 3.0, "digit means too close: {dist}");
+    }
+
+    #[test]
+    fn same_class_samples_vary() {
+        let ds = synthetic_digits(&[5], 2, 11);
+        assert_ne!(ds.features[0], ds.features[1]);
+    }
+
+    #[test]
+    fn fashion_supports_paper_classes() {
+        let ds = synthetic_fashion(&[0, 1, 2, 3], 3, 2);
+        assert_eq!(ds.num_samples(), 12);
+        let ds2 = synthetic_fashion(&[3, 6], 3, 2);
+        assert_eq!(ds2.num_classes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported fashion class")]
+    fn unknown_fashion_class_panics() {
+        let _ = synthetic_fashion(&[9], 1, 0);
+    }
+
+    #[test]
+    fn vowel_shape_and_balance() {
+        let ds = synthetic_vowel(4, 990, 5);
+        assert_eq!(ds.num_samples(), 990);
+        assert_eq!(ds.dim(), 10);
+        for class in 0..4 {
+            let count = ds.labels.iter().filter(|&&l| l == class).count();
+            assert!((246..=249).contains(&count), "class {class}: {count}");
+        }
+    }
+
+    #[test]
+    fn vowel_clusters_are_separated() {
+        let ds = synthetic_vowel(2, 200, 9);
+        let mean_of = |label: usize| -> Vec<f64> {
+            let rows: Vec<&Vec<f64>> = ds
+                .features
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l == label)
+                .map(|(f, _)| f)
+                .collect();
+            (0..10)
+                .map(|j| rows.iter().map(|r| r[j]).sum::<f64>() / rows.len() as f64)
+                .collect()
+        };
+        let d: f64 = mean_of(0)
+            .iter()
+            .zip(mean_of(1))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d > 0.5, "cluster centers too close: {d}");
+    }
+}

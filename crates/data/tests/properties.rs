@@ -1,0 +1,86 @@
+//! Property-based tests for the dataset generators and preprocessing.
+
+use proptest::prelude::*;
+use qns_data::{avg_pool, center_crop, image_to_input, synthetic_digits, synthetic_vowel, Dataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Average pooling preserves the global mean exactly.
+    #[test]
+    fn pooling_preserves_mean(pixels in prop::collection::vec(0.0..1.0f64, 24 * 24)) {
+        let pooled = avg_pool(&pixels, 24, 4);
+        let mean_in: f64 = pixels.iter().sum::<f64>() / pixels.len() as f64;
+        let mean_out: f64 = pooled.iter().sum::<f64>() / pooled.len() as f64;
+        prop_assert!((mean_in - mean_out).abs() < 1e-10);
+    }
+
+    /// Cropping then padding bounds: crop output values are a subset of
+    /// the input values (no interpolation).
+    #[test]
+    fn crop_takes_existing_pixels(pixels in prop::collection::vec(0.0..1.0f64, 28 * 28)) {
+        let cropped = center_crop(&pixels, 28, 24);
+        prop_assert_eq!(cropped.len(), 24 * 24);
+        for v in &cropped {
+            prop_assert!(pixels.iter().any(|p| (p - v).abs() < 1e-15));
+        }
+    }
+
+    /// The full image pipeline yields angles in [0, π].
+    #[test]
+    fn pipeline_outputs_valid_angles(pixels in prop::collection::vec(0.0..1.0f64, 28 * 28)) {
+        for side in [4usize, 6] {
+            let x = image_to_input(&pixels, side);
+            prop_assert_eq!(x.len(), side * side);
+            for v in x {
+                prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    /// Dataset splits are always disjoint and exhaustive.
+    #[test]
+    fn splits_partition_the_data(n in 10usize..80, seed in 0u64..50) {
+        let ds = Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i % 2).collect(),
+            2,
+        );
+        let s = ds.split(0.6, 0.2, seed);
+        let total = s.train.num_samples() + s.valid.num_samples() + s.test.num_samples();
+        prop_assert_eq!(total, n);
+        let mut seen: Vec<f64> = s
+            .train
+            .features
+            .iter()
+            .chain(&s.valid.features)
+            .chain(&s.test.features)
+            .map(|v| v[0])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n, "overlap between splits");
+    }
+
+    /// Digit generation is label-balanced for any class subset.
+    #[test]
+    fn digits_are_balanced(k in 2usize..5, n_per in 3usize..10, seed in 0u64..20) {
+        let classes: Vec<usize> = (0..k).collect();
+        let ds = synthetic_digits(&classes, n_per, seed);
+        for label in 0..k {
+            let count = ds.labels.iter().filter(|&&l| l == label).count();
+            prop_assert_eq!(count, n_per);
+        }
+    }
+
+    /// Vowel features are finite and the dataset deterministic per seed.
+    #[test]
+    fn vowel_generation_is_sane(seed in 0u64..20) {
+        let a = synthetic_vowel(4, 100, seed);
+        let b = synthetic_vowel(4, 100, seed);
+        prop_assert_eq!(&a.features, &b.features);
+        for row in &a.features {
+            prop_assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Softmax cross-entropy over expectation-value logits.
+
+/// Numerically stable softmax.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let p = qns_ml::softmax(&[0.0, 0.0, 0.0]);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Negative log-likelihood of the true class under softmax probabilities.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn nll_loss(logits: &[f64], label: usize) -> f64 {
+    assert!(label < logits.len(), "label out of range");
+    let p = softmax(logits);
+    -(p[label].max(1e-300)).ln()
+}
+
+/// Gradient of [`nll_loss`] with respect to the logits:
+/// `softmax(z) − one_hot(label)`.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy_grad(logits: &[f64], label: usize) -> Vec<f64> {
+    assert!(label < logits.len(), "label out of range");
+    let mut g = softmax(logits);
+    g[label] -= 1.0;
+    g
+}
+
+/// Fraction of samples whose arg-max logit matches the label.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(all_logits: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(all_logits.len(), labels.len(), "one label per sample");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = all_logits
+        .iter()
+        .zip(labels)
+        .filter(|(logits, &label)| {
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("non-empty logits");
+            pred == label
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let p = softmax(&[1e10, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn nll_of_confident_correct_prediction_is_small() {
+        assert!(nll_loss(&[10.0, -10.0], 0) < 1e-6);
+        assert!(nll_loss(&[10.0, -10.0], 1) > 10.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = [0.3, -1.2, 0.7];
+        let label = 2;
+        let g = cross_entropy_grad(&logits, label);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut plus = logits;
+            plus[i] += h;
+            let mut minus = logits;
+            minus[i] -= h;
+            let fd = (nll_loss(&plus, label) - nll_loss(&minus, label)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let g = cross_entropy_grad(&[0.1, 0.9, -0.5, 0.3], 1);
+        assert!(g.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.4]];
+        let labels = vec![0, 1, 1];
+        assert!((accuracy(&logits, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_is_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

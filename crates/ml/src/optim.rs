@@ -1,0 +1,193 @@
+//! Adam optimizer with decoupled weight decay.
+
+/// Hyperparameters for [`Adam`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdamConfig {
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Numerical-stability epsilon (default 1e-8).
+    pub eps: f64,
+    /// Decoupled weight decay (default 1e-4, the paper's setting).
+    pub weight_decay: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 1e-4,
+        }
+    }
+}
+
+/// The Adam optimizer, stateful over a fixed-size parameter vector.
+///
+/// Weight decay is decoupled (AdamW style): applied directly to the
+/// parameters, not folded into the gradient.
+///
+/// # Examples
+///
+/// ```
+/// use qns_ml::{Adam, AdamConfig};
+///
+/// // Minimize f(x) = x² from x = 3.
+/// let mut opt = Adam::new(1, AdamConfig { weight_decay: 0.0, ..AdamConfig::default() });
+/// let mut x = vec![3.0];
+/// for _ in 0..500 {
+///     let g = vec![2.0 * x[0]];
+///     opt.step(&mut x, &g, 0.05);
+/// }
+/// assert!(x[0].abs() < 1e-2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` parameters.
+    pub fn new(n: usize, config: AdamConfig) -> Self {
+        Adam {
+            config,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grads` length differs from the optimizer size.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * grads[i];
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= lr * (m_hat / (v_hat.sqrt() + self.config.eps)
+                + self.config.weight_decay * params[i]);
+        }
+    }
+
+    /// Applies one update only to the parameters whose indices appear in
+    /// `active` — the SuperCircuit training primitive, where each step
+    /// updates only the sampled SubCircuit's shared parameters.
+    ///
+    /// Moment estimates for inactive parameters are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range indices.
+    pub fn step_masked(&mut self, params: &mut [f64], grads: &[f64], lr: f64, active: &[usize]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        for &i in active {
+            assert!(i < params.len(), "active index {i} out of range");
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * grads[i];
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= lr * (m_hat / (v_hat.sqrt() + self.config.eps)
+                + self.config.weight_decay * params[i]);
+        }
+    }
+
+    /// Resets optimizer state (moments and step count).
+    pub fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_decay() -> AdamConfig {
+        AdamConfig {
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        }
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut opt = Adam::new(2, no_decay());
+        let mut x = vec![3.0, -2.0];
+        for _ in 0..800 {
+            let g = vec![2.0 * x[0], 2.0 * (x[1] + 1.0)];
+            opt.step(&mut x, &g, 0.05);
+        }
+        assert!(x[0].abs() < 1e-2);
+        assert!((x[1] + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let cfg = AdamConfig {
+            weight_decay: 0.1,
+            ..AdamConfig::default()
+        };
+        let mut opt = Adam::new(1, cfg);
+        let mut x = vec![5.0];
+        for _ in 0..100 {
+            opt.step(&mut x, &[0.0], 0.1); // zero gradient: only decay acts
+        }
+        assert!(x[0] < 5.0 && x[0] > 0.0);
+    }
+
+    #[test]
+    fn masked_step_only_touches_active() {
+        let mut opt = Adam::new(3, no_decay());
+        let mut x = vec![1.0, 1.0, 1.0];
+        opt.step_masked(&mut x, &[1.0, 1.0, 1.0], 0.1, &[0, 2]);
+        assert!(x[0] < 1.0);
+        assert_eq!(x[1], 1.0);
+        assert!(x[2] < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(1, no_decay());
+        let mut x = vec![1.0];
+        opt.step(&mut x, &[1.0], 0.1);
+        assert_eq!(opt.steps(), 1);
+        opt.reset();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count")]
+    fn size_mismatch_panics() {
+        let mut opt = Adam::new(2, no_decay());
+        let mut x = vec![1.0];
+        opt.step(&mut x, &[1.0], 0.1);
+    }
+}

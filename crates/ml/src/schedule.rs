@@ -1,0 +1,98 @@
+//! Learning-rate schedules.
+
+/// Cosine learning-rate decay with optional linear warmup — the paper's
+/// schedule (warmup for SuperCircuit training, plain cosine for SubCircuit
+/// training).
+///
+/// # Examples
+///
+/// ```
+/// use qns_ml::CosineSchedule;
+/// let s = CosineSchedule::new(5e-3, 100, 10);
+/// assert!(s.lr(0) < 1e-9);           // warmup starts at ~0
+/// assert!((s.lr(10) - 5e-3).abs() < 1e-12); // peak after warmup
+/// assert!(s.lr(99) < 5e-4);          // decayed near the end
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CosineSchedule {
+    peak_lr: f64,
+    total_steps: usize,
+    warmup_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule peaking at `peak_lr` after `warmup_steps` of
+    /// linear warmup, then decaying over the remaining steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps == 0` or `warmup_steps >= total_steps`.
+    pub fn new(peak_lr: f64, total_steps: usize, warmup_steps: usize) -> Self {
+        assert!(total_steps > 0, "schedule needs at least one step");
+        assert!(
+            warmup_steps < total_steps,
+            "warmup must end before the schedule does"
+        );
+        CosineSchedule {
+            peak_lr,
+            total_steps,
+            warmup_steps,
+        }
+    }
+
+    /// Learning rate at `step` (clamped to the schedule length).
+    pub fn lr(&self, step: usize) -> f64 {
+        let step = step.min(self.total_steps - 1);
+        if step < self.warmup_steps {
+            return self.peak_lr * step as f64 / self.warmup_steps as f64;
+        }
+        let progress =
+            (step - self.warmup_steps) as f64 / (self.total_steps - self.warmup_steps) as f64;
+        0.5 * self.peak_lr * (1.0 + (std::f64::consts::PI * progress).cos())
+    }
+
+    /// Total step count.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = CosineSchedule::new(1.0, 100, 10);
+        assert!((s.lr(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_warmup_starts_at_peak() {
+        let s = CosineSchedule::new(1.0, 50, 0);
+        assert!((s.lr(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = CosineSchedule::new(1.0, 200, 20);
+        let mut prev = f64::INFINITY;
+        for step in 20..200 {
+            let lr = s.lr(step);
+            assert!(lr <= prev + 1e-15, "not monotone at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn clamps_past_end() {
+        let s = CosineSchedule::new(1.0, 10, 0);
+        assert_eq!(s.lr(10_000), s.lr(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_longer_than_total_panics() {
+        let _ = CosineSchedule::new(1.0, 10, 10);
+    }
+}

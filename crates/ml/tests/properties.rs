@@ -1,0 +1,105 @@
+//! Property-based tests for the classical ML utilities.
+
+use proptest::prelude::*;
+use qns_ml::{
+    accuracy, cross_entropy_grad, nll_loss, pearson, softmax, spearman, Adam, AdamConfig,
+    CosineSchedule, Pca,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Softmax outputs a probability distribution for any logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50.0..50.0f64, 1..8)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// NLL loss is non-negative and its gradient sums to zero.
+    #[test]
+    fn loss_and_gradient_laws(
+        logits in prop::collection::vec(-10.0..10.0f64, 2..6),
+        label_pick in 0usize..100,
+    ) {
+        let label = label_pick % logits.len();
+        prop_assert!(nll_loss(&logits, label) >= -1e-12);
+        let g = cross_entropy_grad(&logits, label);
+        prop_assert!(g.iter().sum::<f64>().abs() < 1e-9);
+        // Gradient entry for the label is negative (pull up), others
+        // non-negative (push down).
+        for (i, gi) in g.iter().enumerate() {
+            if i == label {
+                prop_assert!(*gi <= 0.0);
+            } else {
+                prop_assert!(*gi >= 0.0);
+            }
+        }
+    }
+
+    /// Correlations are bounded by 1 in absolute value; Spearman is
+    /// invariant under monotone transforms.
+    #[test]
+    fn correlations_are_bounded(
+        xs in prop::collection::vec(-10.0..10.0f64, 3..12),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 - 1.0).collect();
+        prop_assert!(pearson(&xs, &ys) > 0.999);
+        let cubed: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        let rho = spearman(&xs, &cubed);
+        prop_assert!(rho > 0.999 || xs.windows(2).all(|w| w[0] == w[1]));
+        prop_assert!(pearson(&xs, &cubed).abs() <= 1.0 + 1e-9);
+    }
+
+    /// Adam converges on any positive-definite 1-D quadratic.
+    #[test]
+    fn adam_minimizes_quadratics(
+        center in -3.0..3.0f64,
+        curvature in 0.2..5.0f64,
+        start in -5.0..5.0f64,
+    ) {
+        let mut opt = Adam::new(1, AdamConfig { weight_decay: 0.0, ..AdamConfig::default() });
+        let mut x = vec![start];
+        for _ in 0..600 {
+            let g = vec![2.0 * curvature * (x[0] - center)];
+            opt.step(&mut x, &g, 0.05);
+        }
+        prop_assert!((x[0] - center).abs() < 0.05, "ended at {}", x[0]);
+    }
+
+    /// Cosine schedule stays in [0, peak] everywhere.
+    #[test]
+    fn schedule_is_bounded(peak in 1e-5..1.0f64, total in 2usize..500, warm_frac in 0.0..0.9f64) {
+        let warmup = ((total as f64) * warm_frac) as usize;
+        let s = CosineSchedule::new(peak, total, warmup.min(total - 1));
+        for step in 0..total + 10 {
+            let lr = s.lr(step);
+            prop_assert!(lr >= -1e-15 && lr <= peak + 1e-12);
+        }
+    }
+
+    /// Accuracy is the empirical argmax-match frequency, in [0, 1].
+    #[test]
+    fn accuracy_bounds(
+        rows in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 3), 1..10),
+        labels_seed in 0usize..3,
+    ) {
+        let labels: Vec<usize> = (0..rows.len()).map(|i| (i + labels_seed) % 3).collect();
+        let acc = accuracy(&rows, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// PCA projections of the fitted data are centered.
+    #[test]
+    fn pca_centers_projections(
+        data in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 3), 4..20),
+    ) {
+        let pca = Pca::fit(&data, 2);
+        let z = pca.transform_batch(&data);
+        for k in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[k]).sum::<f64>() / z.len() as f64;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+    }
+}

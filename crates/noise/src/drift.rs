@@ -1,0 +1,94 @@
+//! Slowly drifting calibrations, for the search-on-real-hardware experiment.
+
+use crate::Device;
+
+/// A device whose error rates drift smoothly over time.
+///
+/// The paper observes (Table VI) that searching with real-hardware feedback
+/// over ~3 days performs slightly worse than searching against a frozen
+/// noise model, because calibration drifts during the long search. This
+/// wrapper reproduces that effect: error rates are scaled by a smooth,
+/// deterministic quasi-periodic factor of the query time.
+///
+/// # Examples
+///
+/// ```
+/// use qns_noise::{Device, DriftingDevice};
+/// let drift = DriftingDevice::new(Device::belem(), 0.3);
+/// let d0 = drift.at(0.0);
+/// let d1 = drift.at(0.5);
+/// assert_ne!(d0.err_1q(0), d1.err_1q(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DriftingDevice {
+    base: Device,
+    amplitude: f64,
+}
+
+impl DriftingDevice {
+    /// Wraps `base` with drift of the given relative `amplitude` (0.3 ≈
+    /// ±30% excursions, typical of day-scale IBMQ calibration changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative.
+    pub fn new(base: Device, amplitude: f64) -> Self {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        DriftingDevice { base, amplitude }
+    }
+
+    /// The undrifted device.
+    pub fn base(&self) -> &Device {
+        &self.base
+    }
+
+    /// Snapshot of the device at time `t` (arbitrary units; one unit is
+    /// roughly one calibration period).
+    pub fn at(&self, t: f64) -> Device {
+        let phase = 2.0 * std::f64::consts::PI * t;
+        let wobble = (phase).sin() + 0.5 * (phase * 2.7 + 1.3).sin();
+        let factor = (self.amplitude * wobble).exp();
+        self.base.scaled_errors(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_amplitude_is_static() {
+        let drift = DriftingDevice::new(Device::quito(), 0.0);
+        let a = drift.at(0.0);
+        let b = drift.at(0.7);
+        assert_eq!(a.err_1q(0), b.err_1q(0));
+        assert_eq!(a.err_2q(0, 1), b.err_2q(0, 1));
+    }
+
+    #[test]
+    fn drift_is_deterministic() {
+        let d1 = DriftingDevice::new(Device::quito(), 0.3);
+        let d2 = DriftingDevice::new(Device::quito(), 0.3);
+        assert_eq!(d1.at(0.42).err_1q(1), d2.at(0.42).err_1q(1));
+    }
+
+    #[test]
+    fn drift_stays_bounded() {
+        let drift = DriftingDevice::new(Device::quito(), 0.3);
+        let base = drift.base().err_1q(0);
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            let e = drift.at(t).err_1q(0);
+            assert!(e > base * 0.5 * 0.5 && e < base * 2.0 * 2.0, "t={t} e={e}");
+        }
+    }
+
+    #[test]
+    fn drift_moves_errors_both_directions() {
+        let drift = DriftingDevice::new(Device::quito(), 0.3);
+        let base = drift.base().err_1q(0);
+        let samples: Vec<f64> = (0..20).map(|i| drift.at(i as f64 * 0.05).err_1q(0)).collect();
+        assert!(samples.iter().any(|&e| e > base));
+        assert!(samples.iter().any(|&e| e < base));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quantum noise: error channels, synthetic device models, Monte-Carlo
+//! trajectory execution, and the success-rate estimator.
+//!
+//! The QuantumNAS paper evaluates circuits against IBMQ calibration noise
+//! models containing depolarizing, thermal-relaxation, and readout (SPAM)
+//! errors. This crate rebuilds that stack from scratch:
+//!
+//! - [`KrausChannel`] — one- and two-qubit error channels with stochastic
+//!   (trajectory) unraveling,
+//! - [`Device`] — ten synthetic quantum computers mirroring the paper's
+//!   machines (same qubit counts, coupling topologies and calibration-data
+//!   magnitudes; see `DESIGN.md` for the substitution argument),
+//! - [`TrajectoryExecutor`] — noisy circuit execution by averaging Kraus
+//!   trajectories, with readout-error-adjusted expectations and shot
+//!   sampling,
+//! - [`circuit_success_rate`] / [`augmented_loss`] — the paper's fast second
+//!   estimator: noise-free loss divided by the product of per-gate success
+//!   rates,
+//! - [`DriftingDevice`] — a slow random walk over calibration data, used to
+//!   reproduce the noise-drift effect in Table VI.
+//!
+//! # Examples
+//!
+//! ```
+//! use qns_noise::Device;
+//! let dev = Device::yorktown();
+//! assert_eq!(dev.num_qubits(), 5);
+//! assert!(dev.err_2q(0, 2) > 0.0);
+//! ```
+
+mod channel;
+mod density;
+mod device;
+mod drift;
+mod mitigation;
+mod success;
+mod trajectory;
+
+pub use channel::KrausChannel;
+pub use density::{density_expect_masks, density_expect_z, DensityMatrix};
+pub use device::{Device, QubitCalib, Topology};
+pub use drift::DriftingDevice;
+pub use mitigation::ReadoutMitigator;
+pub use success::{augmented_loss, circuit_success_rate};
+pub use trajectory::{NoisyResult, TrajectoryConfig, TrajectoryExecutor};

@@ -1,0 +1,144 @@
+//! The paper's fast estimator: gate-product success rate.
+
+use crate::Device;
+use qns_circuit::Circuit;
+
+/// Overall circuit success rate: `Π_i (1 − err(gate_i))`, the product of
+/// per-gate success probabilities, optionally including readout.
+///
+/// This is the second estimation mode in Section III-C of the paper: cheap
+/// enough for circuits too large to simulate noisily, at some accuracy cost.
+///
+/// `phys_of` maps circuit qubits to physical qubits for calibration lookup.
+///
+/// # Panics
+///
+/// Panics if `phys_of` is shorter than the circuit width or maps outside
+/// the device.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind};
+/// use qns_noise::{circuit_success_rate, Device};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(GateKind::H, &[0], &[]);
+/// c.push(GateKind::CX, &[0, 1], &[]);
+/// let r = circuit_success_rate(&c, &Device::santiago(), &[0, 1], false);
+/// assert!(r > 0.97 && r < 1.0);
+/// ```
+pub fn circuit_success_rate(
+    circuit: &Circuit,
+    device: &Device,
+    phys_of: &[usize],
+    include_readout: bool,
+) -> f64 {
+    assert!(
+        phys_of.len() >= circuit.num_qubits(),
+        "one physical qubit per circuit qubit"
+    );
+    for &p in &phys_of[..circuit.num_qubits()] {
+        assert!(p < device.num_qubits(), "physical qubit out of range");
+    }
+    let mut rate = 1.0;
+    for op in circuit.iter() {
+        match op.num_qubits() {
+            1 => rate *= 1.0 - device.err_1q(phys_of[op.qubits[0]]),
+            2 => rate *= 1.0 - device.err_2q(phys_of[op.qubits[0]], phys_of[op.qubits[1]]),
+            _ => unreachable!("gates are 1q or 2q"),
+        }
+    }
+    if include_readout {
+        for &p in &phys_of[..circuit.num_qubits()] {
+            let c = device.qubit(p);
+            rate *= 1.0 - 0.5 * (c.readout_p01 + c.readout_p10);
+        }
+    }
+    rate
+}
+
+/// The paper's augmented loss: `l_augmented = l_noise_free / r_overall`.
+///
+/// Lower is better for both inputs; dividing by the success rate penalizes
+/// circuits whose gates are error-prone on the target device.
+///
+/// # Panics
+///
+/// Panics if `success_rate` is not in `(0, 1]`.
+pub fn augmented_loss(noise_free_loss: f64, success_rate: f64) -> f64 {
+    assert!(
+        success_rate > 0.0 && success_rate <= 1.0,
+        "success rate must be in (0, 1]"
+    );
+    noise_free_loss / success_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::GateKind;
+
+    fn chain(n_cx: usize) -> Circuit {
+        let mut c = Circuit::new(2);
+        for _ in 0..n_cx {
+            c.push(GateKind::CX, &[0, 1], &[]);
+        }
+        c
+    }
+
+    #[test]
+    fn more_gates_lower_rate() {
+        let dev = Device::belem();
+        let r1 = circuit_success_rate(&chain(1), &dev, &[0, 1], false);
+        let r10 = circuit_success_rate(&chain(10), &dev, &[0, 1], false);
+        assert!(r10 < r1);
+        let expected = r1.powi(10);
+        assert!((r10 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_has_rate_one() {
+        let dev = Device::belem();
+        let c = Circuit::new(2);
+        assert_eq!(circuit_success_rate(&c, &dev, &[0, 1], false), 1.0);
+    }
+
+    #[test]
+    fn readout_lowers_rate() {
+        let dev = Device::yorktown();
+        let c = chain(1);
+        let without = circuit_success_rate(&c, &dev, &[0, 1], false);
+        let with = circuit_success_rate(&c, &dev, &[0, 1], true);
+        assert!(with < without);
+    }
+
+    #[test]
+    fn mapping_to_better_qubits_improves_rate() {
+        let dev = Device::santiago();
+        // Find the best and worst edge on the line.
+        let mut edges: Vec<(usize, usize)> = dev.edges().to_vec();
+        edges.sort_by(|a, b| {
+            dev.err_2q(a.0, a.1)
+                .partial_cmp(&dev.err_2q(b.0, b.1))
+                .expect("finite")
+        });
+        let best = edges[0];
+        let worst = *edges.last().expect("non-empty");
+        let c = chain(5);
+        let r_best = circuit_success_rate(&c, &dev, &[best.0, best.1], false);
+        let r_worst = circuit_success_rate(&c, &dev, &[worst.0, worst.1], false);
+        assert!(r_best >= r_worst);
+    }
+
+    #[test]
+    fn augmented_loss_divides() {
+        assert!((augmented_loss(0.5, 0.8) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "success rate")]
+    fn augmented_loss_rejects_zero_rate() {
+        let _ = augmented_loss(0.5, 0.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Monte-Carlo trajectory execution of circuits under device noise.
+
+use crate::{Device, KrausChannel};
+use qns_circuit::{Circuit, GateMatrix};
+use qns_sim::StateVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the trajectory executor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Number of stochastic trajectories to average. The paper's noisy
+    /// simulations use density matrices; ~30 trajectories give the same
+    /// ranking signal at a fraction of the cost.
+    pub trajectories: usize,
+    /// RNG seed; each trajectory derives its own stream.
+    pub seed: u64,
+    /// Whether readout (SPAM) error is applied to the results.
+    pub readout: bool,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            trajectories: 32,
+            seed: 0,
+            readout: true,
+        }
+    }
+}
+
+/// Result of a noisy expectation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoisyResult {
+    /// Readout-adjusted `<Z_q>` per circuit qubit.
+    pub expect_z: Vec<f64>,
+}
+
+/// Executes circuits under a device noise model by averaging stochastic
+/// Kraus trajectories.
+///
+/// The noise model matches the paper's description of IBMQ calibration
+/// models: **depolarizing** error per gate (two-qubit gates approximated as
+/// independent depolarizing on both operands — the Pauli-twirl
+/// approximation), **thermal relaxation** from per-qubit T1/T2 over each
+/// gate's duration, and **readout error** as a per-qubit confusion matrix.
+///
+/// Circuits are expressed over a dense set of "circuit qubits"; `phys_of`
+/// maps circuit qubit `i` to the physical qubit whose calibration applies.
+/// This is what the transpiler produces, and it keeps the state vector
+/// small even on 65-qubit devices.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind};
+/// use qns_noise::{Device, TrajectoryConfig, TrajectoryExecutor};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(GateKind::H, &[0], &[]);
+/// c.push(GateKind::CX, &[0, 1], &[]);
+/// let dev = Device::yorktown();
+/// let exec = TrajectoryExecutor::new(dev, TrajectoryConfig::default());
+/// let noisy = exec.expect_z(&c, &[], &[], &[2, 3]);
+/// // Noise shrinks |<Z>| toward 0 but cannot exceed 1.
+/// assert!(noisy.expect_z.iter().all(|e| e.abs() <= 1.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrajectoryExecutor {
+    device: Device,
+    config: TrajectoryConfig,
+}
+
+impl TrajectoryExecutor {
+    /// Creates an executor for a device.
+    pub fn new(device: Device, config: TrajectoryConfig) -> Self {
+        assert!(config.trajectories > 0, "need at least one trajectory");
+        TrajectoryExecutor { device, config }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrajectoryConfig {
+        &self.config
+    }
+
+    /// Runs one noisy trajectory of `circuit` and returns the final state.
+    fn run_one(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        rng: &mut StdRng,
+    ) -> StateVec {
+        let mut state = StateVec::zero_state(circuit.num_qubits());
+        for op in circuit.iter() {
+            let params = op.resolve_params(train, input);
+            match op.kind.matrix(&params) {
+                GateMatrix::One(m) => {
+                    let q = op.qubits[0];
+                    state.apply_1q(&m, q);
+                    self.apply_gate_noise(&mut state, q, phys_of, false, rng);
+                }
+                GateMatrix::Two(m) => {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    state.apply_2q(&m, a, b);
+                    let e2 = self.device.err_2q(phys_of[a], phys_of[b]);
+                    for &q in &[a, b] {
+                        let ch = KrausChannel::depolarizing(e2.min(1.0));
+                        ch.apply_trajectory(&mut state, q, rng);
+                        self.apply_gate_noise(&mut state, q, phys_of, true, rng);
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Thermal relaxation (always) plus depolarizing for 1-qubit gates.
+    fn apply_gate_noise(
+        &self,
+        state: &mut StateVec,
+        q: usize,
+        phys_of: &[usize],
+        two_qubit: bool,
+        rng: &mut StdRng,
+    ) {
+        let phys = phys_of[q];
+        let calib = self.device.qubit(phys);
+        if !two_qubit {
+            let ch = KrausChannel::depolarizing(calib.err_1q.min(1.0));
+            ch.apply_trajectory(state, q, rng);
+        }
+        let dur = if two_qubit {
+            self.device.dur_2q_ns()
+        } else {
+            self.device.dur_1q_ns()
+        };
+        let relax = KrausChannel::thermal_relaxation(calib.t1_ns, calib.t2_ns, dur);
+        relax.apply_trajectory(state, q, rng);
+    }
+
+    /// Noisy `<Z_q>` per circuit qubit, averaged over trajectories and
+    /// adjusted for readout error via the affine map
+    /// `E' = (1 − p01 − p10) E + (p10 − p01)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_of.len() != circuit.num_qubits()` or maps outside
+    /// the device.
+    pub fn expect_z(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+    ) -> NoisyResult {
+        self.validate(circuit, phys_of);
+        let n = circuit.num_qubits();
+        let mut acc = vec![0.0; n];
+        for t in 0..self.config.trajectories {
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+            for (a, e) in acc.iter_mut().zip(state.expect_z_all()) {
+                *a += e;
+            }
+        }
+        let mut expect_z: Vec<f64> = acc
+            .into_iter()
+            .map(|a| a / self.config.trajectories as f64)
+            .collect();
+        if self.config.readout {
+            for (q, e) in expect_z.iter_mut().enumerate() {
+                let c = self.device.qubit(phys_of[q]);
+                *e = (1.0 - c.readout_p01 - c.readout_p10) * *e + (c.readout_p10 - c.readout_p01);
+            }
+        }
+        NoisyResult { expect_z }
+    }
+
+    /// Noisy expectation of `⊗_{q ∈ mask} Z_q` for each bit mask over
+    /// circuit qubits, averaged over trajectories.
+    ///
+    /// Readout error is applied multiplicatively per involved qubit
+    /// (`Π_q (1 − p01 − p10)`), the symmetric-confusion approximation;
+    /// additive asymmetry terms are second-order for multi-qubit strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask addresses qubits beyond the circuit width.
+    pub fn expect_z_masks(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        masks: &[u64],
+    ) -> Vec<f64> {
+        self.validate(circuit, phys_of);
+        let n = circuit.num_qubits();
+        for &m in masks {
+            assert!(m >> n == 0, "mask addresses qubits beyond circuit width");
+        }
+        let mut acc = vec![0.0; masks.len()];
+        for t in 0..self.config.trajectories {
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+            for (a, &mask) in acc.iter_mut().zip(masks) {
+                *a += expect_parity(&state, mask);
+            }
+        }
+        let mut out: Vec<f64> = acc
+            .into_iter()
+            .map(|a| a / self.config.trajectories as f64)
+            .collect();
+        if self.config.readout {
+            for (e, &mask) in out.iter_mut().zip(masks) {
+                let mut factor = 1.0;
+                for (q, &phys) in phys_of.iter().enumerate() {
+                    if mask & (1 << q) != 0 {
+                        let c = self.device.qubit(phys);
+                        factor *= 1.0 - c.readout_p01 - c.readout_p10;
+                    }
+                }
+                *e *= factor;
+            }
+        }
+        out
+    }
+
+    /// Samples `shots` noisy measurement outcomes, including readout bit
+    /// flips, split evenly across trajectories. Returns `(index, count)`
+    /// pairs sorted by index.
+    pub fn sample_counts(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        shots: usize,
+    ) -> Vec<(usize, u32)> {
+        self.validate(circuit, phys_of);
+        let per_traj = shots.div_ceil(self.config.trajectories);
+        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let mut remaining = shots;
+        for t in 0..self.config.trajectories {
+            if remaining == 0 {
+                break;
+            }
+            let take = per_traj.min(remaining);
+            remaining -= take;
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+            for (idx, c) in state.sample_counts(take, &mut rng) {
+                for _ in 0..c {
+                    let mut read = idx;
+                    if self.config.readout {
+                        for (q, &phys) in phys_of.iter().enumerate() {
+                            let cal = self.device.qubit(phys);
+                            let bit = read & (1 << q) != 0;
+                            let flip_p = if bit { cal.readout_p10 } else { cal.readout_p01 };
+                            if rng.gen::<f64>() < flip_p {
+                                read ^= 1 << q;
+                            }
+                        }
+                    }
+                    *counts.entry(read).or_insert(0) += 1;
+                }
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    fn validate(&self, circuit: &Circuit, phys_of: &[usize]) {
+        assert_eq!(
+            phys_of.len(),
+            circuit.num_qubits(),
+            "one physical qubit per circuit qubit"
+        );
+        for &p in phys_of {
+            assert!(p < self.device.num_qubits(), "physical qubit out of range");
+        }
+    }
+}
+
+/// `<ψ| ⊗_{q ∈ mask} Z_q |ψ>`: parity-weighted probability sum.
+fn expect_parity(state: &StateVec, mask: u64) -> f64 {
+    let mut e = 0.0;
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        let p = a.norm_sqr();
+        if p == 0.0 {
+            continue;
+        }
+        if ((i as u64) & mask).count_ones().is_multiple_of(2) {
+            e += p;
+        } else {
+            e -= p;
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::GateKind;
+    use qns_sim::{run, ExecMode};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::H, &[0], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c
+    }
+
+    #[test]
+    fn noiseless_limit_matches_ideal() {
+        // Scale errors to ~0 and disable readout: must match the ideal sim.
+        let dev = Device::santiago().scaled_errors(1e-9);
+        let exec = TrajectoryExecutor::new(
+            dev,
+            TrajectoryConfig {
+                trajectories: 4,
+                seed: 3,
+                readout: false,
+            },
+        );
+        let c = bell();
+        let noisy = exec.expect_z(&c, &[], &[], &[0, 1]);
+        let ideal = run(&c, &[], &[], ExecMode::Dynamic);
+        for q in 0..2 {
+            assert!(
+                (noisy.expect_z[q] - ideal.expect_z(q)).abs() < 0.02,
+                "qubit {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_shrinks_z_magnitude() {
+        // |0> has <Z> = 1 ideally; under noise it must be strictly less.
+        let mut c = Circuit::new(1);
+        c.push(GateKind::X, &[0], &[]);
+        c.push(GateKind::X, &[0], &[]);
+        for _ in 0..10 {
+            c.push(GateKind::X, &[0], &[]);
+            c.push(GateKind::X, &[0], &[]);
+        }
+        let exec = TrajectoryExecutor::new(Device::yorktown(), TrajectoryConfig::default());
+        let noisy = exec.expect_z(&c, &[], &[], &[0]);
+        assert!(noisy.expect_z[0] < 0.999);
+        assert!(noisy.expect_z[0] > 0.5, "noise should not destroy the state");
+    }
+
+    #[test]
+    fn noisier_device_gives_lower_fidelity() {
+        let mut c = Circuit::new(2);
+        for _ in 0..6 {
+            c.push(GateKind::CX, &[0, 1], &[]);
+            c.push(GateKind::CX, &[0, 1], &[]);
+        }
+        let cfg = TrajectoryConfig {
+            trajectories: 64,
+            seed: 11,
+            readout: false,
+        };
+        let quiet = TrajectoryExecutor::new(Device::santiago(), cfg)
+            .expect_z(&c, &[], &[], &[0, 1]);
+        let loud = TrajectoryExecutor::new(Device::santiago().scaled_errors(10.0), cfg)
+            .expect_z(&c, &[], &[], &[0, 1]);
+        // Identity circuit: ideal <Z> = 1 on both qubits.
+        assert!(quiet.expect_z[0] > loud.expect_z[0]);
+    }
+
+    #[test]
+    fn readout_error_biases_expectations() {
+        let c = {
+            let mut c = Circuit::new(1);
+            c.push(GateKind::I, &[0], &[]);
+            c
+        };
+        let dev = Device::yorktown().scaled_errors(1e-9);
+        // Rebuild a device with large readout error by scaling: scaled_errors
+        // scales readout too, so construct a loud-readout device directly.
+        let loud = Device::synthetic("loudread", 5, crate::Topology::Plus, 3e-3, 8, 1);
+        let with = TrajectoryExecutor::new(
+            loud,
+            TrajectoryConfig {
+                trajectories: 4,
+                seed: 0,
+                readout: true,
+            },
+        )
+        .expect_z(&c, &[], &[], &[0]);
+        let without = TrajectoryExecutor::new(
+            dev,
+            TrajectoryConfig {
+                trajectories: 4,
+                seed: 0,
+                readout: false,
+            },
+        )
+        .expect_z(&c, &[], &[], &[0]);
+        assert!(with.expect_z[0] < without.expect_z[0]);
+    }
+
+    #[test]
+    fn masked_parity_on_bell_state() {
+        // Bell state: <Z0 Z1> = 1 ideally, individual <Z> = 0.
+        let c = bell();
+        let dev = Device::santiago().scaled_errors(1e-9);
+        let exec = TrajectoryExecutor::new(
+            dev,
+            TrajectoryConfig {
+                trajectories: 4,
+                seed: 2,
+                readout: false,
+            },
+        );
+        let out = exec.expect_z_masks(&c, &[], &[], &[0, 1], &[0b11, 0b01]);
+        assert!((out[0] - 1.0).abs() < 0.02, "ZZ parity {}", out[0]);
+        assert!(out[1].abs() < 0.1, "single Z {}", out[1]);
+    }
+
+    #[test]
+    fn sampled_counts_total_shots() {
+        let exec = TrajectoryExecutor::new(Device::belem(), TrajectoryConfig::default());
+        let counts = exec.sample_counts(&bell(), &[], &[], &[0, 1], 512);
+        let total: u32 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 512);
+        // Bell state: dominated by |00> and |11>.
+        let dominant: u32 = counts
+            .iter()
+            .filter(|(i, _)| *i == 0 || *i == 3)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(dominant > 400, "dominant {dominant}");
+    }
+
+    #[test]
+    #[should_panic(expected = "physical qubit out of range")]
+    fn invalid_mapping_panics() {
+        let exec = TrajectoryExecutor::new(Device::belem(), TrajectoryConfig::default());
+        let _ = exec.expect_z(&bell(), &[], &[], &[0, 99]);
+    }
+}

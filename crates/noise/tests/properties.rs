@@ -1,0 +1,100 @@
+//! Property-based tests for noise channels and device models.
+
+use proptest::prelude::*;
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_noise::{circuit_success_rate, Device, KrausChannel, TrajectoryConfig, TrajectoryExecutor};
+use qns_sim::StateVec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every parameterized channel is trace preserving across its domain.
+    #[test]
+    fn channels_are_trace_preserving(p in 0.0..1.0f64) {
+        prop_assert!(KrausChannel::depolarizing(p).is_trace_preserving(1e-10));
+        prop_assert!(KrausChannel::bit_flip(p).is_trace_preserving(1e-10));
+        prop_assert!(KrausChannel::phase_flip(p).is_trace_preserving(1e-10));
+    }
+
+    /// Thermal relaxation is trace preserving for any physical T1/T2/t.
+    #[test]
+    fn relaxation_is_physical(
+        t1 in 1_000.0..200_000.0f64,
+        ratio in 0.05..2.0f64,
+        t in 0.0..10_000.0f64,
+    ) {
+        let t2 = t1 * ratio;
+        let ch = KrausChannel::thermal_relaxation(t1, t2, t);
+        prop_assert!(ch.is_trace_preserving(1e-9));
+    }
+
+    /// Trajectories always preserve the state norm.
+    #[test]
+    fn trajectories_preserve_norm(p in 0.0..1.0f64, seed in 0u64..64) {
+        use rand::SeedableRng;
+        let ch = KrausChannel::depolarizing(p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&qns_tensor::Mat2::hadamard(), 0);
+        for _ in 0..10 {
+            ch.apply_trajectory(&mut s, 0, &mut rng);
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Success rate is multiplicative and monotone in circuit length.
+    #[test]
+    fn success_rate_is_monotone(n_gates in 1usize..30) {
+        let dev = Device::belem();
+        let mut c = Circuit::new(2);
+        for _ in 0..n_gates {
+            c.push(GateKind::CX, &[0, 1], &[]);
+        }
+        let r = circuit_success_rate(&c, &dev, &[0, 1], false);
+        let single = {
+            let mut c1 = Circuit::new(2);
+            c1.push(GateKind::CX, &[0, 1], &[]);
+            circuit_success_rate(&c1, &dev, &[0, 1], false)
+        };
+        prop_assert!((r - single.powi(n_gates as i32)).abs() < 1e-9);
+        prop_assert!(r <= single + 1e-12);
+    }
+
+    /// Error scaling is linear on every device quantity it touches.
+    #[test]
+    fn scaled_errors_are_linear(factor in 0.1..5.0f64) {
+        let dev = Device::quito();
+        let scaled = dev.scaled_errors(factor);
+        for q in 0..dev.num_qubits() {
+            let expected = (dev.err_1q(q) * factor).clamp(0.0, 0.5);
+            prop_assert!((scaled.err_1q(q) - expected).abs() < 1e-12);
+        }
+        for &(a, b) in dev.edges() {
+            let expected = (dev.err_2q(a, b) * factor).clamp(0.0, 0.5);
+            prop_assert!((scaled.err_2q(a, b) - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Noisy expectations remain in [-1, 1] for arbitrary circuits.
+    #[test]
+    fn noisy_expectations_are_bounded(angles in prop::collection::vec(-3.0..3.0f64, 4)) {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RY, &[0], &[Param::Fixed(angles[0])]);
+        c.push(GateKind::RX, &[1], &[Param::Fixed(angles[1])]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(angles[2])]);
+        c.push(GateKind::RY, &[1], &[Param::Fixed(angles[3])]);
+        let exec = TrajectoryExecutor::new(
+            Device::yorktown(),
+            TrajectoryConfig {
+                trajectories: 4,
+                seed: 1,
+                readout: true,
+            },
+        );
+        let out = exec.expect_z(&c, &[], &[], &[0, 1]);
+        for e in out.expect_z {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Thread-parallel batch evaluation.
+
+use std::num::NonZeroUsize;
+
+/// Applies `f` to every item of `items`, splitting the work across worker
+/// threads, and returns results in input order.
+///
+/// This is the batching primitive behind QML training: per-sample state
+/// simulations are independent, so they map across cores with plain scoped
+/// threads. Falls back to a sequential loop for tiny batches.
+///
+/// # Examples
+///
+/// ```
+/// let squares = qns_sim::parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 4 {
+        return items.iter().map(&f).collect();
+    }
+
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("all slots are filled by workers"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i + 1);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42], |&x| x * 2), vec![84]);
+    }
+
+    #[test]
+    fn works_with_non_copy_results() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = parallel_map(&items, |s| s.to_string());
+        assert_eq!(out, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Circuit execution: dynamic (gate-at-a-time) and static (fused) modes.
+
+use crate::StateVec;
+use qns_circuit::{Circuit, GateMatrix};
+use qns_tensor::{Mat2, Mat4};
+
+/// How a circuit is executed against the state vector.
+///
+/// Mirrors the paper's QuantumEngine modes: *dynamic* simulates each gate
+/// individually so intermediate states are inspectable; *static* fuses
+/// adjacent gates into larger unitaries before touching the state vector,
+/// trading debuggability for speed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Apply each gate individually.
+    #[default]
+    Dynamic,
+    /// Fuse adjacent gates into 2×2/4×4 blocks first.
+    Static,
+}
+
+/// One fused unitary block ready to apply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FusedOp {
+    /// A 2×2 block on one qubit.
+    One(usize, Mat2),
+    /// A 4×4 block on a qubit pair (first = high bit).
+    Two(usize, usize, Mat4),
+}
+
+/// A fused, parameter-resolved program: the static-mode compilation product.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind};
+/// use qns_sim::FusedProgram;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::H, &[0], &[]);
+/// c.push(GateKind::X, &[0], &[]);
+/// c.push(GateKind::H, &[0], &[]);
+/// let prog = FusedProgram::compile(&c, &[], &[]);
+/// // Three 1q gates on the same qubit fuse into one block (HXH = Z).
+/// assert_eq!(prog.num_blocks(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FusedProgram {
+    n_qubits: usize,
+    blocks: Vec<FusedOp>,
+}
+
+impl FusedProgram {
+    /// Resolves parameters and greedily fuses adjacent gates.
+    ///
+    /// Fusion rules:
+    /// - consecutive one-qubit gates on the same qubit multiply into one 2×2,
+    /// - a pending 2×2 on either operand of a two-qubit gate folds into its
+    ///   4×4,
+    /// - consecutive two-qubit gates on the same qubit pair multiply into one
+    ///   4×4 (handling swapped operand order).
+    pub fn compile(circuit: &Circuit, train: &[f64], input: &[f64]) -> Self {
+        let n = circuit.num_qubits();
+        let mut pending: Vec<Option<Mat2>> = vec![None; n];
+        let mut blocks: Vec<FusedOp> = Vec::new();
+
+        for op in circuit.iter() {
+            let params = op.resolve_params(train, input);
+            match op.kind.matrix(&params) {
+                GateMatrix::One(m) => {
+                    let q = op.qubits[0];
+                    pending[q] = Some(match pending[q] {
+                        Some(prev) => m.mul_mat(&prev),
+                        None => m,
+                    });
+                }
+                GateMatrix::Two(m) => {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    // Fold pending 1q gates into the 4x4: U * (Pa ⊗ Pb).
+                    let pa = pending[a].take().unwrap_or_else(Mat2::identity);
+                    let pb = pending[b].take().unwrap_or_else(Mat2::identity);
+                    let mut m4 = m.mul_mat(&pa.kron(&pb));
+                    // Merge with a previous 2q block on the same pair.
+                    if let Some(FusedOp::Two(pa2, pb2, prev)) = blocks.last() {
+                        if (*pa2, *pb2) == (a, b) {
+                            m4 = m4.mul_mat(prev);
+                            blocks.pop();
+                        } else if (*pa2, *pb2) == (b, a) {
+                            m4 = m4.mul_mat(&prev.swap_qubits());
+                            blocks.pop();
+                        }
+                    }
+                    blocks.push(FusedOp::Two(a, b, m4));
+                }
+            }
+        }
+        for (q, p) in pending.into_iter().enumerate() {
+            if let Some(m) = p {
+                blocks.push(FusedOp::One(q, m));
+            }
+        }
+        FusedProgram {
+            n_qubits: n,
+            blocks,
+        }
+    }
+
+    /// Number of fused blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrow of the block list.
+    pub fn blocks(&self) -> &[FusedOp] {
+        &self.blocks
+    }
+
+    /// Applies the program to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width differs from the compiled width.
+    pub fn apply(&self, state: &mut StateVec) {
+        assert_eq!(state.num_qubits(), self.n_qubits, "width mismatch");
+        for b in &self.blocks {
+            match b {
+                FusedOp::One(q, m) => state.apply_1q(m, *q),
+                FusedOp::Two(a, b, m) => state.apply_2q(m, *a, *b),
+            }
+        }
+    }
+}
+
+/// Runs `circuit` from `|0...0>` with the given trainable parameters and
+/// per-sample input, returning the final state.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind, Param};
+/// use qns_sim::{run, ExecMode};
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::RX, &[0], &[Param::Train(0)]);
+/// let s = run(&c, &[std::f64::consts::PI], &[], ExecMode::Static);
+/// assert!((s.probability(1) - 1.0).abs() < 1e-12);
+/// ```
+pub fn run(circuit: &Circuit, train: &[f64], input: &[f64], mode: ExecMode) -> StateVec {
+    let mut state = StateVec::zero_state(circuit.num_qubits());
+    run_into(circuit, train, input, mode, &mut state);
+    state
+}
+
+/// Runs `circuit` into an existing (pre-reset) state buffer, avoiding
+/// reallocation in hot loops.
+///
+/// The state is reset to `|0...0>` first.
+///
+/// # Panics
+///
+/// Panics if `state` has a different width than `circuit`, or if a
+/// referenced parameter index is out of bounds.
+pub fn run_into(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    mode: ExecMode,
+    state: &mut StateVec,
+) {
+    assert_eq!(state.num_qubits(), circuit.num_qubits(), "width mismatch");
+    state.reset();
+    match mode {
+        ExecMode::Dynamic => {
+            for op in circuit.iter() {
+                let params = op.resolve_params(train, input);
+                match op.kind.matrix(&params) {
+                    GateMatrix::One(m) => state.apply_1q(&m, op.qubits[0]),
+                    GateMatrix::Two(m) => state.apply_2q(&m, op.qubits[0], op.qubits[1]),
+                }
+            }
+        }
+        ExecMode::Static => {
+            FusedProgram::compile(circuit, train, input).apply(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::{GateKind, Param};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random circuit over all gate kinds for equivalence testing.
+    fn random_circuit(n_qubits: usize, n_ops: usize, seed: u64) -> (Circuit, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(n_qubits);
+        let kinds = GateKind::all();
+        let mut train = Vec::new();
+        for _ in 0..n_ops {
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let q0 = rng.gen_range(0..n_qubits);
+            let qs: Vec<usize> = if kind.num_qubits() == 1 {
+                vec![q0]
+            } else {
+                let mut q1 = rng.gen_range(0..n_qubits);
+                while q1 == q0 {
+                    q1 = rng.gen_range(0..n_qubits);
+                }
+                vec![q0, q1]
+            };
+            let ps: Vec<Param> = (0..kind.num_params())
+                .map(|_| {
+                    train.push(rng.gen_range(-3.0..3.0));
+                    Param::Train(train.len() - 1)
+                })
+                .collect();
+            c.push(kind, &qs, &ps);
+        }
+        (c, train)
+    }
+
+    #[test]
+    fn dynamic_and_static_agree_on_random_circuits() {
+        for seed in 0..8 {
+            let (c, train) = random_circuit(4, 30, seed);
+            let a = run(&c, &train, &[], ExecMode::Dynamic);
+            let b = run(&c, &train, &[], ExecMode::Static);
+            let fidelity = a.inner(&b).abs();
+            assert!(
+                (fidelity - 1.0).abs() < 1e-9,
+                "modes disagree on seed {seed}: fidelity {fidelity}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_block_count() {
+        let (c, train) = random_circuit(4, 60, 99);
+        let prog = FusedProgram::compile(&c, &train, &[]);
+        assert!(
+            prog.num_blocks() < c.num_ops(),
+            "expected fusion to shrink {} ops, got {} blocks",
+            c.num_ops(),
+            prog.num_blocks()
+        );
+    }
+
+    #[test]
+    fn hxh_fuses_to_z() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0], &[]);
+        c.push(GateKind::X, &[0], &[]);
+        c.push(GateKind::H, &[0], &[]);
+        let prog = FusedProgram::compile(&c, &[], &[]);
+        assert_eq!(prog.num_blocks(), 1);
+        match &prog.blocks()[0] {
+            FusedOp::One(0, m) => assert!(m.approx_eq(&qns_tensor::Mat2::pauli_z(), 1e-12)),
+            other => panic!("unexpected block {:?}", other),
+        }
+    }
+
+    #[test]
+    fn two_q_merge_handles_swapped_order() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::CX, &[1, 0], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        let prog = FusedProgram::compile(&c, &[], &[]);
+        assert_eq!(prog.num_blocks(), 1, "all three CX on one pair fuse");
+        let a = run(&c, &[], &[], ExecMode::Dynamic);
+        let b = run(&c, &[], &[], ExecMode::Static);
+        assert!((a.inner(&b).abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn input_params_are_resolved() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[Param::Input(0)]);
+        let s = run(&c, &[], &[std::f64::consts::PI], ExecMode::Dynamic);
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_into_reuses_buffer() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::X, &[0], &[]);
+        let mut buf = StateVec::zero_state(2);
+        run_into(&c, &[], &[], ExecMode::Dynamic, &mut buf);
+        assert!((buf.probability(1) - 1.0).abs() < 1e-12);
+        // Second run resets first.
+        run_into(&c, &[], &[], ExecMode::Static, &mut buf);
+        assert!((buf.probability(1) - 1.0).abs() < 1e-12);
+    }
+}

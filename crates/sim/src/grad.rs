@@ -1,0 +1,404 @@
+//! Gradients of expectation values: adjoint differentiation and the
+//! parameter-shift rule.
+
+use crate::{run, ExecMode, StateVec};
+use qns_circuit::{Circuit, GateMatrix};
+use qns_tensor::{C64, Mat2, Mat4};
+
+/// An observable the gradient engines can differentiate through.
+///
+/// The only requirement is being able to apply the (Hermitian) operator to a
+/// state; expectation defaults to `Re <ψ|O|ψ>`.
+pub trait Observable {
+    /// Returns `O|ψ>`.
+    fn apply(&self, state: &StateVec) -> StateVec;
+
+    /// Expectation `<ψ|O|ψ>` (real for Hermitian `O`).
+    fn expect(&self, state: &StateVec) -> f64 {
+        state.inner(&self.apply(state)).re
+    }
+}
+
+/// The diagonal observable `Σ_q w_q Z_q` used for QML readout.
+///
+/// A classification loss `L(E_0, …, E_{n-1})` over per-qubit Pauli-Z
+/// expectations has gradient `dL/dθ = d<O_w>/dθ` with `w_q = ∂L/∂E_q`, so a
+/// single adjoint pass with this observable differentiates the whole loss.
+///
+/// # Examples
+///
+/// ```
+/// use qns_sim::{DiagObservable, StateVec};
+/// use qns_sim::Observable as _;
+/// let obs = DiagObservable::new(vec![1.0, -2.0]);
+/// let s = StateVec::zero_state(2);
+/// // <Z0> = <Z1> = 1 on |00>, so <O> = 1*1 + (-2)*1 = -1.
+/// assert!((obs.expect(&s) + 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagObservable {
+    weights: Vec<f64>,
+}
+
+impl DiagObservable {
+    /// Creates the observable from one weight per qubit.
+    pub fn new(weights: Vec<f64>) -> Self {
+        DiagObservable { weights }
+    }
+
+    /// Borrow of the weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Diagonal entry for basis index `i`.
+    #[inline]
+    fn diag(&self, i: usize) -> f64 {
+        let mut d = 0.0;
+        for (q, w) in self.weights.iter().enumerate() {
+            if i & (1 << q) == 0 {
+                d += w;
+            } else {
+                d -= w;
+            }
+        }
+        d
+    }
+}
+
+impl Observable for DiagObservable {
+    fn apply(&self, state: &StateVec) -> StateVec {
+        assert_eq!(state.num_qubits(), self.weights.len(), "width mismatch");
+        let mut out = state.clone();
+        for (i, a) in out.amplitudes_mut().iter_mut().enumerate() {
+            *a = a.scale(self.diag(i));
+        }
+        out
+    }
+
+    fn expect(&self, state: &StateVec) -> f64 {
+        state.expect_weighted_z(&self.weights)
+    }
+}
+
+/// `<bra| M |ket>` restricted to qubit `q`, computed in one pass without
+/// materializing `M|ket>`.
+fn bracket_1q(bra: &StateVec, ket: &StateVec, m: &Mat2, q: usize) -> C64 {
+    let stride = 1usize << q;
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let [m00, m01, m10, m11] = m.m;
+    let mut acc = C64::ZERO;
+    let len = k.len();
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let k0 = k[i];
+            let k1 = k[i + stride];
+            acc += b[i].conj() * (m00 * k0 + m01 * k1);
+            acc += b[i + stride].conj() * (m10 * k0 + m11 * k1);
+        }
+        base += stride << 1;
+    }
+    acc
+}
+
+/// `<bra| M |ket>` restricted to qubits `(qa, qb)` (qa = high bit).
+fn bracket_2q(bra: &StateVec, ket: &StateVec, m: &Mat4, qa: usize, qb: usize) -> C64 {
+    let ba = 1usize << qa;
+    let bb = 1usize << qb;
+    let mask = ba | bb;
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let mut acc = C64::ZERO;
+    for i in 0..k.len() {
+        if i & mask != 0 {
+            continue;
+        }
+        let idx = [i, i | bb, i | ba, i | mask];
+        let v = [k[idx[0]], k[idx[1]], k[idx[2]], k[idx[3]]];
+        let mv = m.mul_vec(&v);
+        for j in 0..4 {
+            acc += b[idx[j]].conj() * mv[j];
+        }
+    }
+    acc
+}
+
+/// Computes `<O>` and its gradient with respect to every trainable parameter
+/// via reverse-mode adjoint differentiation.
+///
+/// Cost: one forward sweep plus one backward sweep over the circuit (each
+/// gate applied twice more), independent of the number of parameters —
+/// the state-vector analogue of backpropagation.
+///
+/// Returns `(expectation, gradient)` where `gradient.len() ==
+/// circuit.num_train_params()`. Parameters referenced by several gates
+/// accumulate their contributions.
+///
+/// # Panics
+///
+/// Panics if `train`/`input` are shorter than the circuit references.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind, Param};
+/// use qns_sim::{adjoint_gradient, DiagObservable};
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+/// let obs = DiagObservable::new(vec![1.0]);
+/// let (e, g) = adjoint_gradient(&c, &[0.3], &[], &obs);
+/// // <Z> = cos θ, d<Z>/dθ = -sin θ.
+/// assert!((e - 0.3f64.cos()).abs() < 1e-12);
+/// assert!((g[0] + 0.3f64.sin()).abs() < 1e-12);
+/// ```
+pub fn adjoint_gradient(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    obs: &impl Observable,
+) -> (f64, Vec<f64>) {
+    let psi = run(circuit, train, input, ExecMode::Dynamic);
+    let expectation = obs.expect(&psi);
+
+    let mut lam = obs.apply(&psi);
+    let mut cur = psi;
+    let mut grad = vec![0.0; circuit.num_train_params()];
+
+    for op in circuit.iter().rev() {
+        let params = op.resolve_params(train, input);
+        // Un-apply the gate: cur becomes the state before this op.
+        match op.kind.matrix(&params) {
+            GateMatrix::One(m) => cur.apply_1q(&m.adjoint(), op.qubits[0]),
+            GateMatrix::Two(m) => cur.apply_2q(&m.adjoint(), op.qubits[0], op.qubits[1]),
+        }
+        // Gradient contributions for each trainable slot of this op; affine
+        // slots carry a chain-rule scale.
+        for (which, slot) in op.params.iter().enumerate() {
+            if let Some((ti, scale)) = slot.train_component() {
+                let bracket = match op.kind.dmatrix(&params, which) {
+                    GateMatrix::One(d) => bracket_1q(&lam, &cur, &d, op.qubits[0]),
+                    GateMatrix::Two(d) => bracket_2q(&lam, &cur, &d, op.qubits[0], op.qubits[1]),
+                };
+                grad[ti] += 2.0 * scale * bracket.re;
+            }
+        }
+        // Move the bra back as well.
+        match op.kind.matrix(&params) {
+            GateMatrix::One(m) => lam.apply_1q(&m.adjoint(), op.qubits[0]),
+            GateMatrix::Two(m) => lam.apply_2q(&m.adjoint(), op.qubits[0], op.qubits[1]),
+        }
+    }
+    (expectation, grad)
+}
+
+/// Computes the gradient with the parameter-shift rule where it applies
+/// (two circuit evaluations per parameter at θ ± π/2) and falls back to a
+/// central finite difference (step `1e-5`) for gates without a two-term rule
+/// (controlled rotations).
+///
+/// This is the paper's hardware-compatible gradient path: every evaluation
+/// is an ordinary circuit execution, so the same code runs against noisy
+/// backends. Use [`adjoint_gradient`] for fast classical training.
+///
+/// # Panics
+///
+/// Panics if `train` is shorter than the circuit references.
+pub fn parameter_shift_gradient(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    obs: &impl Observable,
+) -> Vec<f64> {
+    let n = circuit.num_train_params();
+    // For each trainable index, check that every op referencing it is
+    // two-term shiftable.
+    let mut shiftable = vec![true; n];
+    for op in circuit.iter() {
+        for slot in &op.params {
+            if let Some((ti, scale)) = slot.train_component() {
+                // A unit |scale| maps a ±π/2 parameter shift to a ±π/2 angle
+                // shift; anything else needs the fallback.
+                if !op.kind.supports_parameter_shift() || (scale.abs() - 1.0).abs() > 1e-12 {
+                    shiftable[ti] = false;
+                }
+            }
+        }
+    }
+    let eval = |params: &[f64]| -> f64 {
+        let s = run(circuit, params, input, ExecMode::Static);
+        obs.expect(&s)
+    };
+    let mut grad = vec![0.0; n];
+    let mut work = train.to_vec();
+    for i in 0..n {
+        let original = work[i];
+        if shiftable[i] {
+            let s = std::f64::consts::FRAC_PI_2;
+            work[i] = original + s;
+            let plus = eval(&work);
+            work[i] = original - s;
+            let minus = eval(&work);
+            grad[i] = (plus - minus) / 2.0;
+        } else {
+            let h = 1e-5;
+            work[i] = original + h;
+            let plus = eval(&work);
+            work[i] = original - h;
+            let minus = eval(&work);
+            grad[i] = (plus - minus) / (2.0 * h);
+        }
+        work[i] = original;
+    }
+    grad
+}
+
+/// Central-finite-difference gradient, for testing the analytic engines.
+pub fn numeric_gradient(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    obs: &impl Observable,
+    h: f64,
+) -> Vec<f64> {
+    let eval = |params: &[f64]| -> f64 {
+        let s = run(circuit, params, input, ExecMode::Dynamic);
+        obs.expect(&s)
+    };
+    let mut grad = vec![0.0; circuit.num_train_params()];
+    let mut work = train.to_vec();
+    for (i, g) in grad.iter_mut().enumerate() {
+        let original = work[i];
+        work[i] = original + h;
+        let plus = eval(&work);
+        work[i] = original - h;
+        let minus = eval(&work);
+        *g = (plus - minus) / (2.0 * h);
+        work[i] = original;
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::{GateKind, Param};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, label: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() < tol,
+                "{label}: grad[{i}] {x} vs {y} (diff {})",
+                (x - y).abs()
+            );
+        }
+    }
+
+    /// A parameterized circuit mixing every trainable gate kind.
+    fn trainable_circuit() -> (Circuit, Vec<f64>) {
+        let mut c = Circuit::new(3);
+        let mut train = Vec::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut push = |c: &mut Circuit, kind: GateKind, qs: &[usize], train: &mut Vec<f64>| {
+            let ps: Vec<Param> = (0..kind.num_params())
+                .map(|_| {
+                    train.push(rng.gen_range(-2.0..2.0));
+                    Param::Train(train.len() - 1)
+                })
+                .collect();
+            c.push(kind, qs, &ps);
+        };
+        push(&mut c, GateKind::RX, &[0], &mut train);
+        push(&mut c, GateKind::RY, &[1], &mut train);
+        push(&mut c, GateKind::RZ, &[2], &mut train);
+        push(&mut c, GateKind::U3, &[0], &mut train);
+        push(&mut c, GateKind::U1, &[1], &mut train);
+        push(&mut c, GateKind::U2, &[2], &mut train);
+        push(&mut c, GateKind::CU3, &[0, 1], &mut train);
+        push(&mut c, GateKind::CRY, &[1, 2], &mut train);
+        push(&mut c, GateKind::CRX, &[2, 0], &mut train);
+        push(&mut c, GateKind::CRZ, &[0, 2], &mut train);
+        push(&mut c, GateKind::CU1, &[1, 0], &mut train);
+        push(&mut c, GateKind::RZZ, &[0, 1], &mut train);
+        push(&mut c, GateKind::RXX, &[1, 2], &mut train);
+        push(&mut c, GateKind::RZX, &[2, 1], &mut train);
+        push(&mut c, GateKind::RYY, &[0, 2], &mut train);
+        (c, train)
+    }
+
+    #[test]
+    fn adjoint_matches_numeric_on_mixed_circuit() {
+        let (c, train) = trainable_circuit();
+        let obs = DiagObservable::new(vec![0.7, -1.3, 0.4]);
+        let (_, adj) = adjoint_gradient(&c, &train, &[], &obs);
+        let num = numeric_gradient(&c, &train, &[], &obs, 1e-5);
+        assert_close(&adj, &num, 1e-6, "adjoint vs numeric");
+    }
+
+    #[test]
+    fn parameter_shift_matches_adjoint() {
+        let (c, train) = trainable_circuit();
+        let obs = DiagObservable::new(vec![1.0, 0.5, -0.25]);
+        let (_, adj) = adjoint_gradient(&c, &train, &[], &obs);
+        let ps = parameter_shift_gradient(&c, &train, &[], &obs);
+        assert_close(&adj, &ps, 1e-6, "adjoint vs parameter-shift");
+    }
+
+    #[test]
+    fn adjoint_expectation_matches_forward() {
+        let (c, train) = trainable_circuit();
+        let obs = DiagObservable::new(vec![1.0, 1.0, 1.0]);
+        let (e, _) = adjoint_gradient(&c, &train, &[], &obs);
+        let s = run(&c, &train, &[], ExecMode::Dynamic);
+        assert!((e - obs.expect(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_parameter_accumulates() {
+        // Same trainable index drives two RY gates on different qubits:
+        // <Z0 + Z1> = 2 cos θ, gradient = -2 sin θ.
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+        c.push(GateKind::RY, &[1], &[Param::Train(0)]);
+        let obs = DiagObservable::new(vec![1.0, 1.0]);
+        let theta = 0.8;
+        let (e, g) = adjoint_gradient(&c, &[theta], &[], &obs);
+        assert!((e - 2.0 * theta.cos()).abs() < 1e-12);
+        assert!((g[0] + 2.0 * theta.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_with_input_encoding() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[Param::Input(0)]);
+        c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+        let obs = DiagObservable::new(vec![1.0]);
+        let (_, adj) = adjoint_gradient(&c, &[0.4], &[0.9], &obs);
+        let num = numeric_gradient(&c, &[0.4], &[0.9], &obs, 1e-5);
+        assert_close(&adj, &num, 1e-7, "with input");
+    }
+
+    #[test]
+    fn diag_observable_apply_matches_expect() {
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        let obs = DiagObservable::new(vec![0.3, -0.9]);
+        let via_apply = s.inner(&obs.apply(&s)).re;
+        assert!((via_apply - obs.expect(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_param_circuit_has_empty_gradient() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0], &[]);
+        let obs = DiagObservable::new(vec![1.0]);
+        let (e, g) = adjoint_gradient(&c, &[], &[], &obs);
+        assert!(e.abs() < 1e-12);
+        assert!(g.is_empty());
+    }
+}

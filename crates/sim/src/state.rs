@@ -1,0 +1,444 @@
+//! The state vector and local gate application kernels.
+
+use qns_tensor::{C64, Mat2, Mat4};
+use rand::Rng;
+
+/// An `n`-qubit pure state: `2^n` complex amplitudes.
+///
+/// Bit convention: qubit `q` is bit `q` of the basis index (little-endian),
+/// so `|q2 q1 q0>` maps to index `q2·4 + q1·2 + q0`.
+///
+/// # Examples
+///
+/// ```
+/// use qns_sim::StateVec;
+/// let s = StateVec::zero_state(3);
+/// assert_eq!(s.num_qubits(), 3);
+/// assert!((s.probability(0) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVec {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVec {
+    /// Creates `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is zero or larger than 30 (2^30 amplitudes is
+    /// the supported ceiling).
+    pub fn zero_state(n_qubits: usize) -> Self {
+        assert!((1..=30).contains(&n_qubits), "1..=30 qubits supported");
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[0] = C64::ONE;
+        StateVec { n_qubits, amps }
+    }
+
+    /// Creates a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm deviates from
+    /// one by more than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let n = amps.len();
+        assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+        let n_qubits = n.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state must be normalized, got {norm}");
+        StateVec { n_qubits, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Borrow of the amplitude vector.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable borrow of the amplitude vector. Callers must preserve the
+    /// norm (checked only in debug assertions elsewhere).
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Resets to `|0...0>` without reallocating.
+    pub fn reset(&mut self) {
+        for a in &mut self.amps {
+            *a = C64::ZERO;
+        }
+        self.amps[0] = C64::ONE;
+    }
+
+    /// `|<self|other>|` inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn inner(&self, other: &StateVec) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "width mismatch");
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Squared norm (should be 1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes in place; returns the pre-normalization norm.
+    pub fn normalize(&mut self) -> f64 {
+        let norm = self.norm_sqr().sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+        norm
+    }
+
+    /// Probability of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Applies a one-qubit unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        assert!(q < self.n_qubits, "qubit {} out of range", q);
+        let stride = 1usize << q;
+        let [m00, m01, m10, m11] = m.m;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + stride];
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[i + stride] = m10 * a0 + m11 * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a two-qubit unitary; `qa` is the *high* bit of the 4-dim
+    /// basis `|qa qb>` (matching [`Mat4`]'s convention, where controlled
+    /// gates put the control first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        assert!(qa < self.n_qubits && qb < self.n_qubits, "qubit out of range");
+        assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let mask = ba | bb;
+        let len = self.amps.len();
+        for i in 0..len {
+            if i & mask != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | bb;
+            let i10 = i | ba;
+            let i11 = i | mask;
+            let v = [
+                self.amps[i00],
+                self.amps[i01],
+                self.amps[i10],
+                self.amps[i11],
+            ];
+            let out = m.mul_vec(&v);
+            self.amps[i00] = out[0];
+            self.amps[i01] = out[1];
+            self.amps[i10] = out[2];
+            self.amps[i11] = out[3];
+        }
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q`, in `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn expect_z(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit {} out of range", q);
+        let bit = 1usize << q;
+        let mut e = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if i & bit == 0 {
+                e += p;
+            } else {
+                e -= p;
+            }
+        }
+        e
+    }
+
+    /// Expectation values of Pauli-Z on every qubit in one pass.
+    pub fn expect_z_all(&self) -> Vec<f64> {
+        let mut e = vec![0.0; self.n_qubits];
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            for (q, eq) in e.iter_mut().enumerate() {
+                if i & (1 << q) == 0 {
+                    *eq += p;
+                } else {
+                    *eq -= p;
+                }
+            }
+        }
+        e
+    }
+
+    /// Expectation of the diagonal observable `Σ_q w_q Z_q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.num_qubits()`.
+    pub fn expect_weighted_z(&self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.n_qubits, "one weight per qubit");
+        let mut e = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p == 0.0 {
+                continue;
+            }
+            let mut d = 0.0;
+            for (q, w) in weights.iter().enumerate() {
+                if i & (1 << q) == 0 {
+                    d += w;
+                } else {
+                    d -= w;
+                }
+            }
+            e += p * d;
+        }
+        e
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis and
+    /// returns per-basis-state counts as `(index, count)` pairs sorted by
+    /// index. Uses the sorted-uniforms inverse-CDF method: O(2^n + shots).
+    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<(usize, u32)> {
+        let mut uniforms: Vec<f64> = (0..shots).map(|_| rng.gen::<f64>()).collect();
+        uniforms.sort_by(|a, b| a.partial_cmp(b).expect("uniforms are finite"));
+        let mut counts: Vec<(usize, u32)> = Vec::new();
+        let mut cdf = 0.0;
+        let mut u = uniforms.into_iter().peekable();
+        for (i, a) in self.amps.iter().enumerate() {
+            cdf += a.norm_sqr();
+            let mut c = 0u32;
+            while let Some(&x) = u.peek() {
+                if x <= cdf {
+                    c += 1;
+                    u.next();
+                } else {
+                    break;
+                }
+            }
+            if c > 0 {
+                counts.push((i, c));
+            }
+        }
+        // Numerical slack: assign any stragglers to the last basis state.
+        let assigned: u32 = counts.iter().map(|(_, c)| c).sum();
+        let leftover = shots as u32 - assigned;
+        if leftover > 0 {
+            let last = self.amps.len() - 1;
+            if let Some(entry) = counts.last_mut().filter(|(i, _)| *i == last) {
+                entry.1 += leftover;
+            } else {
+                counts.push((last, leftover));
+            }
+        }
+        counts
+    }
+
+    /// Estimates `<Z_q>` for every qubit from `shots` sampled measurements.
+    pub fn expect_z_sampled<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<f64> {
+        let counts = self.sample_counts(shots, rng);
+        counts_to_expect_z(&counts, self.n_qubits, shots)
+    }
+}
+
+/// Converts basis-state counts into per-qubit `<Z>` estimates.
+///
+/// # Examples
+///
+/// ```
+/// // 10 shots of |01>: qubit 0 measured 1 (Z=-1), qubit 1 measured 0 (Z=+1).
+/// let e = qns_sim::StateVec::zero_state(2); // doc anchor; see counts below
+/// let counts = vec![(0b01usize, 10u32)];
+/// let z = qns_sim::counts_to_expect_z(&counts, 2, 10);
+/// assert_eq!(z, vec![-1.0, 1.0]);
+/// # let _ = e;
+/// ```
+pub fn counts_to_expect_z(counts: &[(usize, u32)], n_qubits: usize, shots: usize) -> Vec<f64> {
+    let mut e = vec![0.0; n_qubits];
+    for &(idx, c) in counts {
+        for (q, eq) in e.iter_mut().enumerate() {
+            if idx & (1 << q) == 0 {
+                *eq += c as f64;
+            } else {
+                *eq -= c as f64;
+            }
+        }
+    }
+    for eq in &mut e {
+        *eq /= shots as f64;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = StateVec::zero_state(2);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        assert!(s.probability(1).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&Mat2::pauli_x(), 1);
+        assert!((s.probability(0b10) - 1.0).abs() < 1e-12);
+        assert!((s.expect_z(1) + 1.0).abs() < 1e-12);
+        assert!((s.expect_z(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_gives_uniform_superposition() {
+        let mut s = StateVec::zero_state(1);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!(s.expect_z(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_cnot() {
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        s.apply_2q(&Mat4::controlled(&Mat2::pauli_x()), 0, 1);
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_ordering_matters() {
+        // Control on qubit 1 (value |0>): target untouched.
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&Mat2::pauli_x(), 0); // |01> (q0=1)
+        s.apply_2q(&Mat4::controlled(&Mat2::pauli_x()), 1, 0);
+        assert!((s.probability(0b01) - 1.0).abs() < 1e-12);
+        // Control on qubit 0 (value |1>): target flips.
+        s.apply_2q(&Mat4::controlled(&Mat2::pauli_x()), 0, 1);
+        assert!((s.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expect_z_all_matches_individual() {
+        let mut s = StateVec::zero_state(3);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        s.apply_1q(&Mat2::pauli_x(), 2);
+        let all = s.expect_z_all();
+        for (q, a) in all.iter().enumerate() {
+            assert!((a - s.expect_z(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_z_is_linear_combination() {
+        let mut s = StateVec::zero_state(3);
+        s.apply_1q(&Mat2::hadamard(), 1);
+        s.apply_1q(&Mat2::pauli_x(), 0);
+        let w = [0.5, -1.0, 2.0];
+        let direct = s.expect_weighted_z(&w);
+        let sum: f64 = (0..3).map(|q| w[q] * s.expect_z(q)).sum();
+        assert!((direct - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states() {
+        let a = StateVec::zero_state(2);
+        let mut b = StateVec::zero_state(2);
+        b.apply_1q(&Mat2::pauli_x(), 0);
+        assert!(a.inner(&b).abs() < 1e-12);
+        assert!((a.inner(&a).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut s = StateVec::zero_state(2);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let counts = s.sample_counts(100_000, &mut rng);
+        let total: u32 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 100_000);
+        for &(idx, c) in &counts {
+            let freq = c as f64 / 100_000.0;
+            assert!((freq - s.probability(idx)).abs() < 0.01, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn sampled_expectation_converges() {
+        let mut s = StateVec::zero_state(1);
+        s.apply_1q(&Mat2::hadamard(), 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = s.expect_z_sampled(50_000, &mut rng);
+        assert!(z[0].abs() < 0.02);
+    }
+
+    #[test]
+    fn normalize_restores_unit_norm() {
+        let mut s = StateVec::zero_state(1);
+        s.amplitudes_mut()[0] = C64::new(2.0, 0.0);
+        let pre = s.normalize();
+        assert!((pre - 2.0).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn from_amplitudes_rejects_unnormalized() {
+        let _ = StateVec::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn apply_2q_same_qubit_panics() {
+        let mut s = StateVec::zero_state(2);
+        s.apply_2q(&Mat4::identity(), 1, 1);
+    }
+}

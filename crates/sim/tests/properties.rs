@@ -1,0 +1,122 @@
+//! Property-based tests for the simulator's physical invariants.
+
+use proptest::prelude::*;
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{
+    adjoint_gradient, parameter_shift_gradient, run, DiagObservable, ExecMode, Observable,
+    StateVec,
+};
+use qns_tensor::Mat2;
+
+fn arb_angles(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.1..3.1f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// <Z> of a single-qubit RY rotation is exactly cos θ.
+    #[test]
+    fn ry_expectation_is_cosine(theta in -6.0..6.0f64) {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RY, &[0], &[Param::Fixed(theta)]);
+        let s = run(&c, &[], &[], ExecMode::Dynamic);
+        prop_assert!((s.expect_z(0) - theta.cos()).abs() < 1e-10);
+    }
+
+    /// Composition: RZ(a) then RZ(b) equals RZ(a+b).
+    #[test]
+    fn rz_composes_additively(a in -3.0..3.0f64, b in -3.0..3.0f64) {
+        let mut c1 = Circuit::new(1);
+        c1.push(GateKind::H, &[0], &[]);
+        c1.push(GateKind::RZ, &[0], &[Param::Fixed(a)]);
+        c1.push(GateKind::RZ, &[0], &[Param::Fixed(b)]);
+        let mut c2 = Circuit::new(1);
+        c2.push(GateKind::H, &[0], &[]);
+        c2.push(GateKind::RZ, &[0], &[Param::Fixed(a + b)]);
+        let s1 = run(&c1, &[], &[], ExecMode::Dynamic);
+        let s2 = run(&c2, &[], &[], ExecMode::Dynamic);
+        prop_assert!((s1.inner(&s2).abs() - 1.0).abs() < 1e-10);
+    }
+
+    /// A circuit followed by its inverse returns |0...0>.
+    #[test]
+    fn inverse_returns_to_zero(angles in arb_angles(6)) {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RY, &[0], &[Param::Fixed(angles[0])]);
+        c.push(GateKind::RZ, &[1], &[Param::Fixed(angles[1])]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RX, &[0], &[Param::Fixed(angles[2])]);
+        // Inverse in reverse order with negated angles.
+        c.push(GateKind::RX, &[0], &[Param::Fixed(-angles[2])]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RZ, &[1], &[Param::Fixed(-angles[1])]);
+        c.push(GateKind::RY, &[0], &[Param::Fixed(-angles[0])]);
+        let s = run(&c, &[], &[], ExecMode::Static);
+        prop_assert!((s.probability(0) - 1.0).abs() < 1e-10);
+    }
+
+    /// Parameter-shift and adjoint agree on rotation circuits.
+    #[test]
+    fn shift_and_adjoint_agree(angles in arb_angles(4)) {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+        c.push(GateKind::RX, &[1], &[Param::Train(1)]);
+        c.push(GateKind::RZZ, &[0, 1], &[Param::Train(2)]);
+        c.push(GateKind::RZ, &[0], &[Param::Train(3)]);
+        let obs = DiagObservable::new(vec![1.0, -0.5]);
+        let (_, adj) = adjoint_gradient(&c, &angles, &[], &obs);
+        let ps = parameter_shift_gradient(&c, &angles, &[], &obs);
+        for (a, p) in adj.iter().zip(ps.iter()) {
+            prop_assert!((a - p).abs() < 1e-8, "adjoint {a} vs shift {p}");
+        }
+    }
+
+    /// Gradients vanish at stationary points: <Z> of RY(θ) has zero
+    /// derivative at θ = 0 and θ = π.
+    #[test]
+    fn gradient_vanishes_at_extrema(sign in prop::bool::ANY) {
+        let theta = if sign { 0.0 } else { std::f64::consts::PI };
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+        let obs = DiagObservable::new(vec![1.0]);
+        let (_, g) = adjoint_gradient(&c, &[theta], &[], &obs);
+        prop_assert!(g[0].abs() < 1e-10);
+    }
+
+    /// Sampling frequencies converge to probabilities for arbitrary
+    /// product states.
+    #[test]
+    fn sampling_matches_born_rule(a in 0.0..std::f64::consts::PI, b in 0.0..std::f64::consts::PI) {
+        use rand::SeedableRng;
+        let mut s = StateVec::zero_state(2);
+        let ry = |t: f64| match GateKind::RY.matrix(&[t]) {
+            qns_circuit::GateMatrix::One(m) => m,
+            _ => unreachable!(),
+        };
+        s.apply_1q(&ry(a), 0);
+        s.apply_1q(&ry(b), 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let counts = s.sample_counts(40_000, &mut rng);
+        for (idx, c) in counts {
+            let freq = c as f64 / 40_000.0;
+            prop_assert!((freq - s.probability(idx)).abs() < 0.02);
+        }
+    }
+
+    /// The weighted-Z observable is linear in its weights.
+    #[test]
+    fn observable_linearity(w1 in -2.0..2.0f64, w2 in -2.0..2.0f64, theta in -3.0..3.0f64) {
+        let mut s = StateVec::zero_state(2);
+        let ry = |t: f64| match GateKind::RY.matrix(&[t]) {
+            qns_circuit::GateMatrix::One(m) => m,
+            _ => unreachable!(),
+        };
+        s.apply_1q(&ry(theta), 0);
+        s.apply_1q(&Mat2::hadamard(), 1);
+        let e1 = DiagObservable::new(vec![w1, 0.0]).expect(&s);
+        let e2 = DiagObservable::new(vec![0.0, w2]).expect(&s);
+        let both = DiagObservable::new(vec![w1, w2]).expect(&s);
+        prop_assert!((both - (e1 + e2)).abs() < 1e-10);
+    }
+}

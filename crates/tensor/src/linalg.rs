@@ -1,0 +1,193 @@
+//! Jacobi eigensolver for small real-symmetric matrices.
+
+/// Eigendecomposition of a real-symmetric matrix.
+///
+/// Produced by [`sym_eigen`]; eigenpairs are sorted by descending eigenvalue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Row-major eigenvector matrix: `vectors[k]` is the k-th eigenvector.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenvalues and eigenvectors of a real-symmetric matrix with
+/// the cyclic Jacobi method.
+///
+/// `a` is given in row-major order with shape `n × n`. Intended for small
+/// matrices (PCA covariances, few-qubit Hamiltonians embedded as real
+/// matrices); complexity is O(n³) per sweep.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n` or the matrix is not symmetric to within
+/// `1e-8` relative tolerance.
+///
+/// # Examples
+///
+/// ```
+/// let a = vec![2.0, 1.0, 1.0, 2.0];
+/// let eig = qns_tensor::sym_eigen(&a, 2);
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn sym_eigen(a: &[f64], n: usize) -> SymEigen {
+    assert_eq!(a.len(), n * n, "matrix data must be n*n");
+    let scale = a.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+    for i in 0..n {
+        for j in 0..n {
+            assert!(
+                (a[i * n + j] - a[j * n + i]).abs() <= 1e-8 * scale,
+                "matrix must be symmetric"
+            );
+        }
+    }
+
+    let mut m = a.to_vec();
+    // v starts as identity; columns accumulate the rotations.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 * scale.max(1.0) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| {
+            let val = m[k * n + k];
+            let vec: Vec<f64> = (0..n).map(|i| v[i * n + k]).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+
+    SymEigen {
+        values: pairs.iter().map(|(v, _)| *v).collect(),
+        vectors: pairs.into_iter().map(|(_, v)| v).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 5.0];
+        let eig = sym_eigen(&a, 3);
+        assert!((eig.values[0] - 5.0).abs() < 1e-10);
+        assert!((eig.values[1] - 3.0).abs() < 1e-10);
+        assert!((eig.values[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_av_eq_lv() {
+        let a = vec![
+            4.0, 1.0, 0.5, //
+            1.0, 3.0, -0.25, //
+            0.5, -0.25, 2.0,
+        ];
+        let eig = sym_eigen(&a, 3);
+        for (lam, vec) in eig.values.iter().zip(eig.vectors.iter()) {
+            let av = matvec(&a, 3, vec);
+            for (avi, vi) in av.iter().zip(vec.iter()) {
+                assert!((avi - lam * vi).abs() < 1e-8, "Av != lambda v");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = vec![
+            2.0, -1.0, 0.0, //
+            -1.0, 2.0, -1.0, //
+            0.0, -1.0, 2.0,
+        ];
+        let eig = sym_eigen(&a, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = eig.vectors[i]
+                    .iter()
+                    .zip(eig.vectors[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = vec![
+            1.0, 0.3, 0.2, 0.1, //
+            0.3, 2.0, 0.4, 0.0, //
+            0.2, 0.4, 3.0, 0.5, //
+            0.1, 0.0, 0.5, 4.0,
+        ];
+        let eig = sym_eigen(&a, 4);
+        let sum: f64 = eig.values.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_input_panics() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let _ = sym_eigen(&a, 2);
+    }
+}

@@ -1,0 +1,585 @@
+//! Stack-allocated 2×2 / 4×4 unitaries and a dense heap matrix.
+
+use crate::C64;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A 2×2 complex matrix in row-major order; the workhorse for one-qubit gates.
+///
+/// # Examples
+///
+/// ```
+/// use qns_tensor::Mat2;
+/// let x = Mat2::pauli_x();
+/// assert!(x.mul_mat(&x).approx_eq(&Mat2::identity(), 1e-12));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Mat2 {
+    /// Row-major entries `[m00, m01, m10, m11]`.
+    pub m: [C64; 4],
+}
+
+impl Mat2 {
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m: [C64; 4]) -> Self {
+        Mat2 { m }
+    }
+
+    /// The 2×2 identity.
+    pub fn identity() -> Self {
+        Mat2::new([C64::ONE, C64::ZERO, C64::ZERO, C64::ONE])
+    }
+
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Mat2::new([C64::ZERO; 4])
+    }
+
+    /// Pauli X.
+    pub fn pauli_x() -> Self {
+        Mat2::new([C64::ZERO, C64::ONE, C64::ONE, C64::ZERO])
+    }
+
+    /// Pauli Y.
+    pub fn pauli_y() -> Self {
+        Mat2::new([C64::ZERO, -C64::I, C64::I, C64::ZERO])
+    }
+
+    /// Pauli Z.
+    pub fn pauli_z() -> Self {
+        Mat2::new([C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE])
+    }
+
+    /// The Hadamard gate.
+    pub fn hadamard() -> Self {
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        Mat2::new([s, s, s, -s])
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: &[C64; 2]) -> [C64; 2] {
+        [
+            self.m[0] * v[0] + self.m[1] * v[1],
+            self.m[2] * v[0] + self.m[3] * v[1],
+        ]
+    }
+
+    /// Matrix-matrix product `self * rhs`.
+    #[inline]
+    pub fn mul_mat(&self, rhs: &Mat2) -> Mat2 {
+        let a = &self.m;
+        let b = &rhs.m;
+        Mat2::new([
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        ])
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat2 {
+        Mat2::new([
+            self.m[0].conj(),
+            self.m[2].conj(),
+            self.m[1].conj(),
+            self.m[3].conj(),
+        ])
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: C64) -> Mat2 {
+        Mat2::new([self.m[0] * s, self.m[1] * s, self.m[2] * s, self.m[3] * s])
+    }
+
+    /// Entry-wise sum.
+    pub fn add(&self, rhs: &Mat2) -> Mat2 {
+        Mat2::new([
+            self.m[0] + rhs.m[0],
+            self.m[1] + rhs.m[1],
+            self.m[2] + rhs.m[2],
+            self.m[3] + rhs.m[3],
+        ])
+    }
+
+    /// Returns `true` if `U U† = I` to within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul_mat(&self.adjoint()).approx_eq(&Mat2::identity(), tol)
+    }
+
+    /// Entry-wise approximate comparison.
+    pub fn approx_eq(&self, rhs: &Mat2, tol: f64) -> bool {
+        self.m
+            .iter()
+            .zip(rhs.m.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Kronecker product `self ⊗ rhs`, producing a 4×4 matrix.
+    pub fn kron(&self, rhs: &Mat2) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out.m[(2 * i + k) * 4 + (2 * j + l)] =
+                            self.m[i * 2 + j] * rhs.m[k * 2 + l];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        self.m[0] * self.m[3] - self.m[1] * self.m[2]
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        self.m[0] + self.m[3]
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    fn mul(self, rhs: Mat2) -> Mat2 {
+        self.mul_mat(&rhs)
+    }
+}
+
+/// A 4×4 complex matrix in row-major order; the workhorse for two-qubit gates.
+///
+/// Index convention: basis order is `|q_hi q_lo>` = `|00>, |01>, |10>, |11>`
+/// where the *first* qubit passed to the simulator is the high bit.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Mat4 {
+    /// Row-major entries.
+    pub m: [C64; 16],
+}
+
+impl Mat4 {
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m: [C64; 16]) -> Self {
+        Mat4 { m }
+    }
+
+    /// The 4×4 identity.
+    pub fn identity() -> Self {
+        let mut m = [C64::ZERO; 16];
+        for i in 0..4 {
+            m[i * 4 + i] = C64::ONE;
+        }
+        Mat4::new(m)
+    }
+
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Mat4::new([C64::ZERO; 16])
+    }
+
+    /// Builds a controlled gate `|0><0| ⊗ I + |1><1| ⊗ u` (control = high bit).
+    pub fn controlled(u: &Mat2) -> Self {
+        let mut m = Mat4::identity();
+        m.m[2 * 4 + 2] = u.m[0];
+        m.m[2 * 4 + 3] = u.m[1];
+        m.m[3 * 4 + 2] = u.m[2];
+        m.m[3 * 4 + 3] = u.m[3];
+        m
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: &[C64; 4]) -> [C64; 4] {
+        let mut out = [C64::ZERO; 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.m[r * 4..r * 4 + 4];
+            *o = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+        }
+        out
+    }
+
+    /// Matrix-matrix product `self * rhs`.
+    pub fn mul_mat(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for k in 0..4 {
+                let a = self.m[i * 4 + k];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..4 {
+                    out.m[i * 4 + j] += a * rhs.m[k * 4 + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Mat4 {
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                out.m[j * 4 + i] = self.m[i * 4 + j].conj();
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: C64) -> Mat4 {
+        let mut out = *self;
+        for e in &mut out.m {
+            *e *= s;
+        }
+        out
+    }
+
+    /// Entry-wise sum.
+    pub fn add(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = *self;
+        for (e, r) in out.m.iter_mut().zip(rhs.m.iter()) {
+            *e += *r;
+        }
+        out
+    }
+
+    /// Returns `true` if `U U† = I` to within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul_mat(&self.adjoint()).approx_eq(&Mat4::identity(), tol)
+    }
+
+    /// Entry-wise approximate comparison.
+    pub fn approx_eq(&self, rhs: &Mat4, tol: f64) -> bool {
+        self.m
+            .iter()
+            .zip(rhs.m.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Swaps the roles of the two qubits (conjugation by SWAP).
+    pub fn swap_qubits(&self) -> Mat4 {
+        let perm = [0usize, 2, 1, 3];
+        let mut out = Mat4::zero();
+        for i in 0..4 {
+            for j in 0..4 {
+                out.m[perm[i] * 4 + perm[j]] = self.m[i * 4 + j];
+            }
+        }
+        out
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        self.m[0] + self.m[5] + self.m[10] + self.m[15]
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, rhs: Mat4) -> Mat4 {
+        self.mul_mat(&rhs)
+    }
+}
+
+/// A dense heap-allocated complex matrix in row-major order.
+///
+/// Used for transpiler resynthesis accumulators, chemistry operators on a few
+/// qubits, and tests. Not intended for full many-qubit state evolution — the
+/// simulator applies [`Mat2`]/[`Mat4`] directly to the state vector instead.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector length must match columns");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = C64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `U U† = I` to within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let prod = self.mul_mat(&self.adjoint());
+        let id = Matrix::identity(self.rows);
+        prod.approx_eq(&id, tol)
+    }
+
+    /// Returns `true` if `M = M†` to within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Entry-wise approximate comparison.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Embeds a [`Mat2`] as a dense matrix.
+    pub fn from_mat2(m: &Mat2) -> Matrix {
+        Matrix::from_vec(2, 2, m.m.to_vec())
+    }
+
+    /// Embeds a [`Mat4`] as a dense matrix.
+    pub fn from_mat4(m: &Mat4) -> Matrix {
+        Matrix::from_vec(4, 4, m.m.to_vec())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [Mat2::pauli_x(), Mat2::pauli_y(), Mat2::pauli_z()] {
+            assert!(p.is_unitary(1e-12));
+            assert!(p.approx_eq(&p.adjoint(), 1e-12));
+            assert!(p.mul_mat(&p).approx_eq(&Mat2::identity(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn pauli_algebra_xy_is_iz() {
+        let xy = Mat2::pauli_x().mul_mat(&Mat2::pauli_y());
+        let iz = Mat2::pauli_z().scale(C64::I);
+        assert!(xy.approx_eq(&iz, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Mat2::hadamard();
+        assert!(h.mul_mat(&h).approx_eq(&Mat2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        let cx = Mat4::controlled(&Mat2::pauli_x());
+        // |10> -> |11>
+        let v = [C64::ZERO, C64::ZERO, C64::ONE, C64::ZERO];
+        let out = cx.mul_vec(&v);
+        assert!(out[3].approx_eq(C64::ONE, 1e-12));
+        assert!(cx.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        let id = Mat2::identity().kron(&Mat2::identity());
+        assert!(id.approx_eq(&Mat4::identity(), 1e-12));
+    }
+
+    #[test]
+    fn kron_xz_acts_correctly() {
+        let xz = Mat2::pauli_x().kron(&Mat2::pauli_z());
+        // |00> -> X|0> Z|0> = |10>
+        let v = [C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO];
+        let out = xz.mul_vec(&v);
+        assert!(out[2].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn swap_qubits_conjugation() {
+        let cx = Mat4::controlled(&Mat2::pauli_x());
+        let xc = cx.swap_qubits();
+        // Control is now the low bit: |01> -> |11>
+        let v = [C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO];
+        let out = xc.mul_vec(&v);
+        assert!(out[3].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn dense_matrix_roundtrip_and_products() {
+        let h = Matrix::from_mat2(&Mat2::hadamard());
+        assert!(h.is_unitary(1e-12));
+        let hh = h.mul_mat(&h);
+        assert!(hh.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn dense_kron_matches_small_kron() {
+        let a = Matrix::from_mat2(&Mat2::pauli_x());
+        let b = Matrix::from_mat2(&Mat2::pauli_z());
+        let big = a.kron(&b);
+        let small = Matrix::from_mat4(&Mat2::pauli_x().kron(&Mat2::pauli_z()));
+        assert!(big.approx_eq(&small, 1e-12));
+    }
+
+    #[test]
+    fn dense_hermitian_check() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = C64::new(0.0, 1.0);
+        m[(1, 0)] = C64::new(0.0, -1.0);
+        assert!(m.is_hermitian(1e-12));
+        m[(1, 0)] = C64::new(0.0, 1.0);
+        assert!(!m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_product_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul_mat(&b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the linear-algebra foundation.
+
+use proptest::prelude::*;
+use qns_tensor::{sym_eigen, C64, Mat2, Mat4};
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| C64::new(re, im))
+}
+
+/// A random unitary built from ZYZ angles.
+fn arb_unitary() -> impl Strategy<Value = Mat2> {
+    (-3.1..3.1f64, -3.1..3.1f64, -3.1..3.1f64).prop_map(|(t, p, l)| {
+        let c = (t / 2.0).cos();
+        let s = (t / 2.0).sin();
+        Mat2::new([
+            C64::real(c),
+            -C64::cis(l) * s,
+            C64::cis(p) * s,
+            C64::cis(p + l) * c,
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Complex field axioms: distributivity and conjugation morphism.
+    #[test]
+    fn complex_field_laws(a in arb_c64(), b in arb_c64(), c in arb_c64()) {
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-10));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-10));
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+
+    /// Unitaries are closed under product and adjoint inverts.
+    #[test]
+    fn unitary_group_closure(u in arb_unitary(), v in arb_unitary()) {
+        let uv = u.mul_mat(&v);
+        prop_assert!(uv.is_unitary(1e-9));
+        let back = uv.mul_mat(&uv.adjoint());
+        prop_assert!(back.approx_eq(&Mat2::identity(), 1e-9));
+    }
+
+    /// Kronecker mixed-product law: (A⊗B)(C⊗D) = (AC)⊗(BD).
+    #[test]
+    fn kron_mixed_product(
+        a in arb_unitary(), b in arb_unitary(),
+        c in arb_unitary(), d in arb_unitary(),
+    ) {
+        let left = a.kron(&b).mul_mat(&c.kron(&d));
+        let right = a.mul_mat(&c).kron(&b.mul_mat(&d));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    /// swap_qubits is an involution and preserves unitarity.
+    #[test]
+    fn swap_conjugation_involutive(a in arb_unitary(), b in arb_unitary()) {
+        let m = a.kron(&b);
+        prop_assert!(m.swap_qubits().swap_qubits().approx_eq(&m, 1e-12));
+        prop_assert!(m.swap_qubits().is_unitary(1e-9));
+        // Swapping a product state's factors commutes with kron order.
+        prop_assert!(m.swap_qubits().approx_eq(&b.kron(&a), 1e-9));
+    }
+
+    /// Determinant of a unitary has unit modulus; trace bounded by 2.
+    #[test]
+    fn unitary_det_and_trace(u in arb_unitary()) {
+        prop_assert!((u.det().abs() - 1.0).abs() < 1e-9);
+        prop_assert!(u.trace().abs() <= 2.0 + 1e-9);
+    }
+
+    /// Jacobi eigenvalues reconstruct the matrix trace and Frobenius norm.
+    #[test]
+    fn eigensolver_invariants(vals in prop::collection::vec(-3.0..3.0f64, 6)) {
+        // Symmetric 3x3 from 6 free entries.
+        let a = vec![
+            vals[0], vals[3], vals[4],
+            vals[3], vals[1], vals[5],
+            vals[4], vals[5], vals[2],
+        ];
+        let eig = sym_eigen(&a, 3);
+        let trace: f64 = vals[0] + vals[1] + vals[2];
+        let eig_sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-8);
+        let frob: f64 = a.iter().map(|x| x * x).sum();
+        let eig_sq: f64 = eig.values.iter().map(|x| x * x).sum();
+        prop_assert!((frob - eig_sq).abs() < 1e-7);
+    }
+
+    /// Mat4 controlled-gate block structure: |0> control subspace is
+    /// untouched for any target unitary.
+    #[test]
+    fn controlled_gate_preserves_zero_subspace(u in arb_unitary()) {
+        let cu = Mat4::controlled(&u);
+        prop_assert!(cu.is_unitary(1e-9));
+        let v = [C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO];
+        let out = cu.mul_vec(&v);
+        prop_assert!(out[0].approx_eq(C64::ONE, 1e-12));
+        let v = [C64::ZERO, C64::ONE, C64::ZERO, C64::ZERO];
+        let out = cu.mul_vec(&v);
+        prop_assert!(out[1].approx_eq(C64::ONE, 1e-12));
+    }
+}

@@ -1,0 +1,486 @@
+//! Peephole optimization passes over IBM-basis circuits.
+
+use crate::basis::zyz_angles;
+use qns_circuit::{Circuit, GateKind, GateMatrix, Op, Param};
+use qns_tensor::Mat2;
+
+const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+/// Optimizes an IBM-basis circuit at a Qiskit-style level.
+///
+/// - level 0 — no optimization,
+/// - level 1 — gate cancellation: merge/drop adjacent `RZ`s, cancel `CX·CX`
+///   and `X·X` pairs, fuse `SX·SX → X`,
+/// - level 2 — level 1 plus single-qubit resynthesis: maximal runs of fixed
+///   one-qubit gates are re-expressed as at most 5 basis gates via ZYZ,
+/// - level 3 — level 2 plus commuting `RZ`s through `CX` controls before a
+///   second resynthesis round (heavier, occasionally wins, occasionally
+///   doesn't — matching the paper's observation in Table VI).
+///
+/// Parameterized (trainable/input) gates are barriers for resynthesis but
+/// still merge with adjacent fixed `RZ`s.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind, Param};
+/// use qns_transpile::optimize;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::RZ, &[0], &[Param::Fixed(0.4)]);
+/// c.push(GateKind::RZ, &[0], &[Param::Fixed(-0.4)]);
+/// assert_eq!(optimize(&c, 1).num_ops(), 0);
+/// ```
+pub fn optimize(circuit: &Circuit, level: u8) -> Circuit {
+    match level {
+        0 => circuit.clone(),
+        1 => cancel_fixpoint(circuit),
+        2 => {
+            let c = cancel_fixpoint(circuit);
+            let c = resynthesize_1q(&c);
+            cancel_fixpoint(&c)
+        }
+        _ => {
+            let c = cancel_fixpoint(circuit);
+            let c = resynthesize_1q(&c);
+            let c = cancel_fixpoint(&c);
+            let c = commute_rz_through_cx(&c);
+            let c = resynthesize_1q(&c);
+            cancel_fixpoint(&c)
+        }
+    }
+}
+
+/// Repeats the cancellation pass until no change.
+fn cancel_fixpoint(circuit: &Circuit) -> Circuit {
+    let mut cur = circuit.clone();
+    loop {
+        let next = cancel_once(&cur);
+        if next.num_ops() == cur.num_ops() {
+            return next;
+        }
+        cur = next;
+    }
+}
+
+/// Merges an `RZ` pair when statically possible.
+fn merge_rz(a: Param, b: Param) -> Option<Param> {
+    match (a, b) {
+        (Param::Fixed(x), Param::Fixed(y)) => Some(Param::Fixed(x + y)),
+        (Param::Fixed(x), other) => Some(other.affine(1.0, x)),
+        (other, Param::Fixed(y)) => Some(other.affine(1.0, y)),
+        (
+            Param::AffineTrain {
+                index: i,
+                scale: s1,
+                offset: o1,
+            },
+            Param::AffineTrain {
+                index: j,
+                scale: s2,
+                offset: o2,
+            },
+        ) if i == j => Some(Param::AffineTrain {
+            index: i,
+            scale: s1 + s2,
+            offset: o1 + o2,
+        }),
+        _ => None,
+    }
+}
+
+fn is_zero_rz(p: Param) -> bool {
+    match p {
+        Param::Fixed(v) => {
+            let r = v.rem_euclid(TWO_PI);
+            r < 1e-12 || (TWO_PI - r) < 1e-12
+        }
+        Param::AffineTrain { scale, .. } | Param::AffineInput { scale, .. } => scale == 0.0,
+        _ => false,
+    }
+}
+
+/// One sweep of adjacent-gate cancellation.
+///
+/// Processes ops in order, keeping an output list; an incoming op may merge
+/// with a previous output op only when that op is the *latest* output op on
+/// every qubit the incoming op touches (so nothing interleaves).
+fn cancel_once(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out_ops: Vec<Option<Op>> = Vec::with_capacity(circuit.num_ops());
+    // last_on[q] = index into out_ops of the latest live op touching q.
+    let mut last_on: Vec<Option<usize>> = vec![None; n];
+
+    let rescan = |out_ops: &[Option<Op>], q: usize| -> Option<usize> {
+        out_ops.iter().enumerate().rev().find_map(|(i, op)| {
+            op.as_ref()
+                .filter(|op| op.qubits[..op.num_qubits()].contains(&q))
+                .map(|_| i)
+        })
+    };
+
+    for op in circuit.iter() {
+        let nq = op.num_qubits();
+        let qs = &op.qubits[..nq];
+        if op.kind == GateKind::RZ && is_zero_rz(op.params[0]) {
+            continue;
+        }
+
+        // The merge target: all our qubits must point at the same live op.
+        let target = match qs.iter().map(|&q| last_on[q]).collect::<Vec<_>>()[..] {
+            [Some(j)] => Some(j),
+            [Some(j), Some(k)] if j == k => Some(j),
+            _ => None,
+        };
+        let mut merged = MergeResult::None;
+        if let Some(j) = target {
+            if let Some(prev) = out_ops[j].clone() {
+                merged = try_merge(&prev, op);
+            }
+        }
+        match merged {
+            MergeResult::Annihilate => {
+                let j = target.expect("target exists when merged");
+                let prev = out_ops[j].take().expect("target is live");
+                for &q in &prev.qubits[..prev.num_qubits()] {
+                    last_on[q] = rescan(&out_ops, q);
+                }
+            }
+            MergeResult::Replace(new_op) => {
+                let j = target.expect("target exists when merged");
+                out_ops[j] = Some(new_op);
+            }
+            MergeResult::None => {
+                let idx = out_ops.len();
+                out_ops.push(Some(op.clone()));
+                for &q in qs {
+                    last_on[q] = Some(idx);
+                }
+            }
+        }
+    }
+
+    let mut out = Circuit::new(n);
+    for op in out_ops.into_iter().flatten() {
+        if op.kind == GateKind::RZ && is_zero_rz(op.params[0]) {
+            continue;
+        }
+        let nq = op.num_qubits();
+        out.push(op.kind, &op.qubits[..nq], &op.params);
+    }
+    if out.num_train_params() < circuit.num_train_params() {
+        out.set_num_train_params(circuit.num_train_params());
+    }
+    out
+}
+
+enum MergeResult {
+    None,
+    Annihilate,
+    Replace(Op),
+}
+
+/// Can `prev` (earlier, adjacency already established) merge with `op`?
+fn try_merge(prev: &Op, op: &Op) -> MergeResult {
+    let nq = op.num_qubits();
+    if prev.num_qubits() != nq {
+        return MergeResult::None;
+    }
+    let same_support = prev.qubits[..nq].iter().all(|&q| op.qubits[..nq].contains(&q))
+        && op.qubits[..nq].iter().all(|&q| prev.qubits[..nq].contains(&q));
+    if !same_support {
+        return MergeResult::None;
+    }
+    match (prev.kind, op.kind) {
+        (GateKind::RZ, GateKind::RZ) => {
+            if let Some(p) = merge_rz(prev.params[0], op.params[0]) {
+                if is_zero_rz(p) {
+                    MergeResult::Annihilate
+                } else {
+                    MergeResult::Replace(Op {
+                        kind: GateKind::RZ,
+                        qubits: op.qubits,
+                        params: vec![p],
+                    })
+                }
+            } else {
+                MergeResult::None
+            }
+        }
+        (GateKind::X, GateKind::X) => MergeResult::Annihilate,
+        (GateKind::SX, GateKind::SX) => MergeResult::Replace(Op {
+            kind: GateKind::X,
+            qubits: op.qubits,
+            params: vec![],
+        }),
+        (GateKind::CX, GateKind::CX) => {
+            if prev.qubits == op.qubits {
+                MergeResult::Annihilate
+            } else {
+                MergeResult::None
+            }
+        }
+        _ => MergeResult::None,
+    }
+}
+
+/// Re-synthesizes maximal runs of fixed one-qubit gates into ≤5 basis
+/// gates, keeping the original run when it is already shorter.
+fn resynthesize_1q(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::new(n);
+    // Pending run of fixed 1q ops per qubit, plus its accumulated unitary.
+    let mut pending: Vec<Vec<Op>> = vec![Vec::new(); n];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Vec<Op>>, q: usize| {
+        let run = std::mem::take(&mut pending[q]);
+        if run.is_empty() {
+            return;
+        }
+        let mut acc = Mat2::identity();
+        for op in &run {
+            let vals: Vec<f64> = op
+                .params
+                .iter()
+                .map(|p| match p {
+                    Param::Fixed(v) => *v,
+                    _ => unreachable!("run holds fixed ops only"),
+                })
+                .collect();
+            let m = match op.kind.matrix(&vals) {
+                GateMatrix::One(m) => m,
+                _ => unreachable!("run holds 1q ops only"),
+            };
+            acc = m.mul_mat(&acc);
+        }
+        let replacement = synthesize_mat2(q, &acc);
+        if replacement.num_ops() < run.len() {
+            for op in replacement.iter() {
+                out.push(op.kind, &op.qubits[..1], &op.params);
+            }
+        } else {
+            for op in run {
+                out.push(op.kind, &op.qubits[..1], &op.params);
+            }
+        }
+    };
+
+    for op in circuit.iter() {
+        let nq = op.num_qubits();
+        let fixed = op.params.iter().all(|p| matches!(p, Param::Fixed(_)));
+        if nq == 1 && fixed {
+            pending[op.qubits[0]].push(op.clone());
+        } else {
+            for &q in &op.qubits[..nq] {
+                flush(&mut out, &mut pending, q);
+            }
+            out.push(op.kind, &op.qubits[..nq], &op.params);
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    if out.num_train_params() < circuit.num_train_params() {
+        out.set_num_train_params(circuit.num_train_params());
+    }
+    out
+}
+
+/// Synthesizes a fixed 2×2 unitary as ≤5 basis gates (empty for identity
+/// up to global phase).
+fn synthesize_mat2(q: usize, m: &Mat2) -> Circuit {
+    let mut out = Circuit::new(q + 1);
+    let phase_only = m.m[1].abs() < 1e-12
+        && m.m[2].abs() < 1e-12
+        && (m.m[0].conj() * m.m[3] - qns_tensor::C64::ONE).abs() < 1e-12;
+    if phase_only {
+        return out;
+    }
+    let (_, theta, phi, lambda) = zyz_angles(m);
+    let mut tmp = Circuit::new(q + 1);
+    tmp.push(
+        GateKind::U3,
+        &[q],
+        &[
+            Param::Fixed(theta),
+            Param::Fixed(phi),
+            Param::Fixed(lambda),
+        ],
+    );
+    let lowered = crate::basis::to_ibm_basis(&tmp);
+    for op in lowered.iter() {
+        out.push(op.kind, &op.qubits[..op.num_qubits()], &op.params);
+    }
+    out
+}
+
+/// Moves `RZ` gates acting on a CX *control* to the other side of the CX
+/// (they commute), which exposes more merges for the next cancel pass.
+fn commute_rz_through_cx(circuit: &Circuit) -> Circuit {
+    let ops: Vec<Op> = circuit.ops().to_vec();
+    let mut out_ops: Vec<Op> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if op.kind == GateKind::CX {
+            // Pull any RZ just before us on the control to just after us.
+            if let Some(last) = out_ops.last().cloned() {
+                if last.kind == GateKind::RZ && last.qubits[0] == op.qubits[0] {
+                    out_ops.pop();
+                    out_ops.push(op);
+                    out_ops.push(last);
+                    continue;
+                }
+            }
+        }
+        out_ops.push(op);
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in out_ops {
+        out.push(op.kind, &op.qubits[..op.num_qubits()], &op.params);
+    }
+    if out.num_train_params() < circuit.num_train_params() {
+        out.set_num_train_params(circuit.num_train_params());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_ibm_basis;
+    use qns_sim::{run, ExecMode};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fidelity(a: &Circuit, b: &Circuit, train: &[f64]) -> f64 {
+        let sa = run(a, train, &[], ExecMode::Dynamic);
+        let sb = run(b, train, &[], ExecMode::Dynamic);
+        sa.inner(&sb).abs()
+    }
+
+    #[test]
+    fn rz_pair_merges() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(0.3)]);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(0.4)]);
+        let o = optimize(&c, 1);
+        assert_eq!(o.num_ops(), 1);
+        assert!((fidelity(&c, &o, &[]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cx_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        assert_eq!(optimize(&c, 1).num_ops(), 0);
+    }
+
+    #[test]
+    fn reversed_cx_pair_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::CX, &[1, 0], &[]);
+        assert_eq!(optimize(&c, 1).num_ops(), 2);
+    }
+
+    #[test]
+    fn interleaved_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::X, &[1], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        let o = optimize(&c, 1);
+        assert_eq!(o.num_ops(), 3);
+    }
+
+    #[test]
+    fn sx_pair_becomes_x() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::SX, &[0], &[]);
+        c.push(GateKind::SX, &[0], &[]);
+        let o = optimize(&c, 1);
+        assert_eq!(o.num_ops(), 1);
+        assert_eq!(o.ops()[0].kind, GateKind::X);
+    }
+
+    #[test]
+    fn fixed_rz_merges_into_symbolic() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(0.5)]);
+        c.push(GateKind::RZ, &[0], &[Param::Train(0)]);
+        let o = optimize(&c, 1);
+        assert_eq!(o.num_ops(), 1);
+        assert!((fidelity(&c, &o, &[0.77]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn resynthesis_shrinks_long_1q_runs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Circuit::new(1);
+        for _ in 0..10 {
+            c.push(GateKind::RZ, &[0], &[Param::Fixed(rng.gen_range(-3.0..3.0))]);
+            c.push(GateKind::SX, &[0], &[]);
+        }
+        let o = optimize(&c, 2);
+        assert!(o.num_ops() <= 5, "resynthesized to {} ops", o.num_ops());
+        assert!((fidelity(&c, &o, &[]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_random_compiled_circuits() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for level in 1..=3 {
+            for seed in 0..4 {
+                let _ = seed;
+                let mut c = Circuit::new(3);
+                let mut train = Vec::new();
+                for _ in 0..20 {
+                    match rng.gen_range(0..4) {
+                        0 => {
+                            let q = rng.gen_range(0..3);
+                            train.push(rng.gen_range(-3.0..3.0));
+                            c.push(GateKind::RY, &[q], &[Param::Train(train.len() - 1)]);
+                        }
+                        1 => {
+                            let q = rng.gen_range(0..3);
+                            c.push(GateKind::H, &[q], &[]);
+                        }
+                        2 => {
+                            let a = rng.gen_range(0..3);
+                            let b = (a + 1) % 3;
+                            c.push(GateKind::CX, &[a, b], &[]);
+                        }
+                        _ => {
+                            let q = rng.gen_range(0..3);
+                            c.push(
+                                GateKind::U3,
+                                &[q],
+                                &[
+                                    Param::Fixed(rng.gen_range(-3.0..3.0)),
+                                    Param::Fixed(rng.gen_range(-3.0..3.0)),
+                                    Param::Fixed(rng.gen_range(-3.0..3.0)),
+                                ],
+                            );
+                        }
+                    }
+                }
+                let compiled = to_ibm_basis(&c);
+                let o = optimize(&compiled, level);
+                assert!(o.num_ops() <= compiled.num_ops());
+                let f = fidelity(&compiled, &o, &train);
+                assert!((f - 1.0).abs() < 1e-8, "level {level}: fidelity {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn commute_pass_merges_rz_across_cx_control() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(0.4)]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RZ, &[0], &[Param::Fixed(-0.4)]);
+        let o = optimize(&c, 3);
+        assert_eq!(o.num_ops(), 1, "both RZs merge away across the CX");
+        assert!((fidelity(&c, &o, &[]) - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: the transpiler preserves semantics on arbitrary
+//! circuits, devices, and layouts.
+
+use proptest::prelude::*;
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_noise::Device;
+use qns_sim::{run, ExecMode};
+use qns_transpile::{transpile, Layout};
+
+#[derive(Debug, Clone)]
+struct OpSpec {
+    kind_idx: usize,
+    a: usize,
+    b: usize,
+    vals: Vec<f64>,
+}
+
+fn arb_ops(n_qubits: usize, max_ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
+    prop::collection::vec(
+        (0usize..8, 0..n_qubits, 0..n_qubits, prop::collection::vec(-3.0..3.0f64, 3)),
+        1..max_ops,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(kind_idx, a, b, vals)| OpSpec { kind_idx, a, b, vals })
+            .collect()
+    })
+}
+
+fn build(n_qubits: usize, ops: &[OpSpec]) -> Circuit {
+    let pool = [
+        GateKind::H,
+        GateKind::RX,
+        GateKind::RY,
+        GateKind::U3,
+        GateKind::CX,
+        GateKind::CU3,
+        GateKind::RZZ,
+        GateKind::CZ,
+    ];
+    let mut c = Circuit::new(n_qubits);
+    for spec in ops {
+        let kind = pool[spec.kind_idx];
+        let qs: Vec<usize> = if kind.num_qubits() == 1 {
+            vec![spec.a]
+        } else if spec.a != spec.b {
+            vec![spec.a, spec.b]
+        } else {
+            vec![spec.a, (spec.a + 1) % n_qubits]
+        };
+        let ps: Vec<Param> = (0..kind.num_params())
+            .map(|k| Param::Fixed(spec.vals[k]))
+            .collect();
+        c.push(kind, &qs, &ps);
+    }
+    c
+}
+
+fn devices() -> Vec<Device> {
+    vec![Device::yorktown(), Device::belem(), Device::santiago()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Transpilation preserves every logical <Z> on every 5-qubit device,
+    /// at every optimization level, for arbitrary circuits.
+    #[test]
+    fn transpile_preserves_logical_expectations(
+        ops in arb_ops(4, 12),
+        dev_idx in 0usize..3,
+        opt in 0u8..=3,
+    ) {
+        let circuit = build(4, &ops);
+        let device = devices()[dev_idx].clone();
+        let t = transpile(&circuit, &device, &Layout::trivial(4), opt);
+        let ideal = run(&circuit, &[], &[], ExecMode::Static);
+        let compiled = run(&t.circuit, &[], &[], ExecMode::Static);
+        for l in 0..4 {
+            let a = ideal.expect_z(l);
+            let b = compiled.expect_z(t.dense_of_logical[l]);
+            prop_assert!((a - b).abs() < 1e-7, "logical {l}: {a} vs {b}");
+        }
+    }
+
+    /// Every two-qubit gate in the output respects the coupling map, for
+    /// arbitrary (valid) initial layouts.
+    #[test]
+    fn routing_respects_coupling(
+        ops in arb_ops(4, 10),
+        perm_seed in 0u64..50,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let circuit = build(4, &ops);
+        let device = Device::yorktown();
+        let mut phys: Vec<usize> = (0..5).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        phys.shuffle(&mut rng);
+        phys.truncate(4);
+        let layout = Layout::from_vec(phys);
+        let t = transpile(&circuit, &device, &layout, 2);
+        for op in t.circuit.iter() {
+            if op.num_qubits() == 2 {
+                prop_assert!(device.connected(
+                    t.phys_of[op.qubits[0]],
+                    t.phys_of[op.qubits[1]]
+                ));
+            }
+        }
+    }
+
+    /// Optimization level 1+ never grows the gate count.
+    #[test]
+    fn optimization_never_grows(ops in arb_ops(4, 12)) {
+        let circuit = build(4, &ops);
+        let device = Device::belem();
+        let l0 = transpile(&circuit, &device, &Layout::trivial(4), 0);
+        let l2 = transpile(&circuit, &device, &Layout::trivial(4), 2);
+        prop_assert!(l2.circuit.num_ops() <= l0.circuit.num_ops());
+    }
+
+    /// The output basis is exactly {CX, SX, RZ, X}.
+    #[test]
+    fn output_is_in_ibm_basis(ops in arb_ops(3, 10)) {
+        let circuit = build(3, &ops);
+        let t = transpile(&circuit, &Device::santiago(), &Layout::trivial(3), 2);
+        for op in t.circuit.iter() {
+            prop_assert!(matches!(
+                op.kind,
+                GateKind::CX | GateKind::SX | GateKind::RZ | GateKind::X
+            ));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Device study: how topology and error rates shape the searched circuit.
+//!
+//! Searches the same task on several 5-qubit device models ('+', 'T', and
+//! line topologies at different error rates) and shows that the searched
+//! mapping tracks each device's best qubits — the paper's Figure 14/20
+//! setup in miniature.
+//!
+//! ```text
+//! cargo run --release --example device_study
+//! ```
+
+use quantumnas::{
+    evolutionary_search, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
+    EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
+};
+use qns_noise::{Device, TrajectoryConfig};
+
+fn main() {
+    let task = Task::qml_digits(&[3, 6], 100, 4, 13);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let encoder = match &task {
+        Task::Qml { encoder, .. } => encoder.clone(),
+        _ => unreachable!("QML task"),
+    };
+
+    // The SuperCircuit is trained ONCE and reused for every device — the
+    // paper's Table I cost argument in action.
+    let (shared, _) = train_supercircuit(
+        &sc,
+        &task,
+        &SuperTrainConfig {
+            steps: 120,
+            batch_size: 12,
+            warmup_steps: 12,
+            ..Default::default()
+        },
+    );
+
+    let measure = TrajectoryConfig {
+        trajectories: 10,
+        seed: 1,
+        readout: true,
+    };
+    println!(
+        "{:<10} {:>9} {:>10} {:>12} {:>16}",
+        "device", "topology", "mean e2q", "mapping", "measured acc"
+    );
+    for device in Device::all_5q() {
+        let estimator = Estimator::new(device.clone(), EstimatorKind::SuccessRate, 2);
+        let search = evolutionary_search(&sc, &shared, &task, &estimator, &EvoConfig::fast(4));
+        let circuit = sc.build(&search.best.config, Some(&encoder));
+        let (params, _) = train_task(
+            &circuit,
+            &task,
+            &TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                ..Default::default()
+            },
+            None,
+        );
+        let acc = estimator.test_accuracy(
+            &circuit,
+            &params,
+            &task,
+            &search.best.layout(),
+            50,
+            measure,
+        );
+        println!(
+            "{:<10} {:>9} {:>10.4} {:>12} {:>16.3}",
+            device.name(),
+            format!("{:?}", device.topology()),
+            device.mean_err_2q(),
+            format!("{:?}", search.best.layout),
+            acc
+        );
+    }
+}

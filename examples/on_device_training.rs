@@ -1,0 +1,110 @@
+//! On-device training: the paper's scalability path.
+//!
+//! For circuits too large to simulate classically, the paper proposes
+//! running the whole QuantumNAS pipeline on quantum hardware, with
+//! parameter-shift gradients estimated from measured expectations. This
+//! example trains a small VQE ansatz and a small classifier *entirely
+//! against the noisy device model* — no noise-free gradients anywhere —
+//! and compares against classical (noise-free) training of the same
+//! circuits.
+//!
+//! ```text
+//! cargo run --release --example on_device_training
+//! ```
+
+use quantumnas::{
+    eval_task, train_qml_on_device, train_task, train_vqe_on_device, DesignSpace,
+    Estimator, EstimatorKind, OnDeviceTrainConfig, SpaceKind, Split, SuperCircuit, Task,
+    TrainConfig,
+};
+use qns_chem::Molecule;
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::Layout;
+
+fn main() {
+    let device = Device::belem();
+    println!("on-device training against the {} model\n", device.name());
+
+    // --- VQE: H2 ansatz trained from measured energies only ---
+    let mol = Molecule::h2();
+    let task = Task::vqe(&mol);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+    let ansatz = sc.build(&sc.max_config(), None);
+    let exact = mol.fci_energy();
+
+    let (_, on_device_hist) = train_vqe_on_device(
+        &ansatz,
+        &task,
+        &device,
+        &Layout::trivial(2),
+        &OnDeviceTrainConfig {
+            steps: 40,
+            lr: 0.1,
+            trajectories: 16,
+            batch: 1,
+            seed: 1,
+        },
+    );
+    let (classical_params, _) = train_task(
+        &ansatz,
+        &task,
+        &TrainConfig {
+            epochs: 200,
+            lr: 0.05,
+            ..Default::default()
+        },
+        None,
+    );
+    let est = Estimator::new(device.clone(), EstimatorKind::Noiseless, 2);
+    let classical_measured = est.vqe_energy_measured(
+        &ansatz,
+        &classical_params,
+        mol.hamiltonian(),
+        &Layout::trivial(2),
+        TrajectoryConfig {
+            trajectories: 16,
+            seed: 2,
+            readout: true,
+        },
+    );
+    println!("H2 VQE (exact ground energy {exact:.4}):");
+    println!(
+        "  on-device training:   measured energy {:.4} -> {:.4} over {} steps",
+        on_device_hist[0],
+        on_device_hist.last().expect("non-empty"),
+        on_device_hist.len()
+    );
+    println!("  classical training:   measured energy {classical_measured:.4} (after deploy)\n");
+
+    // --- QML: 2-class task trained from measured expectations only ---
+    let task = Task::qml_digits(&[3, 6], 60, 4, 9);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::ZzRy), 4, 2);
+    let encoder = match &task {
+        Task::Qml { encoder, .. } => encoder.clone(),
+        _ => unreachable!("QML task"),
+    };
+    let circuit = sc.build(&sc.max_config(), Some(&encoder));
+    let (params, history) = train_qml_on_device(
+        &circuit,
+        &task,
+        &device,
+        &Layout::trivial(4),
+        &OnDeviceTrainConfig {
+            steps: 50,
+            lr: 0.05,
+            trajectories: 8,
+            batch: 3,
+            seed: 4,
+        },
+    );
+    let (_, ideal_acc) = eval_task(&circuit, &params, &task, Split::Test);
+    println!("MNIST-2 on-device training:");
+    println!(
+        "  measured per-sample loss {:.3} -> {:.3} over {} steps",
+        history[0],
+        history.last().expect("non-empty"),
+        history.len()
+    );
+    println!("  noise-free test accuracy of the hardware-trained parameters: {ideal_acc:.3}");
+    println!("\n(each on-device step costs 2P+1 measured evaluations — the hardware price)");
+}

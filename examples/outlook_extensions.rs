@@ -1,0 +1,67 @@
+//! The paper's outlook, implemented: barren-plateau analysis and quantum
+//! feature-map search.
+//!
+//! Outlook #1 asks how to deploy noise-adaptive search on the data
+//! encoder; outlook #2 asks whether searched ansatzes alleviate the
+//! barren plateau. This example runs both extensions.
+//!
+//! ```text
+//! cargo run --release --example outlook_extensions
+//! ```
+
+use quantumnas::{
+    barren_plateau_scan, plateau_relief, search_feature_map, DesignSpace, Estimator,
+    EstimatorKind, EvoConfig, SpaceKind, SubConfig, SuperCircuit, SuperTrainConfig, Task,
+};
+use qns_noise::Device;
+
+fn main() {
+    // --- Outlook #2: the barren plateau, measured ---
+    println!("barren plateau: Var[dE/dθ0] over random inits (RXYZ space, 3 blocks)");
+    println!("{:>8} {:>14}", "qubits", "grad variance");
+    for point in barren_plateau_scan(SpaceKind::Rxyz, &[2, 4, 6, 8], 3, 48, 7) {
+        println!("{:>8} {:>14.6}", point.n_qubits, point.variance);
+    }
+    println!("(exponential decay in qubit count = the plateau)\n");
+
+    // Does a shallow searched architecture relieve it?
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::Rxyz), 6, 6);
+    let shallow = SubConfig {
+        n_blocks: 2,
+        ..sc.max_config()
+    };
+    let (searched_var, full_var) = plateau_relief(&sc, &shallow, 48, 11);
+    println!(
+        "plateau relief at 6 qubits: searched (2 blocks) variance {searched_var:.6} vs \
+         full (6 blocks) {full_var:.6} — factor {:.1}x",
+        searched_var / full_var
+    );
+
+    // --- Outlook #1: feature-map search ---
+    println!("\nfeature-map search (MNIST-2 on the Yorktown model):");
+    let task = Task::qml_digits(&[3, 6], 80, 4, 17);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let estimator = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 2)
+        .with_valid_cap(12);
+    let result = search_feature_map(
+        &task,
+        &sc,
+        &estimator,
+        &SuperTrainConfig {
+            steps: 80,
+            batch_size: 8,
+            warmup_steps: 8,
+            ..Default::default()
+        },
+        &EvoConfig::fast(3),
+    );
+    println!("{:>8} {:>14}", "encoder", "search score");
+    for (name, score) in &result.all_scores {
+        let marker = if *name == result.encoder_name { " <- winner" } else { "" };
+        println!("{:>8} {:>14.4}{}", name, score, marker);
+    }
+    println!(
+        "\nwinning feature map: {} (score {:.4}, {} blocks searched)",
+        result.encoder_name, result.score, result.gene.config.n_blocks
+    );
+}

@@ -1,0 +1,117 @@
+//! QML classification: QuantumNAS against the paper's baselines.
+//!
+//! Compares, on one task and device, the measured accuracy of
+//! (1) a human-designed circuit, (2) the best of three random circuits,
+//! (3) a human design with noise-adaptive mapping, and (4) the QuantumNAS
+//! co-searched circuit + mapping — the paper's Figure 13 setup in
+//! miniature.
+//!
+//! ```text
+//! cargo run --release --example qml_classification
+//! ```
+
+use quantumnas::{
+    evolutionary_search, human_design, random_design, train_supercircuit, train_task,
+    DesignSpace, Estimator, EstimatorKind, EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig,
+    Task, TrainConfig,
+};
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::Layout;
+
+fn main() {
+    let device = Device::yorktown();
+    let task = Task::qml_fashion(&[3, 6], 120, 4, 11);
+    let space = DesignSpace::new(SpaceKind::U3Cu3);
+    let sc = SuperCircuit::new(space, 4, 3);
+    let encoder = match &task {
+        Task::Qml { encoder, .. } => encoder.clone(),
+        _ => unreachable!("QML task"),
+    };
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let measure = TrajectoryConfig {
+        trajectories: 12,
+        seed: 3,
+        readout: true,
+    };
+    let estimator = Estimator::new(device.clone(), EstimatorKind::SuccessRate, 2);
+    let n_test = 60;
+
+    println!(
+        "task {} | device {} | space {}",
+        task.name(),
+        device.name(),
+        sc.space().kind()
+    );
+
+    // QuantumNAS: SuperCircuit → evolutionary co-search → train.
+    let (shared, _) = train_supercircuit(
+        &sc,
+        &task,
+        &SuperTrainConfig {
+            steps: 120,
+            batch_size: 12,
+            warmup_steps: 12,
+            ..Default::default()
+        },
+    );
+    let search = evolutionary_search(&sc, &shared, &task, &estimator, &EvoConfig::fast(5));
+    let nas_circuit = sc.build(&search.best.config, Some(&encoder));
+    let (nas_params, _) = train_task(&nas_circuit, &task, &train_cfg, None);
+    let n_params = nas_circuit.referenced_train_indices().len();
+    let nas_layout = search.best.layout();
+
+    // Baselines at the same parameter budget.
+    let human_cfg = human_design(&sc, n_params);
+    let human_circuit = sc.build(&human_cfg, Some(&encoder));
+    let (human_params, _) = train_task(&human_circuit, &task, &train_cfg, None);
+
+    let mut best_random_acc = 0.0_f64;
+    for seed in 0..3 {
+        let cfg = random_design(&sc, n_params, seed);
+        let circuit = sc.build(&cfg, Some(&encoder));
+        let (params, _) = train_task(&circuit, &task, &train_cfg, None);
+        let acc = estimator.test_accuracy(
+            &circuit,
+            &params,
+            &task,
+            &Layout::trivial(4),
+            n_test,
+            measure,
+        );
+        best_random_acc = best_random_acc.max(acc);
+    }
+
+    let trivial = Layout::trivial(4);
+    let noise_adaptive = Layout::noise_adaptive(4, &device);
+    let rows = [
+        (
+            "human + trivial mapping",
+            estimator.test_accuracy(&human_circuit, &human_params, &task, &trivial, n_test, measure),
+        ),
+        ("random (best of 3)", best_random_acc),
+        (
+            "human + noise-adaptive mapping",
+            estimator.test_accuracy(
+                &human_circuit,
+                &human_params,
+                &task,
+                &noise_adaptive,
+                n_test,
+                measure,
+            ),
+        ),
+        (
+            "QuantumNAS (co-searched)",
+            estimator.test_accuracy(&nas_circuit, &nas_params, &task, &nas_layout, n_test, measure),
+        ),
+    ];
+
+    println!("\n{:<34}  measured accuracy ({} params each)", "method", n_params);
+    for (name, acc) in rows {
+        println!("{:<34}  {:.3}", name, acc);
+    }
+}

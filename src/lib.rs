@@ -1,0 +1,7 @@
+//! Workspace umbrella crate for the QuantumNAS reproduction.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual library surface lives in
+//! [`quantumnas`] and the substrate crates it builds on.
+
+pub use quantumnas;

@@ -1,0 +1,141 @@
+//! Cross-crate semantics: design-space circuits survive the full
+//! transpile → noisy-execution path with correct measurement mapping.
+
+use quantumnas::{DesignSpace, SpaceKind, SuperCircuit};
+use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
+use qns_sim::{run, ExecMode};
+use qns_transpile::{transpile, Layout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// For every design space and several devices: compile the maximal
+/// SubCircuit, simulate both forms noise-free, and check logical
+/// expectations agree through the measurement mapping.
+#[test]
+fn every_space_compiles_faithfully_on_every_5q_device() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for &space in SpaceKind::all() {
+        let sc = SuperCircuit::new(DesignSpace::new(space), 4, 2);
+        let circuit = sc.build(&sc.max_config(), None);
+        let params: Vec<f64> = (0..circuit.num_train_params())
+            .map(|_| rng.gen_range(-2.0..2.0))
+            .collect();
+        for device in [Device::yorktown(), Device::santiago()] {
+            let t = transpile(&circuit, &device, &Layout::trivial(4), 2);
+            let ideal = run(&circuit, &params, &[], ExecMode::Static);
+            let compiled = run(&t.circuit, &params, &[], ExecMode::Static);
+            for l in 0..4 {
+                let a = ideal.expect_z(l);
+                let b = compiled.expect_z(t.dense_of_logical[l]);
+                assert!(
+                    (a - b).abs() < 1e-7,
+                    "{space:?} on {}: logical {l}: {a} vs {b}",
+                    device.name()
+                );
+            }
+            // Coupling-map respected.
+            for op in t.circuit.iter() {
+                if op.num_qubits() == 2 {
+                    assert!(device.connected(t.phys_of[op.qubits[0]], t.phys_of[op.qubits[1]]));
+                }
+            }
+        }
+    }
+}
+
+/// Noise monotonicity through the whole stack: scaling a device's error
+/// rates up lowers the noisy fidelity of a compiled circuit.
+#[test]
+fn noisier_devices_degrade_compiled_circuits_more() {
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let circuit = sc.build(&sc.max_config(), None);
+    let params: Vec<f64> = (0..circuit.num_train_params())
+        .map(|i| 0.4 + 0.05 * (i as f64))
+        .collect();
+    let base = Device::belem();
+    let t = transpile(&circuit, &base, &Layout::trivial(4), 2);
+    let ideal = run(&t.circuit, &params, &[], ExecMode::Static);
+
+    let fidelity_on = |device: Device| -> f64 {
+        let exec = TrajectoryExecutor::new(
+            device,
+            TrajectoryConfig {
+                trajectories: 24,
+                seed: 9,
+                readout: false,
+            },
+        );
+        let noisy = exec.expect_z(&t.circuit, &params, &[], &t.phys_of);
+        // Agreement of <Z> profiles as a cheap fidelity proxy.
+        noisy
+            .expect_z
+            .iter()
+            .enumerate()
+            .map(|(q, e)| 1.0 - (e - ideal.expect_z(q)).abs())
+            .sum::<f64>()
+            / t.circuit.num_qubits() as f64
+    };
+    let quiet = fidelity_on(base.scaled_errors(0.2));
+    let loud = fidelity_on(base.scaled_errors(5.0));
+    assert!(
+        quiet > loud,
+        "quiet {quiet} should preserve expectations better than loud {loud}"
+    );
+}
+
+/// The success-rate estimator agrees with compiled gate counts: more gates
+/// on a noisier mapping means a lower rate.
+#[test]
+fn success_rate_tracks_compiled_size() {
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let small = {
+        let mut cfg = sc.max_config();
+        cfg.n_blocks = 1;
+        cfg.widths[0] = vec![2, 1];
+        sc.build(&cfg, None)
+    };
+    let large = sc.build(&sc.max_config(), None);
+    let device = Device::yorktown();
+    let ts = transpile(&small, &device, &Layout::trivial(4), 2);
+    let tl = transpile(&large, &device, &Layout::trivial(4), 2);
+    let rs = circuit_success_rate(&ts.circuit, &device, &ts.phys_of, true);
+    let rl = circuit_success_rate(&tl.circuit, &device, &tl.phys_of, true);
+    assert!(ts.circuit.num_ops() < tl.circuit.num_ops());
+    assert!(rs > rl, "small-circuit rate {rs} vs large {rl}");
+}
+
+/// VQE "hardware measurement" path: QWC-grouped noisy estimation of <H>
+/// converges to the exact expectation as noise vanishes.
+#[test]
+fn grouped_vqe_measurement_matches_exact_in_noiseless_limit() {
+    use quantumnas::{Estimator, EstimatorKind, Task};
+    let mol = qns_chem::Molecule::h2();
+    let task = Task::vqe(&mol);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+    let circuit = sc.build(&sc.max_config(), None);
+    let params: Vec<f64> = (0..circuit.num_train_params())
+        .map(|i| 0.3 * (i as f64 + 1.0).sin())
+        .collect();
+    let exact = {
+        let s = run(&circuit, &params, &[], ExecMode::Static);
+        mol.hamiltonian().expectation(&s)
+    };
+    let device = Device::santiago().scaled_errors(1e-9);
+    let est = Estimator::new(device, EstimatorKind::Noiseless, 2);
+    let measured = est.vqe_energy_measured(
+        &circuit,
+        &params,
+        mol.hamiltonian(),
+        &Layout::trivial(2),
+        TrajectoryConfig {
+            trajectories: 4,
+            seed: 0,
+            readout: false,
+        },
+    );
+    assert!(
+        (measured - exact).abs() < 0.02,
+        "grouped measurement {measured} vs exact {exact}"
+    );
+    let _ = task;
+}

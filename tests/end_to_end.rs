@@ -1,0 +1,121 @@
+//! End-to-end integration tests: every crate cooperating through the full
+//! QuantumNAS pipeline, at miniature scale.
+
+use quantumnas::{
+    EvoConfig, PruneConfig, QuantumNas, QuantumNasConfig, SpaceKind, SuperTrainConfig, Task,
+    TrainConfig,
+};
+use qns_noise::{Device, TrajectoryConfig};
+
+fn tiny_config() -> QuantumNasConfig {
+    let mut cfg = QuantumNasConfig::fast();
+    cfg.super_train = SuperTrainConfig {
+        steps: 25,
+        batch_size: 6,
+        warmup_steps: 3,
+        ..Default::default()
+    };
+    cfg.evo = EvoConfig {
+        iterations: 3,
+        population: 6,
+        parents: 2,
+        mutations: 2,
+        crossovers: 2,
+        ..EvoConfig::fast(0)
+    };
+    cfg.train = TrainConfig {
+        epochs: 5,
+        batch_size: 12,
+        lr: 0.02,
+        ..Default::default()
+    };
+    cfg.prune = Some(PruneConfig {
+        final_ratio: 0.25,
+        steps: 1,
+        finetune_epochs: 1,
+        ..Default::default()
+    });
+    cfg.measure = TrajectoryConfig {
+        trajectories: 3,
+        seed: 0,
+        readout: true,
+    };
+    cfg.n_test = 16;
+    cfg
+}
+
+#[test]
+fn qml_pipeline_produces_valid_report() {
+    let task = Task::qml_digits(&[1, 8], 25, 4, 3);
+    let nas = QuantumNas::new(SpaceKind::U3Cu3, Device::yorktown(), task, tiny_config());
+    let report = nas.run(7);
+    assert!((0.0..=1.0).contains(&report.final_accuracy));
+    assert!((0.0..=1.0).contains(&report.accuracy_before_prune));
+    assert!(report.trained_loss.is_finite() && report.trained_loss > 0.0);
+    assert!(report.n_params > 0);
+    assert!(report.pruned_ratio > 0.0 && report.pruned_ratio < 1.0);
+    // The searched mapping is injective onto the device.
+    let mut seen = std::collections::HashSet::new();
+    for &p in &report.gene.layout {
+        assert!(p < 5);
+        assert!(seen.insert(p));
+    }
+}
+
+#[test]
+fn pipeline_works_in_every_design_space() {
+    let mut cfg = tiny_config();
+    cfg.prune = None;
+    cfg.super_train.steps = 12;
+    cfg.evo.iterations = 2;
+    cfg.train.epochs = 2;
+    for &space in SpaceKind::all() {
+        let task = Task::qml_digits(&[3, 6], 15, 4, 11);
+        let mut space_cfg = cfg.clone();
+        // The IBMQ-basis space is depth-elastic with 6 layers per block.
+        if space == SpaceKind::IbmqBasis {
+            space_cfg.blocks = Some(2);
+        }
+        let nas = QuantumNas::new(space, Device::belem(), task, space_cfg);
+        let report = nas.run(1);
+        assert!(
+            (0.0..=1.0).contains(&report.final_accuracy),
+            "space {space:?}"
+        );
+    }
+}
+
+#[test]
+fn vqe_pipeline_finds_bound_state() {
+    let mol = qns_chem::Molecule::h2();
+    let task = Task::vqe(&mol);
+    let mut cfg = tiny_config();
+    cfg.train = TrainConfig {
+        epochs: 150,
+        lr: 0.05,
+        ..Default::default()
+    };
+    cfg.prune = None;
+    let nas = QuantumNas::new(SpaceKind::U3Cu3, Device::santiago(), task, cfg);
+    let report = nas.run(3);
+    // Exact is about -1.85; a tiny run must still find a clearly bound state.
+    assert!(
+        report.final_energy < -0.9,
+        "measured energy {}",
+        report.final_energy
+    );
+    assert!(report.final_accuracy.is_nan());
+}
+
+#[test]
+fn reports_are_reproducible_for_a_seed() {
+    let make = || {
+        let task = Task::qml_digits(&[1, 8], 20, 4, 5);
+        QuantumNas::new(SpaceKind::ZzRy, Device::quito(), task, tiny_config()).run(99)
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.gene.layout, b.gene.layout);
+    assert_eq!(a.n_params, b.n_params);
+    assert!((a.final_accuracy - b.final_accuracy).abs() < 1e-12);
+}

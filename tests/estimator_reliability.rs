@@ -1,0 +1,106 @@
+//! Cross-crate test of the paper's central approximation: SubCircuit
+//! performance with inherited SuperCircuit parameters predicts the ranking
+//! of from-scratch-trained SubCircuits (Figure 9's property).
+
+use quantumnas::{
+    eval_task, inherited_eval, train_supercircuit, train_task, DesignSpace, SpaceKind, Split,
+    SubConfig, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
+};
+use qns_ml::spearman;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn inherited_ranking_correlates_with_scratch_training() {
+    let task = Task::qml_digits(&[3, 6], 60, 4, 13);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let (shared, _) = train_supercircuit(
+        &sc,
+        &task,
+        &SuperTrainConfig {
+            steps: 120,
+            batch_size: 8,
+            warmup_steps: 12,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut inherited = Vec::new();
+    let mut scratch = Vec::new();
+    for k in 0..6u64 {
+        let cfg = SubConfig {
+            n_blocks: rng.gen_range(1..=2),
+            widths: (0..2)
+                .map(|_| (0..2).map(|_| rng.gen_range(1..=4)).collect())
+                .collect(),
+        };
+        let (inh, _) = inherited_eval(&sc, &shared, &cfg, &task, Split::Valid);
+        let circuit = match &task {
+            Task::Qml { encoder, .. } => sc.build(&cfg, Some(encoder)),
+            _ => unreachable!(),
+        };
+        let (params, _) = train_task(
+            &circuit,
+            &task,
+            &TrainConfig {
+                epochs: 12,
+                batch_size: 12,
+                lr: 0.02,
+                seed: k,
+                ..Default::default()
+            },
+            None,
+        );
+        let (scr, _) = eval_task(&circuit, &params, &task, Split::Valid);
+        inherited.push(inh);
+        scratch.push(scr);
+    }
+    let rho = spearman(&inherited, &scratch);
+    assert!(
+        rho > 0.2,
+        "inherited/scratch correlation too weak: {rho} ({inherited:?} vs {scratch:?})"
+    );
+}
+
+#[test]
+fn supercircuit_parameters_transfer_across_subconfigs() {
+    // A SubCircuit evaluated with inherited parameters must beat random
+    // parameters on average — the sharing actually trains the subsets.
+    let task = Task::qml_digits(&[1, 8], 50, 4, 17);
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::ZzRy), 4, 2);
+    let (shared, _) = train_supercircuit(
+        &sc,
+        &task,
+        &SuperTrainConfig {
+            steps: 150,
+            batch_size: 8,
+            warmup_steps: 15,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(23);
+    let random: Vec<f64> = (0..sc.num_params()).map(|_| rng.gen_range(-0.3..0.3)).collect();
+    let mut inherited_better = 0;
+    let n = 6;
+    for _ in 0..n {
+        let cfg = SubConfig {
+            n_blocks: rng.gen_range(1..=2),
+            widths: (0..2)
+                .map(|_| (0..2).map(|_| rng.gen_range(2..=4)).collect())
+                .collect(),
+        };
+        let (trained_loss, _) = inherited_eval(&sc, &shared, &cfg, &task, Split::Valid);
+        let circuit = match &task {
+            Task::Qml { encoder, .. } => sc.build(&cfg, Some(encoder)),
+            _ => unreachable!(),
+        };
+        let (random_loss, _) = eval_task(&circuit, &random, &task, Split::Valid);
+        if trained_loss < random_loss {
+            inherited_better += 1;
+        }
+    }
+    assert!(
+        inherited_better * 2 > n,
+        "inherited params beat random on only {inherited_better}/{n} configs"
+    );
+}

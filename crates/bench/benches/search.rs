@@ -2,12 +2,12 @@
 //! measured side of Table I's cost model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::Layout;
 use quantumnas::{
     evolutionary_search, train_supercircuit, DesignSpace, Estimator, EstimatorKind, EvoConfig,
     SpaceKind, SuperCircuit, SuperTrainConfig, Task,
 };
-use qns_noise::{Device, TrajectoryConfig};
-use qns_transpile::Layout;
 
 fn setup() -> (SuperCircuit, Vec<f64>, Task) {
     let task = Task::qml_digits(&[3, 6], 40, 4, 5);

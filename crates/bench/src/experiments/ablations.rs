@@ -1,13 +1,13 @@
 //! Table VI and Figures 18–23: ablations and analysis experiments.
 
 use crate::{banner, build, measure, noisy_estimator, qml_task, Scale};
+use qns_noise::{Device, DriftingDevice, TrajectoryConfig};
+use qns_transpile::Layout;
 use quantumnas::{
     evolutionary_search, iterative_prune, random_search, train_supercircuit, train_task,
     DesignSpace, Estimator, EstimatorKind, PruneConfig, SamplerConfig, SpaceKind, SuperCircuit,
     SuperTrainConfig,
 };
-use qns_noise::{Device, DriftingDevice, TrajectoryConfig};
-use qns_transpile::Layout;
 
 /// Table VI: searching with the (frozen-noise) estimator vs "real QC"
 /// feedback under calibration drift, at optimization levels 2 and 3.
@@ -23,7 +23,10 @@ pub fn tab6(scale: &Scale) {
 
     for opt_level in [2u8, 3u8] {
         println!("\n-- optimization level {opt_level} --");
-        println!("{:<12} {:>12} {:>14}", "device", "estimator", "w/ drifting QC");
+        println!(
+            "{:<12} {:>12} {:>14}",
+            "device", "estimator", "w/ drifting QC"
+        );
         for device in &devices {
             // Estimator search: frozen calibration snapshot.
             let kind = if scale.full {
@@ -47,13 +50,16 @@ pub fn tab6(scale: &Scale) {
             let mut best: Option<(quantumnas::Gene, f64)> = None;
             for iter in 0..evo.iterations {
                 let snapshot = drift.at(iter as f64 / 3.0);
-                let mut iter_est =
-                    Estimator::new(snapshot, kind, opt_level).with_valid_cap(12);
+                let mut iter_est = Estimator::new(snapshot, kind, opt_level).with_valid_cap(12);
                 let mut one = evo;
                 one.iterations = 1;
                 one.seed = 43 + iter as u64;
                 let r = evolutionary_search(&sc, &shared, &task, &iter_est, &one);
-                if best.as_ref().map(|(_, s)| r.best_score < *s).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(_, s)| r.best_score < *s)
+                    .unwrap_or(true)
+                {
                     best = Some((r.best, r.best_score));
                 }
                 iter_est.set_device(device.clone());
@@ -65,15 +71,14 @@ pub fn tab6(scale: &Scale) {
             let eval = |gene: &quantumnas::Gene, seed: u64| -> f64 {
                 let circuit = build(&sc, &gene.config, &task);
                 let (params, _) = train_task(&circuit, &task, &scale.train(seed), None);
-                Estimator::new(device.clone(), EstimatorKind::Noiseless, opt_level)
-                    .test_accuracy(
-                        &circuit,
-                        &params,
-                        &task,
-                        &gene.layout(),
-                        scale.n_test,
-                        scale.measure(),
-                    )
+                Estimator::new(device.clone(), EstimatorKind::Noiseless, opt_level).test_accuracy(
+                    &circuit,
+                    &params,
+                    &task,
+                    &gene.layout(),
+                    scale.n_test,
+                    scale.measure(),
+                )
             };
             println!(
                 "{:<12} {:>12.3} {:>14.3}",
@@ -123,8 +128,15 @@ pub fn fig18(scale: &Scale) {
                 // Pure human baseline: human design, trivial layout.
                 let circuit = build(&sc, &human_gene.config, &task);
                 let (params, _) = train_task(&circuit, &task, &scale.train(seed), None);
-                return measure(&task, &device, scale, &circuit, &params, &Layout::trivial(4))
-                    .measured;
+                return measure(
+                    &task,
+                    &device,
+                    scale,
+                    &circuit,
+                    &params,
+                    &Layout::trivial(4),
+                )
+                .measured;
             }
             let mut evo = scale.evo;
             evo.seed = seed;
@@ -140,7 +152,15 @@ pub fn fig18(scale: &Scale) {
             );
             let circuit = build(&sc, &search.best.config, &task);
             let (params, _) = train_task(&circuit, &task, &scale.train(seed), None);
-            measure(&task, &device, scale, &circuit, &params, &search.best.layout()).measured
+            measure(
+                &task,
+                &device,
+                scale,
+                &circuit,
+                &params,
+                &search.best.layout(),
+            )
+            .measured
         };
         // Search outcomes are seed-noisy at quick scale: average 3 seeds.
         let reps = if scale.full { 1 } else { 3 };
@@ -178,7 +198,10 @@ pub fn fig19(scale: &Scale) {
             ("Fashion-2", SpaceKind::RxyzU1Cu3),
         ]
     } else {
-        vec![("MNIST-2", SpaceKind::ZxXx), ("Fashion-2", SpaceKind::U3Cu3)]
+        vec![
+            ("MNIST-2", SpaceKind::ZxXx),
+            ("Fashion-2", SpaceKind::U3Cu3),
+        ]
     };
     println!(
         "{:<12} {:<14} {:>16} {:>14}",
@@ -200,10 +223,7 @@ pub fn fig19(scale: &Scale) {
             };
             let mut st = scale.super_train(seed);
             st.steps *= 2;
-            let cfg = SuperTrainConfig {
-                sampler,
-                ..st
-            };
+            let cfg = SuperTrainConfig { sampler, ..st };
             let (shared, _) = train_supercircuit(&sc, &task, &cfg);
             let estimator = noisy_estimator(&device, scale);
             let mut evo = scale.evo;
@@ -211,7 +231,15 @@ pub fn fig19(scale: &Scale) {
             let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
             let circuit = build(&sc, &search.best.config, &task);
             let (params, _) = train_task(&circuit, &task, &scale.train(seed ^ 4), None);
-            measure(&task, &device, scale, &circuit, &params, &search.best.layout()).measured
+            measure(
+                &task,
+                &device,
+                scale,
+                &circuit,
+                &params,
+                &search.best.layout(),
+            )
+            .measured
         };
         let reps = if scale.full { 1 } else { 3 };
         let run_variant = |progressive: bool| -> f64 {
@@ -251,9 +279,24 @@ pub fn fig20(scale: &Scale) {
         let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
         let circuit = build(&sc, &search.best.config, &task);
         let (params, _) = train_task(&circuit, &task, &scale.train(5), None);
-        let searched =
-            measure(&task, &device, scale, &circuit, &params, &search.best.layout()).measured;
-        let naive = measure(&task, &device, scale, &circuit, &params, &Layout::trivial(4)).measured;
+        let searched = measure(
+            &task,
+            &device,
+            scale,
+            &circuit,
+            &params,
+            &search.best.layout(),
+        )
+        .measured;
+        let naive = measure(
+            &task,
+            &device,
+            scale,
+            &circuit,
+            &params,
+            &Layout::trivial(4),
+        )
+        .measured;
         // Convergence iteration: last improvement of the best-so-far curve.
         let conv = search
             .history
@@ -320,7 +363,10 @@ pub fn fig21_22(scale: &Scale) {
 
 /// Figure 23: measured accuracy across final pruning ratios.
 pub fn fig23(scale: &Scale) {
-    banner("Figure 23", "pruning-ratio sweep: each task has a sweet spot");
+    banner(
+        "Figure 23",
+        "pruning-ratio sweep: each task has a sweet spot",
+    );
     let device = Device::yorktown();
     let pairs = vec![
         ("MNIST-2", SpaceKind::ZzRy),
@@ -341,7 +387,15 @@ pub fn fig23(scale: &Scale) {
         print!("{:<12} {:<12}", task_name, DesignSpace::new(space).kind());
         for &ratio in &ratios {
             let acc = if ratio == 0.0 {
-                measure(&task, &device, scale, &circuit, &params, &search.best.layout()).measured
+                measure(
+                    &task,
+                    &device,
+                    scale,
+                    &circuit,
+                    &params,
+                    &search.best.layout(),
+                )
+                .measured
             } else {
                 let pruned = iterative_prune(
                     &circuit,

@@ -1,22 +1,25 @@
 //! Table I, Table II, Figure 9, Figure 10, Figure 12, Figure 15.
 
 use crate::{banner, build, qml_task, Scale};
-use quantumnas::{
-    eval_task, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
-    EvoConfig, evolutionary_search, SpaceKind, Split, SubConfig, SuperCircuit,
-};
 use qns_circuit::{Circuit, GateKind, Param};
 use qns_ml::spearman;
 use qns_noise::Device;
 use qns_sim::{run, ExecMode};
 use qns_transpile::{to_ibm_basis, transpile, Layout};
+use quantumnas::{
+    eval_task, evolutionary_search, train_supercircuit, train_task, DesignSpace, Estimator,
+    EstimatorKind, EvoConfig, SpaceKind, Split, SubConfig, SuperCircuit,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Table I: circuit-run counts with and without the SuperCircuit.
 pub fn tab1(_scale: &Scale) {
-    banner("Table I", "SuperCircuit decouples parameter training from search");
+    banner(
+        "Table I",
+        "SuperCircuit decouples parameter training from search",
+    );
     let cost = quantumnas::RunCost {
         n_devices: 10,
         n_search: 1600,
@@ -25,7 +28,11 @@ pub fn tab1(_scale: &Scale) {
     };
     println!("{:<22} {:>18}", "strategy", "circuit runs");
     println!("{:<22} {:>18.3e}", "naive search", cost.naive());
-    println!("{:<22} {:>18.3e}", "with SuperCircuit", cost.with_supercircuit());
+    println!(
+        "{:<22} {:>18.3e}",
+        "with SuperCircuit",
+        cost.with_supercircuit()
+    );
     println!(
         "reduction: {:.0}x (paper quotes ~N_device x N_search = {}x)",
         cost.reduction(),
@@ -35,7 +42,10 @@ pub fn tab1(_scale: &Scale) {
 
 /// Table II: compiled gate counts of U3 with zeroed parameters.
 pub fn tab2(_scale: &Scale) {
-    banner("Table II", "pruning part of a U3 gate reduces compiled gates");
+    banner(
+        "Table II",
+        "pruning part of a U3 gate reduces compiled gates",
+    );
     let cases: [(&str, [f64; 3]); 6] = [
         ("(th, ph, la)", [0.3, 0.4, 0.5]),
         ("(0,  ph, la)", [0.0, 0.4, 0.5]),
@@ -44,7 +54,10 @@ pub fn tab2(_scale: &Scale) {
         ("(0,  ph, 0 )", [0.0, 0.4, 0.0]),
         ("(0,  0,  la)", [0.0, 0.0, 0.5]),
     ];
-    println!("{:<14} {:>16}  (paper: 5, 1, 4, 4, 1, 1)", "U3 pattern", "#compiled gates");
+    println!(
+        "{:<14} {:>16}  (paper: 5, 1, 4, 4, 1, 1)",
+        "U3 pattern", "#compiled gates"
+    );
     for (label, p) in cases {
         let mut c = Circuit::new(1);
         c.push(
@@ -83,9 +96,11 @@ pub fn fig9(scale: &Scale) {
             let cfg = SubConfig {
                 n_blocks: rng.gen_range(1..=sc.num_blocks()),
                 widths: (0..sc.num_blocks())
-                    .map(|_| (0..sc.space().layers_per_block().len())
-                        .map(|_| rng.gen_range(1..=4))
-                        .collect())
+                    .map(|_| {
+                        (0..sc.space().layers_per_block().len())
+                            .map(|_| rng.gen_range(1..=4))
+                            .collect()
+                    })
                     .collect(),
             };
             let circuit = build(&sc, &cfg, &task);
@@ -111,7 +126,10 @@ pub fn fig9(scale: &Scale) {
 
 /// Figure 10: estimated loss vs measured loss reliability.
 pub fn fig10(scale: &Scale) {
-    banner("Figure 10", "estimator reliability: estimated vs measured loss");
+    banner(
+        "Figure 10",
+        "estimator reliability: estimated vs measured loss",
+    );
     let task = qml_task("MNIST-2", scale, 31);
     let device = Device::yorktown();
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, scale.blocks);
@@ -132,12 +150,9 @@ pub fn fig10(scale: &Scale) {
         2,
     )
     .with_valid_cap(16);
-    let measured_estimator = Estimator::new(
-        device.clone(),
-        EstimatorKind::NoisySim(scale.measure()),
-        2,
-    )
-    .with_valid_cap(16);
+    let measured_estimator =
+        Estimator::new(device.clone(), EstimatorKind::NoisySim(scale.measure()), 2)
+            .with_valid_cap(16);
 
     let n_points = if scale.full { 16 } else { 8 };
     let mut rng = StdRng::seed_from_u64(19);
@@ -251,8 +266,8 @@ pub fn fig15(scale: &Scale) {
         "device", "qubits", "human acc", "QuantumNAS acc"
     );
     for device in devices {
-        let estimator = Estimator::new(device.clone(), EstimatorKind::SuccessRate, 1)
-            .with_valid_cap(8);
+        let estimator =
+            Estimator::new(device.clone(), EstimatorKind::SuccessRate, 1).with_valid_cap(8);
         let mut evo = EvoConfig {
             iterations: if scale.full { 15 } else { 5 },
             population: if scale.full { 20 } else { 8 },

@@ -1,13 +1,15 @@
 //! Figures 2, 3, 13, 14 and Tables III, IV, V, VII.
 
-use crate::{banner, build, measure, noisy_estimator, prepare, qml_task, run_method, Method, Scale};
-use quantumnas::{
-    eval_task, evolutionary_search, human_design, random_design, train_supercircuit, train_task,
-    DesignSpace, Estimator, EstimatorKind, SpaceKind, Split, SuperCircuit,
+use crate::{
+    banner, build, measure, noisy_estimator, prepare, qml_task, run_method, Method, Scale,
 };
 use qns_ml::{mean, std_dev};
 use qns_noise::Device;
 use qns_transpile::Layout;
+use quantumnas::{
+    eval_task, evolutionary_search, human_design, random_design, train_supercircuit, train_task,
+    DesignSpace, Estimator, EstimatorKind, SpaceKind, Split, SuperCircuit,
+};
 
 /// Figure 2: noise-free vs measured accuracy as parameters grow, with the
 /// measured variance widening.
@@ -36,7 +38,14 @@ pub fn fig2(scale: &Scale) {
             let cfg = random_design(&sc, budget, 1000 + s);
             let circuit = build(&sc, &cfg, &task);
             let (params, _) = train_task(&circuit, &task, &scale.train(s), None);
-            let r = measure(&task, &device, scale, &circuit, &params, &Layout::trivial(4));
+            let r = measure(
+                &task,
+                &device,
+                scale,
+                &circuit,
+                &params,
+                &Layout::trivial(4),
+            );
             ideal.push(r.ideal);
             measured.push(r.measured);
         }
@@ -68,13 +77,23 @@ pub fn fig3(scale: &Scale) {
     } else {
         vec![12, 45, 90, 140, 190]
     };
-    println!("{:>8} {:>12} {:>14}", "#params", "human acc", "QuantumNAS acc");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "#params", "human acc", "QuantumNAS acc"
+    );
     for &budget in &budgets {
         // Human at this budget.
         let human_cfg = human_design(&sc, budget);
         let human_circuit = build(&sc, &human_cfg, &task);
         let (hp, _) = train_task(&human_circuit, &task, &scale.train(1), None);
-        let human = measure(&task, &device, scale, &human_circuit, &hp, &Layout::trivial(4));
+        let human = measure(
+            &task,
+            &device,
+            scale,
+            &human_circuit,
+            &hp,
+            &Layout::trivial(4),
+        );
         // QuantumNAS constrained to the same budget, seeded with the human
         // design so the budgeted search starts from a feasible gene.
         let mut evo = scale.evo;
@@ -85,12 +104,27 @@ pub fn fig3(scale: &Scale) {
             layout: (0..4).collect(),
         };
         let search = quantumnas::evolutionary_search_seeded(
-            &sc, &shared, &task, &estimator, &evo, &[seed_gene],
+            &sc,
+            &shared,
+            &task,
+            &estimator,
+            &evo,
+            &[seed_gene],
         );
         let nas_circuit = build(&sc, &search.best.config, &task);
         let (np, _) = train_task(&nas_circuit, &task, &scale.train(2), None);
-        let nas = measure(&task, &device, scale, &nas_circuit, &np, &search.best.layout());
-        println!("{:>8} {:>12.3} {:>14.3}", budget, human.measured, nas.measured);
+        let nas = measure(
+            &task,
+            &device,
+            scale,
+            &nas_circuit,
+            &np,
+            &search.best.layout(),
+        );
+        println!(
+            "{:>8} {:>12.3} {:>14.3}",
+            budget, human.measured, nas.measured
+        );
     }
 }
 
@@ -105,7 +139,10 @@ pub fn tab3(scale: &Scale) {
     let task = quantumnas::Task::qml_digits(&[0, 1, 2, 3], 400, 4, 71);
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, scale.blocks);
     let est = Estimator::new(Device::belem(), EstimatorKind::Noiseless, 2);
-    println!("{:<10} {:>16} {:>16}", "circuit", "whole test set", "300 samples");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "circuit", "whole test set", "300 samples"
+    );
     for k in 0..4u64 {
         let cfg = random_design(&sc, 24 + 6 * k as usize, k);
         let circuit = build(&sc, &cfg, &task);
@@ -204,10 +241,19 @@ pub fn fig13(scale: &Scale) {
         let task = qml_task(task_name, scale, 97);
         for &space in &spaces {
             let prepared = prepare(&task, space, &device, scale, 13);
-            println!("\n--- {} | {} ---", task_name, DesignSpace::new(space).kind());
+            println!(
+                "\n--- {} | {} ---",
+                task_name,
+                DesignSpace::new(space).kind()
+            );
             for &method in &methods {
                 let r = run_method(method, &task, &device, scale, &prepared, 5);
-                println!("{:<22} acc {:.3}  ({} params)", method.label(), r.measured, r.n_params);
+                println!(
+                    "{:<22} acc {:.3}  ({} params)",
+                    method.label(),
+                    r.measured,
+                    r.n_params
+                );
             }
         }
     }
@@ -233,7 +279,14 @@ pub fn fig14(scale: &Scale) {
         let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
         let nas_circuit = build(&sc, &search.best.config, &task);
         let (np, _) = train_task(&nas_circuit, &task, &scale.train(1), None);
-        let nas = measure(&task, &device, scale, &nas_circuit, &np, &search.best.layout());
+        let nas = measure(
+            &task,
+            &device,
+            scale,
+            &nas_circuit,
+            &np,
+            &search.best.layout(),
+        );
         let budget = nas.n_params.max(4);
 
         let human_cfg = human_design(&sc, budget);
@@ -291,7 +344,12 @@ pub fn tab5(scale: &Scale) {
             layout: (0..4).collect(),
         };
         let search = quantumnas::evolutionary_search_seeded(
-            &sc, &shared, &task, &estimator, &evo, &[human_seed],
+            &sc,
+            &shared,
+            &task,
+            &estimator,
+            &evo,
+            &[human_seed],
         );
         let circuit = build(&sc, &search.best.config, &task);
         let (params, _) = train_task(&circuit, &task, &scale.train(i as u64), None);
@@ -342,7 +400,14 @@ pub fn tab7(scale: &Scale) {
             let s_search = evolutionary_search(&small_sc, &small_shared, &task, &estimator, &evo);
             let s_circuit = build(&small_sc, &s_search.best.config, &task);
             let (sp, _) = train_task(&s_circuit, &task, &scale.train(1), None);
-            let small = measure(&task, device, scale, &s_circuit, &sp, &s_search.best.layout());
+            let small = measure(
+                &task,
+                device,
+                scale,
+                &s_circuit,
+                &sp,
+                &s_search.best.layout(),
+            );
 
             // Ours: the multi-block space.
             let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, scale.blocks.max(3));

@@ -1,14 +1,14 @@
 //! Figures 16 and 17: VQE expectation values.
 
 use crate::{banner, build, Scale};
-use quantumnas::{
-    eval_task, human_design, iterative_prune, random_design,
-    train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind, PruneConfig,
-    SpaceKind, Split, SuperCircuit, Task, TrainConfig,
-};
 use qns_chem::{uccsd_ansatz, Molecule};
 use qns_noise::Device;
 use qns_transpile::Layout;
+use quantumnas::{
+    eval_task, human_design, iterative_prune, random_design, train_supercircuit, train_task,
+    DesignSpace, Estimator, EstimatorKind, PruneConfig, SpaceKind, Split, SuperCircuit, Task,
+    TrainConfig,
+};
 
 fn vqe_train(scale: &Scale, seed: u64) -> TrainConfig {
     TrainConfig {
@@ -96,23 +96,32 @@ pub fn fig16(scale: &Scale) {
             layout: (0..2).collect(),
         };
         let search = quantumnas::evolutionary_search_seeded(
-            &sc, &shared, &task, &estimator, &evo, &[human_seed],
+            &sc,
+            &shared,
+            &task,
+            &estimator,
+            &evo,
+            &[human_seed],
         );
         let circuit = build(&sc, &search.best.config, &task);
         let (params, _) = train_task(&circuit, &task, &vqe_train(scale, 1), None);
-        let nas_measured =
-            measured_energy(&task, &device, scale, &circuit, &params, &search.best.layout());
+        let nas_measured = measured_energy(
+            &task,
+            &device,
+            scale,
+            &circuit,
+            &params,
+            &search.best.layout(),
+        );
         let budget = circuit.referenced_train_indices().len().max(2);
 
         // Human and random baselines at matched budget.
         let hc = build(&sc, &human_design(&sc, budget), &task);
         let (hp, _) = train_task(&hc, &task, &vqe_train(scale, 2), None);
-        let human_measured =
-            measured_energy(&task, &device, scale, &hc, &hp, &Layout::trivial(2));
+        let human_measured = measured_energy(&task, &device, scale, &hc, &hp, &Layout::trivial(2));
         let rc = build(&sc, &random_design(&sc, budget, 5), &task);
         let (rp, _) = train_task(&rc, &task, &vqe_train(scale, 3), None);
-        let random_measured =
-            measured_energy(&task, &device, scale, &rc, &rp, &Layout::trivial(2));
+        let random_measured = measured_energy(&task, &device, scale, &rc, &rp, &Layout::trivial(2));
 
         // Pruned QuantumNAS (the paper prunes 50% of VQE parameters).
         let pruned = iterative_prune(
@@ -204,7 +213,12 @@ pub fn fig17(scale: &Scale) {
             layout: (0..n).collect(),
         };
         let search = quantumnas::evolutionary_search_seeded(
-            &sc, &shared, &task, &estimator, &evo, &[human_seed],
+            &sc,
+            &shared,
+            &task,
+            &estimator,
+            &evo,
+            &[human_seed],
         );
         let circuit = build(&sc, &search.best.config, &task);
         let mut tc = vqe_train(scale, 5);
@@ -213,8 +227,14 @@ pub fn fig17(scale: &Scale) {
         }
         let (params, _) = train_task(&circuit, &task, &tc, None);
         let nas_ideal = eval_task(&circuit, &params, &task, Split::Valid).0;
-        let nas_measured =
-            measured_energy(&task, &device, scale, &circuit, &params, &search.best.layout());
+        let nas_measured = measured_energy(
+            &task,
+            &device,
+            scale,
+            &circuit,
+            &params,
+            &search.best.layout(),
+        );
 
         println!(
             "{:<10} {:>7} {:>12.3} {:>14.3} {:>14.3} {:>14.3}",

@@ -6,14 +6,14 @@
 //! budget (or, with `--full`, onto paper-scale settings), task/space
 //! constructors, and a uniform runner for the paper's baseline methods.
 
+use qns_circuit::Circuit;
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::{transpile, Layout};
 use quantumnas::{
     evolutionary_search, human_design, iterative_prune, random_design, train_supercircuit,
     train_task, DesignSpace, Estimator, EstimatorKind, EvoConfig, Gene, PruneConfig, SpaceKind,
     SubConfig, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
-use qns_circuit::Circuit;
-use qns_noise::{Device, TrajectoryConfig};
-use qns_transpile::{transpile, Layout};
 
 /// Experiment scale: `quick` (default) finishes each experiment in
 /// seconds-to-minutes; `full` approaches the paper's settings.
@@ -230,9 +230,8 @@ pub fn prepare(
         config: human_design(&sc, sc.num_params() / 2),
         layout: (0..task.num_qubits()).collect(),
     };
-    let search = quantumnas::evolutionary_search_seeded(
-        &sc, &shared, task, &estimator, &evo, &[human_seed],
-    );
+    let search =
+        quantumnas::evolutionary_search_seeded(&sc, &shared, task, &estimator, &evo, &[human_seed]);
     let circuit = build(&sc, &search.best.config, task);
     let budget = circuit.referenced_train_indices().len().max(4);
     Prepared {
@@ -290,8 +289,8 @@ pub fn run_method(
         ),
         Method::Random => {
             // Best of three by noise-free validation loss, as in the paper.
-            let estimator = Estimator::new(device.clone(), EstimatorKind::Noiseless, 2)
-                .with_valid_cap(16);
+            let estimator =
+                Estimator::new(device.clone(), EstimatorKind::Noiseless, 2).with_valid_cap(16);
             let mut best: Option<(SubConfig, f64)> = None;
             for s in 0..3 {
                 let cfg = random_design(sc, prepared.budget, seed ^ s);
@@ -304,8 +303,8 @@ pub fn run_method(
             (best.expect("three candidates").0, trivial.clone())
         }
         Method::NoiseUnaware => {
-            let estimator = Estimator::new(device.clone(), EstimatorKind::Noiseless, 2)
-                .with_valid_cap(16);
+            let estimator =
+                Estimator::new(device.clone(), EstimatorKind::Noiseless, 2).with_valid_cap(16);
             let mut evo = scale.evo;
             evo.seed = seed ^ 0x17;
             let search = evolutionary_search(sc, &prepared.shared, task, &estimator, &evo);

@@ -36,12 +36,7 @@ impl FermionOp {
     pub fn dagger(&self) -> Self {
         FermionOp {
             coeff: self.coeff,
-            ladders: self
-                .ladders
-                .iter()
-                .rev()
-                .map(|&(m, d)| (m, !d))
-                .collect(),
+            ladders: self.ladders.iter().rev().map(|&(m, d)| (m, !d)).collect(),
         }
     }
 

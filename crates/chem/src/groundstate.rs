@@ -119,8 +119,8 @@ fn tridiag_min_eigenvalue(a: &[f64], b: &[f64]) -> f64 {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for i in 0..n {
-        let r = (if i > 0 { b[i - 1].abs() } else { 0.0 })
-            + (if i < n - 1 { b[i].abs() } else { 0.0 });
+        let r =
+            (if i > 0 { b[i - 1].abs() } else { 0.0 }) + (if i < n - 1 { b[i].abs() } else { 0.0 });
         lo = lo.min(a[i] - r);
         hi = hi.max(a[i] + r);
     }

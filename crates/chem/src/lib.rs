@@ -44,5 +44,5 @@ pub use groundstate::ground_state_energy;
 pub use grouping::{qwc_groups, MeasurementGroup};
 pub use mapping::{bravyi_kitaev, jordan_wigner};
 pub use molecules::Molecule;
-pub use pauli::{PauliSum, PauliString};
+pub use pauli::{PauliString, PauliSum};
 pub use uccsd::{pauli_exponential, uccsd_ansatz};

@@ -132,10 +132,7 @@ fn bk_ladder(j: usize, dagger: bool, n: usize) -> ComplexPauliSum {
         z: rho | (1 << j),
     };
     let sign = if dagger { -0.5 } else { 0.5 };
-    ComplexPauliSum(vec![
-        (C64::real(0.5), t1),
-        (C64::new(0.0, sign), t2),
-    ])
+    ComplexPauliSum(vec![(C64::real(0.5), t1), (C64::new(0.0, sign), t2)])
 }
 
 fn map_sum(h: &FermionSum, encoding: Encoding) -> PauliSum {
@@ -331,7 +328,10 @@ mod tests {
         // i.e. qubits {1, 2} — occupation set {1, 2, 3}.
         assert_eq!(occupation_set(3), 0b1110);
         assert_eq!(occupation_set(2), 0b100);
-        assert_eq!(update_set(0, 8), 0b10001010 & !0b1000_0000 | 0b1000_0000 & 0b10001010);
+        assert_eq!(
+            update_set(0, 8),
+            0b10001010 & !0b1000_0000 | 0b1000_0000 & 0b10001010
+        );
         // Explicitly: U(0) for n=8 is {1, 3, 7}.
         assert_eq!(update_set(0, 8), (1 << 1) | (1 << 3) | (1 << 7));
         assert_eq!(update_set(2, 8), (1 << 3) | (1 << 7));
@@ -340,7 +340,7 @@ mod tests {
     }
 
     #[test]
-    fn antihermitian_generator_is_real(){
+    fn antihermitian_generator_is_real() {
         let t = FermionOp::two_body(0.4, 2, 3, 1, 0);
         let g = jw_antihermitian_generator(&t, 4);
         assert!(!g.terms().is_empty());
@@ -348,7 +348,10 @@ mod tests {
         // generator has even Y-weight terms only.
         for (_, s) in g.terms() {
             let y_count = (s.x & s.z).count_ones();
-            assert!(y_count % 2 == 1, "JW excitation generators have odd Y count");
+            assert!(
+                y_count % 2 == 1,
+                "JW excitation generators have odd Y count"
+            );
         }
     }
 }

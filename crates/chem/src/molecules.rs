@@ -96,7 +96,13 @@ impl Molecule {
     ///
     /// `scale` sets the orbital-energy magnitude (and thus the ground
     /// energy's order of magnitude).
-    pub fn synthetic(name: &str, n_modes: usize, n_electrons: usize, scale: f64, seed: u64) -> Self {
+    pub fn synthetic(
+        name: &str,
+        n_modes: usize,
+        n_electrons: usize,
+        scale: f64,
+        seed: u64,
+    ) -> Self {
         assert!(n_electrons < n_modes, "electrons must fit in modes");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut f = FermionSum::new(n_modes);

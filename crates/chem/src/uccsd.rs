@@ -176,11 +176,7 @@ mod tests {
             // Build a random-ish test state.
             let mut prep = Circuit::new(2);
             prep.push(GateKind::H, &[0], &[]);
-            prep.push(
-                GateKind::RY,
-                &[1],
-                &[Param::Fixed(0.4)],
-            );
+            prep.push(GateKind::RY, &[1], &[Param::Fixed(0.4)]);
             prep.push(GateKind::CX, &[0, 1], &[]);
             let psi = run(&prep, &[], &[], ExecMode::Dynamic);
 
@@ -194,11 +190,7 @@ mod tests {
             let mut analytic = psi.clone();
             let cos = C64::real((theta / 2.0).cos());
             let sin = C64::new(0.0, -(theta / 2.0).sin());
-            for (a, pb) in analytic
-                .amplitudes_mut()
-                .iter_mut()
-                .zip(p_psi.amplitudes())
-            {
+            for (a, pb) in analytic.amplitudes_mut().iter_mut().zip(p_psi.amplitudes()) {
                 *a = *a * cos + *pb * sin;
             }
             let f = via_circuit.inner(&analytic).abs();
@@ -245,9 +237,6 @@ mod tests {
             let s = run(&c, &probe, &[], ExecMode::Dynamic);
             best = best.min(h.expectation(&s));
         }
-        assert!(
-            best - exact < 0.05,
-            "UCCSD best {best} vs exact {exact}"
-        );
+        assert!(best - exact < 0.05, "UCCSD best {best} vs exact {exact}");
     }
 }

@@ -23,7 +23,10 @@ impl Op {
 
     /// Resolves parameter slots to concrete angles.
     pub fn resolve_params(&self, train: &[f64], input: &[f64]) -> Vec<f64> {
-        self.params.iter().map(|p| p.resolve(train, input)).collect()
+        self.params
+            .iter()
+            .map(|p| p.resolve(train, input))
+            .collect()
     }
 }
 
@@ -105,7 +108,11 @@ impl Circuit {
                 self.n_input = self.n_input.max(i + 1);
             }
         }
-        let q2 = if qubits.len() == 2 { qubits[1] } else { usize::MAX };
+        let q2 = if qubits.len() == 2 {
+            qubits[1]
+        } else {
+            usize::MAX
+        };
         self.ops.push(Op {
             kind,
             qubits: [qubits[0], q2],
@@ -268,7 +275,12 @@ impl fmt::Display for Circuit {
     /// A compact text dump, one op per line, e.g. `cx q0, q1` or
     /// `ry(t3) q2`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} ops]", self.n_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} ops]",
+            self.n_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             write!(f, "  {}", op.kind)?;
             if !op.params.is_empty() {
@@ -338,7 +350,11 @@ mod tests {
     fn param_bookkeeping() {
         let mut c = Circuit::new(2);
         c.push(GateKind::RX, &[0], &[Param::Input(3)]);
-        c.push(GateKind::U3, &[1], &[Param::Train(5), Param::Fixed(0.0), Param::Train(1)]);
+        c.push(
+            GateKind::U3,
+            &[1],
+            &[Param::Train(5), Param::Fixed(0.0), Param::Train(1)],
+        );
         assert_eq!(c.num_inputs(), 4);
         assert_eq!(c.num_train_params(), 6);
         assert_eq!(c.referenced_train_indices(), vec![1, 5]);

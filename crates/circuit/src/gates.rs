@@ -1,6 +1,6 @@
 //! The gate library: matrices and analytic parameter derivatives.
 
-use qns_tensor::{C64, Mat2, Mat4};
+use qns_tensor::{Mat2, Mat4, C64};
 
 /// Either a one-qubit or a two-qubit gate matrix.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -221,9 +221,21 @@ impl GateKind {
             CU1 => GateMatrix::Two(Mat4::controlled(&phase(params[0]))),
             CU3 => GateMatrix::Two(Mat4::controlled(&u3(params[0], params[1], params[2]))),
             RZZ => GateMatrix::Two(rzz(params[0])),
-            RZX => GateMatrix::Two(two_pauli_rotation(params[0], Mat2::pauli_z(), Mat2::pauli_x())),
-            RXX => GateMatrix::Two(two_pauli_rotation(params[0], Mat2::pauli_x(), Mat2::pauli_x())),
-            RYY => GateMatrix::Two(two_pauli_rotation(params[0], Mat2::pauli_y(), Mat2::pauli_y())),
+            RZX => GateMatrix::Two(two_pauli_rotation(
+                params[0],
+                Mat2::pauli_z(),
+                Mat2::pauli_x(),
+            )),
+            RXX => GateMatrix::Two(two_pauli_rotation(
+                params[0],
+                Mat2::pauli_x(),
+                Mat2::pauli_x(),
+            )),
+            RYY => GateMatrix::Two(two_pauli_rotation(
+                params[0],
+                Mat2::pauli_y(),
+                Mat2::pauli_y(),
+            )),
         }
     }
 
@@ -257,7 +269,12 @@ impl GateKind {
                 m.m[3] = C64::I * C64::cis(params[0]);
                 GateMatrix::One(m)
             }
-            U2 => GateMatrix::One(du3(std::f64::consts::FRAC_PI_2, params[0], params[1], which + 1)),
+            U2 => GateMatrix::One(du3(
+                std::f64::consts::FRAC_PI_2,
+                params[0],
+                params[1],
+                which + 1,
+            )),
             U3 => GateMatrix::One(du3(params[0], params[1], params[2], which)),
             CRX => {
                 let d = Mat2::pauli_x().mul_mat(&rx(params[0])).scale(half);
@@ -321,12 +338,7 @@ fn rx(theta: f64) -> Mat2 {
 fn ry(theta: f64) -> Mat2 {
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    Mat2::new([
-        C64::real(c),
-        C64::real(-s),
-        C64::real(s),
-        C64::real(c),
-    ])
+    Mat2::new([C64::real(c), C64::real(-s), C64::real(s), C64::real(c)])
 }
 
 fn rz(theta: f64) -> Mat2 {
@@ -396,7 +408,9 @@ fn sqrt_hadamard() -> Mat2 {
     let sin = std::f64::consts::FRAC_1_SQRT_2;
     let i = C64::I;
     let id = Mat2::identity();
-    let ns = Mat2::pauli_x().scale(C64::real(n)).add(&Mat2::pauli_z().scale(C64::real(n)));
+    let ns = Mat2::pauli_x()
+        .scale(C64::real(n))
+        .add(&Mat2::pauli_z().scale(C64::real(n)));
     let inner = id.scale(C64::real(cos)).add(&ns.scale(-i * sin));
     inner.scale(C64::cis(std::f64::consts::FRAC_PI_4))
 }

@@ -234,10 +234,7 @@ mod tests {
         let prod = m.adjoint().mul_mat(&sh);
         let phase = prod.m[0];
         assert!((phase.abs() - 1.0).abs() < 1e-10);
-        assert!(prod.approx_eq(
-            &qns_tensor::Mat2::identity().scale(phase),
-            1e-10
-        ));
+        assert!(prod.approx_eq(&qns_tensor::Mat2::identity().scale(phase), 1e-10));
     }
 
     #[test]

@@ -149,11 +149,7 @@ mod tests {
         // hardware-efficient space) → smaller gradient variance.
         let scan = barren_plateau_scan(SpaceKind::Rxyz, &[2, 4, 6], 3, 64, 5);
         assert_eq!(scan.len(), 3);
-        assert!(
-            scan[0].variance > scan[2].variance,
-            "no decay: {:?}",
-            scan
-        );
+        assert!(scan[0].variance > scan[2].variance, "no decay: {:?}", scan);
     }
 
     #[test]

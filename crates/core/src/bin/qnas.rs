@@ -8,19 +8,22 @@
 //!   --space   u3cu3|zzry|rxyz|zxxx|rxyzu1cu3|ibmq
 //!   --device  yorktown|belem|...       (see `qnas devices`)
 //!   --seed    <u64>
+//!   --workers <n>                      evaluation workers (0 = one per core)
+//!   --no-cache                         disable transpile cache + score memo
+//!   --stats                            print the runtime telemetry summary
 //!   --qasm    <path>                   export the deployed circuit
 //! ```
 
-use quantumnas::{QuantumNas, QuantumNasConfig, SpaceKind, Task};
 use qns_chem::Molecule;
 use qns_circuit::to_qasm;
 use qns_noise::Device;
 use qns_transpile::transpile;
+use quantumnas::{QuantumNas, QuantumNasConfig, RuntimeOptions, SpaceKind, Task};
 
 fn usage() -> ! {
     eprintln!(
         "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
-         [--seed N] [--qasm PATH]"
+         [--seed N] [--workers N] [--no-cache] [--stats] [--qasm PATH]"
     );
     std::process::exit(2);
 }
@@ -121,6 +124,11 @@ fn cmd_run(args: &[String]) {
         .position(|a| a == "--qasm")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let runtime = RuntimeOptions {
+        workers: get("--workers", "0").parse().unwrap_or_else(|_| usage()),
+        cache: !args.iter().any(|a| a == "--no-cache"),
+    };
+    let show_stats = args.iter().any(|a| a == "--stats");
 
     println!(
         "QuantumNAS: task {} | space {} | device {} | seed {}",
@@ -131,6 +139,7 @@ fn cmd_run(args: &[String]) {
     );
     let is_qml = task.is_qml();
     let mut config = QuantumNasConfig::fast();
+    config.runtime = runtime;
     if !is_qml {
         // VQE needs longer, hotter optimization than the QML defaults.
         config.train = quantumnas::TrainConfig {
@@ -143,11 +152,17 @@ fn cmd_run(args: &[String]) {
     let nas = QuantumNas::new(space, device.clone(), task, config);
     let report = nas.run(seed);
 
-    println!("\nsearched architecture: {} blocks, {} parameters", report.gene.config.n_blocks, report.n_params);
+    println!(
+        "\nsearched architecture: {} blocks, {} parameters",
+        report.gene.config.n_blocks, report.n_params
+    );
     println!("qubit mapping: {:?}", report.gene.layout);
     println!("noise-free validation loss: {:.4}", report.trained_loss);
     if is_qml {
-        println!("measured accuracy (before prune): {:.3}", report.accuracy_before_prune);
+        println!(
+            "measured accuracy (before prune): {:.3}",
+            report.accuracy_before_prune
+        );
         println!(
             "measured accuracy (after pruning {:.0}%): {:.3}",
             100.0 * report.pruned_ratio,
@@ -156,16 +171,18 @@ fn cmd_run(args: &[String]) {
     } else {
         println!("measured energy: {:.4}", report.final_energy);
     }
+    println!(
+        "search evaluations: {} real + {} memoized",
+        report.search_evaluations, report.search_memo_hits
+    );
+    if show_stats {
+        println!("\n{}", report.runtime_summary);
+    }
 
     if let Some(path) = qasm_path {
         // Export the deployed (compiled, trained) circuit. Data-encoding
         // inputs resolve against the all-zeros sample.
-        let t = transpile(
-            &report.final_circuit,
-            &device,
-            &report.gene.layout(),
-            2,
-        );
+        let t = transpile(&report.final_circuit, &device, &report.gene.layout(), 2);
         let inputs = vec![0.0; t.circuit.num_inputs()];
         match to_qasm(&t.circuit, &report.final_params, &inputs) {
             Ok(qasm) => {

@@ -7,8 +7,11 @@ use qns_circuit::Circuit;
 use qns_data::Dataset;
 use qns_ml::{accuracy, nll_loss};
 use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
+use qns_runtime::{counters, timers, Metrics, ShardedCache};
 use qns_sim::{parallel_map, run, ExecMode};
 use qns_transpile::{transpile, Layout, Transpiled};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How SubCircuit performance is estimated during search.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +60,10 @@ pub struct Estimator {
     /// Cap on validation samples scored per call (speed knob; the paper
     /// evaluates the full validation split).
     valid_cap: usize,
+    /// Shared transpile cache; `None` compiles every call.
+    transpile_cache: Option<Arc<ShardedCache<Transpiled>>>,
+    /// Shared telemetry registry; `None` skips all accounting.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Estimator {
@@ -68,6 +75,8 @@ impl Estimator {
             kind,
             opt_level,
             valid_cap: 24,
+            transpile_cache: None,
+            metrics: None,
         }
     }
 
@@ -83,7 +92,9 @@ impl Estimator {
         &self.device
     }
 
-    /// Replaces the device (drifting-noise experiments).
+    /// Replaces the device (drifting-noise experiments). Cached transpiles
+    /// stay valid: keys embed the full device fingerprint, so the old
+    /// device's entries simply stop matching.
     pub fn set_device(&mut self, device: Device) {
         self.device = device;
     }
@@ -93,8 +104,64 @@ impl Estimator {
         self.kind
     }
 
-    fn compile(&self, circuit: &Circuit, layout: &Layout) -> Transpiled {
-        transpile(circuit, &self.device, layout, self.opt_level)
+    /// The transpiler optimization level.
+    pub fn opt_level(&self) -> u8 {
+        self.opt_level
+    }
+
+    /// The validation-sample cap per score call.
+    pub fn valid_cap(&self) -> usize {
+        self.valid_cap
+    }
+
+    /// Wires this estimator into a search runtime: compiles go through
+    /// `cache` (content-addressed, so distinct devices or opt levels never
+    /// collide) and transpile/simulate wall time plus cache hit counters
+    /// land in `metrics`.
+    pub fn attach_runtime(
+        &mut self,
+        cache: Option<Arc<ShardedCache<Transpiled>>>,
+        metrics: Option<Arc<Metrics>>,
+    ) {
+        self.transpile_cache = cache;
+        self.metrics = metrics;
+    }
+
+    fn compile(&self, circuit: &Circuit, layout: &Layout) -> Arc<Transpiled> {
+        let Some(cache) = &self.transpile_cache else {
+            return Arc::new(self.timed_transpile(circuit, layout));
+        };
+        let key = crate::runtime::transpile_key(circuit, &self.device, layout, self.opt_level);
+        let mut compiled = false;
+        let t = cache.get_or_insert_with(key, || {
+            compiled = true;
+            self.timed_transpile(circuit, layout)
+        });
+        if let Some(m) = &self.metrics {
+            let counter = if compiled {
+                counters::TRANSPILE_MISSES
+            } else {
+                counters::TRANSPILE_HITS
+            };
+            m.incr(counter, 1);
+        }
+        t
+    }
+
+    fn timed_transpile(&self, circuit: &Circuit, layout: &Layout) -> Transpiled {
+        let start = Instant::now();
+        let t = transpile(circuit, &self.device, layout, self.opt_level);
+        if let Some(m) = &self.metrics {
+            m.record(timers::TRANSPILE, start.elapsed());
+        }
+        t
+    }
+
+    fn timed_sim<T>(&self, f: impl FnOnce() -> T) -> T {
+        match &self.metrics {
+            Some(m) => m.time(timers::SIMULATE, f),
+            None => f(),
+        }
     }
 
     /// Scores a logical circuit with the given parameters and mapping.
@@ -108,9 +175,7 @@ impl Estimator {
             Task::Qml {
                 splits, readout, ..
             } => self.score_qml(circuit, params, &splits.valid, readout, layout),
-            Task::Vqe { hamiltonian, .. } => {
-                self.score_vqe(circuit, params, hamiltonian, layout)
-            }
+            Task::Vqe { hamiltonian, .. } => self.score_vqe(circuit, params, hamiltonian, layout),
         }
     }
 
@@ -127,50 +192,58 @@ impl Estimator {
         let samples: Vec<usize> = (0..n).collect();
         match self.kind {
             EstimatorKind::Noiseless => {
-                let losses = parallel_map(&samples, |&i| {
-                    let s = run(circuit, params, &valid.features[i], ExecMode::Static);
-                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                let losses = self.timed_sim(|| {
+                    parallel_map(&samples, |&i| {
+                        let s = run(circuit, params, &valid.features[i], ExecMode::Static);
+                        nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                    })
                 });
                 mean(&losses)
             }
             EstimatorKind::SuccessRate => {
                 let t = self.compile(circuit, layout);
                 let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
-                let losses = parallel_map(&samples, |&i| {
-                    let s = run(circuit, params, &valid.features[i], ExecMode::Static);
-                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                let losses = self.timed_sim(|| {
+                    parallel_map(&samples, |&i| {
+                        let s = run(circuit, params, &valid.features[i], ExecMode::Static);
+                        nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                    })
                 });
                 qns_noise::augmented_loss(mean(&losses), rate.max(1e-6))
             }
             EstimatorKind::NoisySim(cfg) => {
                 let t = self.compile(circuit, layout);
                 let exec = TrajectoryExecutor::new(self.device.clone(), cfg);
-                let losses = parallel_map(&samples, |&i| {
-                    let noisy =
-                        exec.expect_z(&t.circuit, params, &valid.features[i], &t.phys_of);
-                    let logical: Vec<f64> = t
-                        .dense_of_logical
-                        .iter()
-                        .map(|&d| noisy.expect_z[d])
-                        .collect();
-                    nll_loss(&readout.logits(&logical), valid.labels[i])
+                let losses = self.timed_sim(|| {
+                    parallel_map(&samples, |&i| {
+                        let noisy =
+                            exec.expect_z(&t.circuit, params, &valid.features[i], &t.phys_of);
+                        let logical: Vec<f64> = t
+                            .dense_of_logical
+                            .iter()
+                            .map(|&d| noisy.expect_z[d])
+                            .collect();
+                        nll_loss(&readout.logits(&logical), valid.labels[i])
+                    })
                 });
                 mean(&losses)
             }
             EstimatorKind::DensitySim => {
                 let t = self.compile(circuit, layout);
-                let losses = parallel_map(&samples, |&i| {
-                    let exact = qns_noise::density_expect_z(
-                        &t.circuit,
-                        params,
-                        &valid.features[i],
-                        &self.device,
-                        &t.phys_of,
-                        true,
-                    );
-                    let logical: Vec<f64> =
-                        t.dense_of_logical.iter().map(|&d| exact[d]).collect();
-                    nll_loss(&readout.logits(&logical), valid.labels[i])
+                let losses = self.timed_sim(|| {
+                    parallel_map(&samples, |&i| {
+                        let exact = qns_noise::density_expect_z(
+                            &t.circuit,
+                            params,
+                            &valid.features[i],
+                            &self.device,
+                            &t.phys_of,
+                            true,
+                        );
+                        let logical: Vec<f64> =
+                            t.dense_of_logical.iter().map(|&d| exact[d]).collect();
+                        nll_loss(&readout.logits(&logical), valid.labels[i])
+                    })
                 });
                 mean(&losses)
             }
@@ -186,13 +259,13 @@ impl Estimator {
     ) -> f64 {
         match self.kind {
             EstimatorKind::Noiseless => {
-                let s = run(circuit, params, &[], ExecMode::Static);
+                let s = self.timed_sim(|| run(circuit, params, &[], ExecMode::Static));
                 hamiltonian.expectation(&s)
             }
             EstimatorKind::SuccessRate => {
                 let t = self.compile(circuit, layout);
                 let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
-                let s = run(circuit, params, &[], ExecMode::Static);
+                let s = self.timed_sim(|| run(circuit, params, &[], ExecMode::Static));
                 let e = hamiltonian.expectation(&s);
                 // Depolarization drives <H> toward the identity component,
                 // so the estimated measured energy interpolates with the
@@ -223,15 +296,17 @@ impl Estimator {
                             dense
                         })
                         .collect();
-                    let parities = qns_noise::density_expect_masks(
-                        &t.circuit,
-                        params,
-                        &[],
-                        &self.device,
-                        &t.phys_of,
-                        &masks,
-                        true,
-                    );
+                    let parities = self.timed_sim(|| {
+                        qns_noise::density_expect_masks(
+                            &t.circuit,
+                            params,
+                            &[],
+                            &self.device,
+                            &t.phys_of,
+                            &masks,
+                            true,
+                        )
+                    });
                     energy += group.energy_from_parities(&parities);
                 }
                 energy
@@ -272,7 +347,8 @@ impl Estimator {
                     dense
                 })
                 .collect();
-            let parities = exec.expect_z_masks(&t.circuit, params, &[], &t.phys_of, &masks);
+            let parities =
+                self.timed_sim(|| exec.expect_z_masks(&t.circuit, params, &[], &t.phys_of, &masks));
             energy += group.energy_from_parities(&parities);
         }
         energy
@@ -364,8 +440,7 @@ mod tests {
     #[test]
     fn noiseless_score_is_finite_and_positive() {
         let (task, circuit, params) = tiny_setup();
-        let est = Estimator::new(Device::yorktown(), EstimatorKind::Noiseless, 1)
-            .with_valid_cap(4);
+        let est = Estimator::new(Device::yorktown(), EstimatorKind::Noiseless, 1).with_valid_cap(4);
         let s = est.score(&circuit, &params, &task, &Layout::trivial(4));
         assert!(s.is_finite() && s > 0.0);
     }
@@ -432,9 +507,8 @@ mod tests {
             None,
         );
         let layout = Layout::trivial(2);
-        let ideal = Estimator::new(Device::santiago(), EstimatorKind::Noiseless, 1).score(
-            &circuit, &params, &task, &layout,
-        );
+        let ideal = Estimator::new(Device::santiago(), EstimatorKind::Noiseless, 1)
+            .score(&circuit, &params, &task, &layout);
         let cfg = TrajectoryConfig {
             trajectories: 16,
             seed: 2,
@@ -443,7 +517,10 @@ mod tests {
         let measured = Estimator::new(Device::yorktown(), EstimatorKind::NoisySim(cfg), 1)
             .score(&circuit, &params, &task, &layout);
         // Noise pulls the energy up toward the identity offset.
-        assert!(measured > ideal - 0.05, "measured {measured} vs ideal {ideal}");
+        assert!(
+            measured > ideal - 0.05,
+            "measured {measured} vs ideal {ideal}"
+        );
         assert!(measured < 0.0, "still bound: {measured}");
     }
 
@@ -487,6 +564,34 @@ mod tests {
         );
         assert!(e.is_finite());
         assert!(e > mol.fci_energy() - 1e-6, "below the ground energy: {e}");
+    }
+
+    #[test]
+    fn attached_cache_reuses_transpiles_and_separates_devices() {
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        let cache = Arc::new(ShardedCache::new(8));
+        let metrics = Arc::new(Metrics::new());
+        let mut est =
+            Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1).with_valid_cap(2);
+        est.attach_runtime(Some(cache.clone()), Some(metrics.clone()));
+
+        let uncached = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1)
+            .with_valid_cap(2)
+            .score(&circuit, &params, &task, &layout);
+        let first = est.score(&circuit, &params, &task, &layout);
+        let second = est.score(&circuit, &params, &task, &layout);
+        assert_eq!(first, uncached, "caching must not change scores");
+        assert_eq!(first, second);
+        assert_eq!(metrics.counter(counters::TRANSPILE_MISSES), 1);
+        assert_eq!(metrics.counter(counters::TRANSPILE_HITS), 1);
+        assert_eq!(cache.len(), 1);
+
+        // A different device must compile fresh, never share an entry.
+        est.set_device(Device::yorktown().scaled_errors(2.0));
+        est.score(&circuit, &params, &task, &layout);
+        assert_eq!(metrics.counter(counters::TRANSPILE_MISSES), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

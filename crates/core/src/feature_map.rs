@@ -8,8 +8,8 @@
 //! standard machinery, with the best validation score winning.
 
 use crate::{
-    evolutionary_search, train_supercircuit, Estimator, EvoConfig, SuperCircuit,
-    SuperTrainConfig, Task,
+    evolutionary_search, train_supercircuit, Estimator, EvoConfig, SuperCircuit, SuperTrainConfig,
+    Task,
 };
 use qns_circuit::{Circuit, GateKind, Param};
 
@@ -178,8 +178,8 @@ mod tests {
     fn feature_map_search_picks_lowest_score() {
         let task = Task::qml_digits(&[1, 8], 20, 4, 3);
         let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::ZzRy), 4, 1);
-        let estimator = Estimator::new(Device::belem(), EstimatorKind::SuccessRate, 1)
-            .with_valid_cap(4);
+        let estimator =
+            Estimator::new(Device::belem(), EstimatorKind::SuccessRate, 1).with_valid_cap(4);
         let super_cfg = SuperTrainConfig {
             steps: 15,
             batch_size: 6,

@@ -245,15 +245,10 @@ mod tests {
             lr: 0.1,
             trajectories: 4,
             batch: 2,
-            seed: 3,
+            seed: 11,
         };
-        let (params, history) = train_qml_on_device(
-            &circuit,
-            &task,
-            &device,
-            &Layout::trivial(4),
-            &cfg,
-        );
+        let (params, history) =
+            train_qml_on_device(&circuit, &task, &device, &Layout::trivial(4), &cfg);
         assert_eq!(params.len(), sc.num_params());
         assert_eq!(history.len(), cfg.steps);
         assert!(history.iter().all(|l| l.is_finite() && *l >= 0.0));
@@ -264,7 +259,9 @@ mod tests {
         let init: Vec<f64> = {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xDE71CE);
-            (0..params.len()).map(|_| rng.gen_range(-0.3..0.3)).collect()
+            (0..params.len())
+                .map(|_| rng.gen_range(-0.3..0.3))
+                .collect()
         };
         let (before, _) = crate::eval_task(&circuit, &init, &task, crate::Split::Valid);
         let (after, _) = crate::eval_task(&circuit, &params, &task, crate::Split::Valid);

@@ -49,6 +49,7 @@ mod feature_map;
 mod hardware;
 mod pipeline;
 mod prune;
+mod runtime;
 mod sampler;
 mod search;
 mod space;
@@ -58,18 +59,22 @@ mod train;
 
 pub use analysis::{barren_plateau_scan, gradient_variance, plateau_relief, PlateauPoint};
 pub use baselines::{human_design, random_design};
+pub use cost::{CircuitRunCounter, RunCost};
+pub use estimator::{Estimator, EstimatorKind};
 pub use feature_map::{
     axis_encoder, encoder_catalogue, search_feature_map, EncoderVariant, FeatureMapResult,
 };
-pub use cost::{CircuitRunCounter, RunCost};
-pub use estimator::{Estimator, EstimatorKind};
 pub use hardware::{train_qml_on_device, train_vqe_on_device, OnDeviceTrainConfig};
 pub use pipeline::{QuantumNas, QuantumNasConfig, Report};
-pub use prune::{iterative_prune, polynomial_ratio, PruneConfig, PruneResult};
+pub use prune::{iterative_prune, iterative_prune_rt, polynomial_ratio, PruneConfig, PruneResult};
+pub use runtime::{
+    gene_key, hash_circuit, hash_device, hash_estimator_kind, search_context_key, transpile_key,
+    BatchOutcome, RuntimeOptions, SearchRuntime,
+};
 pub use sampler::{Sampler, SamplerConfig};
 pub use search::{
-    evolutionary_search, evolutionary_search_seeded, random_search, EvoConfig, Gene,
-    SearchResult,
+    evolutionary_search, evolutionary_search_seeded, evolutionary_search_seeded_rt, random_search,
+    random_search_rt, EvoConfig, Gene, SearchResult,
 };
 pub use space::{DesignSpace, LayerArrangement, LayerSpec, SpaceKind};
 pub use supercircuit::{SubConfig, SuperCircuit};

@@ -1,10 +1,11 @@
 //! The end-to-end QuantumNAS pipeline (paper Figure 5).
 
+use crate::runtime::{RuntimeOptions, SearchRuntime};
+use crate::search::evolutionary_search_seeded_rt;
 use crate::train::{eval_task, Split};
 use crate::{
-    evolutionary_search, iterative_prune, train_supercircuit, train_task, DesignSpace, Estimator,
-    EstimatorKind, EvoConfig, Gene, PruneConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task,
-    TrainConfig,
+    iterative_prune_rt, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
+    EvoConfig, Gene, PruneConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
 use qns_noise::{Device, TrajectoryConfig};
 
@@ -31,6 +32,9 @@ pub struct QuantumNasConfig {
     pub measure: TrajectoryConfig,
     /// Test samples for the measured accuracy (the paper uses 300).
     pub n_test: usize,
+    /// Evaluation-runtime knobs shared by every stage (worker count,
+    /// transpile cache + score memo). Overrides `evo.runtime`.
+    pub runtime: RuntimeOptions,
 }
 
 impl QuantumNasConfig {
@@ -69,6 +73,7 @@ impl QuantumNasConfig {
                 readout: true,
             },
             n_test: 50,
+            runtime: RuntimeOptions::default(),
         }
     }
 
@@ -94,6 +99,7 @@ impl QuantumNasConfig {
             prune: Some(PruneConfig::default()),
             measure: TrajectoryConfig::default(),
             n_test: 300,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -122,6 +128,13 @@ pub struct Report {
     pub final_circuit: qns_circuit::Circuit,
     /// The deployed trained parameters.
     pub final_params: Vec<f64>,
+    /// Genes actually evaluated during the search stage.
+    pub search_evaluations: usize,
+    /// Search candidates answered from the score memo.
+    pub search_memo_hits: usize,
+    /// Text telemetry summary for the whole run (counters, cache hit
+    /// rates, transpile/simulate wall time, per-generation tail).
+    pub runtime_summary: String,
 }
 
 /// The end-to-end QuantumNAS flow: SuperCircuit training → evolutionary
@@ -174,13 +187,23 @@ impl QuantumNas {
         super_cfg.seed = seed;
         let (shared, _) = train_supercircuit(&sc, &self.task, &super_cfg);
 
-        // Stage 2: evolutionary co-search with noise feedback.
-        let estimator =
-            Estimator::new(self.device.clone(), self.config.estimator, self.config.opt_level)
-                .with_valid_cap(12);
+        // Stage 2: evolutionary co-search with noise feedback. One runtime
+        // serves search, pruning, and deployment so the transpile cache
+        // and telemetry span the whole run.
+        let rt = SearchRuntime::new(self.config.runtime);
+        let estimator = rt.instrument_estimator(
+            &Estimator::new(
+                self.device.clone(),
+                self.config.estimator,
+                self.config.opt_level,
+            )
+            .with_valid_cap(12),
+        );
         let mut evo = self.config.evo;
         evo.seed = seed ^ 0x5EA7C;
-        let search = evolutionary_search(&sc, &shared, &self.task, &estimator, &evo);
+        evo.runtime = self.config.runtime;
+        let search =
+            evolutionary_search_seeded_rt(&sc, &shared, &self.task, &estimator, &evo, &[], &rt);
 
         // Stage 3: train the searched SubCircuit from scratch.
         let circuit = match &self.task {
@@ -212,7 +235,7 @@ impl QuantumNas {
             Some(prune_cfg) => {
                 let mut cfg = *prune_cfg;
                 cfg.seed = seed ^ 0x9121;
-                let result = iterative_prune(&circuit, &params, &self.task, &cfg);
+                let result = iterative_prune_rt(&circuit, &params, &self.task, &cfg, &rt);
                 (result.circuit, result.params, result.pruned_ratio)
             }
             None => (circuit.clone(), params.clone(), 0.0),
@@ -254,6 +277,9 @@ impl QuantumNas {
             n_params,
             final_circuit,
             final_params,
+            search_evaluations: search.evaluations,
+            search_memo_hits: search.memo_hits,
+            runtime_summary: rt.metrics().summary(),
         }
     }
 
@@ -300,6 +326,8 @@ mod tests {
         assert!(report.n_params > 0);
         assert!(report.pruned_ratio > 0.0);
         assert_eq!(report.gene.layout.len(), 4);
+        assert_eq!(report.search_evaluations + report.search_memo_hits, 3 * 6);
+        assert!(report.runtime_summary.contains("evaluations"));
     }
 
     #[test]

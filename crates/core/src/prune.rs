@@ -1,8 +1,11 @@
 //! Iterative magnitude-based quantum pruning with finetuning.
 
+use crate::runtime::{RuntimeOptions, SearchRuntime};
 use crate::train::{eval_task, Split};
 use crate::{train_task, Task, TrainConfig};
 use qns_circuit::{Circuit, Param};
+use qns_runtime::{timers, GenerationEvent};
+use std::time::Instant;
 
 /// Pruning hyperparameters (paper Section III-D / IV-A: polynomial decay
 /// from an initial ratio of 0.05, finetuning at LR 2e-5 — LR raised here
@@ -108,6 +111,22 @@ pub fn iterative_prune(
     task: &Task,
     config: &PruneConfig,
 ) -> PruneResult {
+    let rt = SearchRuntime::new(RuntimeOptions::default());
+    iterative_prune_rt(circuit, params, task, config, &rt)
+}
+
+/// [`iterative_prune`] on a caller-owned [`SearchRuntime`]: each
+/// prune→finetune round lands in the shared event log (round index, loss,
+/// wall time) and validation evaluation time is folded into the simulate
+/// histogram, so a full pipeline run reports one coherent telemetry
+/// stream.
+pub fn iterative_prune_rt(
+    circuit: &Circuit,
+    params: &[f64],
+    task: &Task,
+    config: &PruneConfig,
+    rt: &SearchRuntime,
+) -> PruneResult {
     assert!(
         (0.0..1.0).contains(&config.final_ratio) && (0.0..1.0).contains(&config.initial_ratio),
         "ratios must be in [0, 1)"
@@ -122,6 +141,7 @@ pub fn iterative_prune(
     let mut final_loss = f64::NAN;
 
     for step in 0..config.steps {
+        let round_start = Instant::now();
         let progress = (step + 1) as f64 / config.steps as f64;
         let ratio = polynomial_ratio(config.initial_ratio, config.final_ratio, progress);
         // Rank referenced parameters by |normalized angle|.
@@ -155,8 +175,18 @@ pub fn iterative_prune(
                 params[i] = 0.0;
             }
         }
-        let (loss, _) = eval_task(&masked_circuit, &params, task, Split::Valid);
+        let (loss, _) = rt.metrics().time(timers::SIMULATE, || {
+            eval_task(&masked_circuit, &params, task, Split::Valid)
+        });
         final_loss = loss;
+        rt.metrics().push_event(GenerationEvent {
+            generation: step,
+            best_score: loss,
+            mean_score: loss,
+            evaluations: 1,
+            memo_hits: 0,
+            elapsed: round_start.elapsed(),
+        });
     }
 
     let pruned = mask.iter().filter(|&&m| !m).count();

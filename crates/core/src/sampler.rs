@@ -80,7 +80,10 @@ impl Sampler {
             config.min_blocks >= 1 && config.min_blocks <= supercircuit.num_blocks(),
             "min_blocks out of range"
         );
-        assert!(config.shrink_end > config.shrink_start, "empty shrink window");
+        assert!(
+            config.shrink_end > config.shrink_start,
+            "empty shrink window"
+        );
         Sampler {
             config,
             n_qubits: supercircuit.num_qubits(),

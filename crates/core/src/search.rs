@@ -1,6 +1,8 @@
 //! Noise-adaptive evolutionary co-search of SubCircuit and qubit mapping.
 
+use crate::runtime::{gene_key, search_context_key, RuntimeOptions, SearchRuntime};
 use crate::{Estimator, SubConfig, SuperCircuit, Task};
+use qns_runtime::GenerationEvent;
 use qns_transpile::Layout;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -50,6 +52,8 @@ pub struct EvoConfig {
     /// Search over qubit mappings (`false` freezes the trivial layout —
     /// the paper's "circuit search only" ablation).
     pub search_layout: bool,
+    /// Evaluation-runtime knobs (worker count, caching).
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for EvoConfig {
@@ -65,6 +69,7 @@ impl Default for EvoConfig {
             max_params: None,
             search_arch: true,
             search_layout: true,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -83,6 +88,7 @@ impl EvoConfig {
             max_params: None,
             search_arch: true,
             search_layout: true,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -97,8 +103,20 @@ pub struct SearchResult {
     /// Best-so-far score after each iteration — the optimization curve of
     /// paper Figure 22.
     pub history: Vec<f64>,
-    /// Total genes evaluated.
+    /// Genes actually evaluated (transpiled + simulated). Memoized repeats
+    /// are counted in [`SearchResult::memo_hits`], not here.
     pub evaluations: usize,
+    /// Candidates answered from the score memo without re-evaluation.
+    pub memo_hits: usize,
+}
+
+impl SearchResult {
+    /// Total candidates considered: real evaluations plus memoized hits.
+    /// This is the search *budget* — it matches across runs that differ
+    /// only in caching.
+    pub fn candidates(&self) -> usize {
+        self.evaluations + self.memo_hits
+    }
 }
 
 struct GenePool<'a> {
@@ -266,6 +284,23 @@ pub fn evolutionary_search_seeded(
     config: &EvoConfig,
     seeds: &[Gene],
 ) -> SearchResult {
+    let rt = SearchRuntime::new(config.runtime);
+    evolutionary_search_seeded_rt(sc, shared_params, task, estimator, config, seeds, &rt)
+}
+
+/// [`evolutionary_search_seeded`] on a caller-owned [`SearchRuntime`], so
+/// several searches (e.g. the pipeline's stages, or a device sweep) can
+/// share one worker pool, transpile cache, and metrics registry.
+#[allow(clippy::too_many_arguments)]
+pub fn evolutionary_search_seeded_rt(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    config: &EvoConfig,
+    seeds: &[Gene],
+    rt: &SearchRuntime,
+) -> SearchResult {
     assert!(
         estimator.device().num_qubits() >= sc.num_qubits(),
         "device too small"
@@ -274,6 +309,8 @@ pub fn evolutionary_search_seeded(
         config.parents >= 2 && config.parents < config.population,
         "need 2 <= parents < population"
     );
+    let estimator = rt.instrument_estimator(estimator);
+    let context = search_context_key(&estimator, task, shared_params, config.max_params);
     // Frozen components come from the first seed gene when provided (so
     // ablations stay parameter-matched), else fall back to the maximal
     // architecture / trivial layout.
@@ -302,28 +339,55 @@ pub fn evolutionary_search_seeded(
             )
         },
     };
-    let mut population: Vec<Gene> = seeds.iter().take(config.population).cloned().collect();
+    // Seed population: canonicalize by structural digest so duplicated
+    // seeds (common when several ablations pass the same human design)
+    // occupy one slot, then top up with unique random genes. Retries are
+    // bounded: tiny design spaces may not hold `population` distinct
+    // genes, in which case duplicates are admitted rather than looping
+    // forever.
+    let mut population: Vec<Gene> = Vec::with_capacity(config.population);
+    let mut keys = std::collections::HashSet::new();
+    for seed in seeds.iter().take(config.population) {
+        if keys.insert(gene_key(seed)) {
+            population.push(seed.clone());
+        }
+    }
+    let mut attempts = 0usize;
     while population.len() < config.population {
-        population.push(pool.random_gene());
+        let g = pool.random_gene();
+        attempts += 1;
+        if keys.insert(gene_key(&g)) || attempts > 64 * config.population {
+            population.push(g);
+        }
     }
     let mut history = Vec::with_capacity(config.iterations);
     let mut evaluations = 0usize;
+    let mut memo_hits = 0usize;
     let mut best: Option<(Gene, f64)> = None;
 
-    for _ in 0..config.iterations {
+    for generation in 0..config.iterations {
+        let outcome = rt.score_batch(context, &population, |g| {
+            score_gene(sc, shared_params, task, &estimator, g, config.max_params)
+        });
+        evaluations += outcome.evaluated;
+        memo_hits += outcome.memo_hits;
         let mut scored: Vec<(Gene, f64)> = population
             .drain(..)
-            .map(|g| {
-                let s = score_gene(sc, shared_params, task, estimator, &g, config.max_params);
-                evaluations += 1;
-                (g, s)
-            })
+            .zip(outcome.scores.iter().copied())
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
         if best.as_ref().map(|(_, s)| scored[0].1 < *s).unwrap_or(true) {
             best = Some(scored[0].clone());
         }
         history.push(best.as_ref().expect("just set").1);
+        rt.metrics().push_event(GenerationEvent {
+            generation,
+            best_score: history[generation],
+            mean_score: mean_finite(&outcome.scores),
+            evaluations: outcome.evaluated,
+            memo_hits: outcome.memo_hits,
+            elapsed: outcome.elapsed,
+        });
 
         let parents: Vec<Gene> = scored
             .into_iter()
@@ -353,6 +417,7 @@ pub fn evolutionary_search_seeded(
         best_score,
         history,
         evaluations,
+        memo_hits,
     }
 }
 
@@ -365,6 +430,21 @@ pub fn random_search(
     estimator: &Estimator,
     config: &EvoConfig,
 ) -> SearchResult {
+    let rt = SearchRuntime::new(config.runtime);
+    random_search_rt(sc, shared_params, task, estimator, config, &rt)
+}
+
+/// [`random_search`] on a caller-owned [`SearchRuntime`].
+pub fn random_search_rt(
+    sc: &SuperCircuit,
+    shared_params: &[f64],
+    task: &Task,
+    estimator: &Estimator,
+    config: &EvoConfig,
+    rt: &SearchRuntime,
+) -> SearchResult {
+    let estimator = rt.instrument_estimator(estimator);
+    let context = search_context_key(&estimator, task, shared_params, config.max_params);
     let mut pool = GenePool {
         sc,
         n_phys: estimator.device().num_qubits(),
@@ -383,16 +463,28 @@ pub fn random_search(
     let mut best: Option<(Gene, f64)> = None;
     let mut history = Vec::with_capacity(config.iterations);
     let mut evaluations = 0usize;
-    for _ in 0..config.iterations {
-        for _ in 0..config.population {
-            let g = pool.random_gene();
-            let s = score_gene(sc, shared_params, task, estimator, &g, config.max_params);
-            evaluations += 1;
+    let mut memo_hits = 0usize;
+    for generation in 0..config.iterations {
+        let batch: Vec<Gene> = (0..config.population).map(|_| pool.random_gene()).collect();
+        let outcome = rt.score_batch(context, &batch, |g| {
+            score_gene(sc, shared_params, task, &estimator, g, config.max_params)
+        });
+        evaluations += outcome.evaluated;
+        memo_hits += outcome.memo_hits;
+        for (g, &s) in batch.into_iter().zip(&outcome.scores) {
             if best.as_ref().map(|(_, bs)| s < *bs).unwrap_or(true) {
                 best = Some((g, s));
             }
         }
         history.push(best.as_ref().expect("scored").1);
+        rt.metrics().push_event(GenerationEvent {
+            generation,
+            best_score: history[generation],
+            mean_score: mean_finite(&outcome.scores),
+            evaluations: outcome.evaluated,
+            memo_hits: outcome.memo_hits,
+            elapsed: outcome.elapsed,
+        });
     }
     let (best, best_score) = best.expect("non-empty budget");
     SearchResult {
@@ -400,6 +492,18 @@ pub fn random_search(
         best_score,
         history,
         evaluations,
+        memo_hits,
+    }
+}
+
+/// Mean over the finite entries (panicked candidates score `+inf` and
+/// would otherwise wipe out the generation statistics).
+fn mean_finite(scores: &[f64]) -> f64 {
+    let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    if finite.is_empty() {
+        f64::INFINITY
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
     }
 }
 
@@ -415,8 +519,8 @@ mod tests {
         let params: Vec<f64> = (0..sc.num_params())
             .map(|i| 0.2 * ((i % 5) as f64) - 0.4)
             .collect();
-        let est = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1)
-            .with_valid_cap(4);
+        let est =
+            Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1).with_valid_cap(4);
         (sc, params, task, est)
     }
 
@@ -447,7 +551,9 @@ mod tests {
         let cfg = EvoConfig::fast(3);
         let evo = evolutionary_search(&sc, &params, &task, &est, &cfg);
         let rand = random_search(&sc, &params, &task, &est, &cfg);
-        assert_eq!(evo.evaluations, rand.evaluations);
+        // Budgets match in *candidates*; how many were memoized vs
+        // actually evaluated differs between the two searches.
+        assert_eq!(evo.candidates(), rand.candidates());
         // Evolution should not be dramatically worse (allow small noise).
         assert!(
             evo.best_score <= rand.best_score * 1.15,
@@ -455,6 +561,46 @@ mod tests {
             evo.best_score,
             rand.best_score
         );
+    }
+
+    #[test]
+    fn duplicate_seeds_collapse_to_one_population_slot() {
+        let (sc, params, task, est) = setup();
+        let seed_gene = Gene {
+            config: sc.max_config(),
+            layout: vec![0, 1, 2, 3],
+        };
+        // Twelve copies of the same seed: the dedup path must keep one and
+        // fill the rest with distinct random genes.
+        let seeds = vec![seed_gene.clone(); 12];
+        let cfg = EvoConfig {
+            iterations: 1,
+            ..EvoConfig::fast(11)
+        };
+        let rt = SearchRuntime::new(cfg.runtime);
+        let res = evolutionary_search_seeded_rt(&sc, &params, &task, &est, &cfg, &seeds, &rt);
+        // All 12 initial candidates were distinct, so none were memoized
+        // within the first (only) generation.
+        assert_eq!(res.evaluations, 12);
+        assert_eq!(res.memo_hits, 0);
+    }
+
+    #[test]
+    fn memoization_changes_accounting_but_not_results() {
+        let (sc, params, task, est) = setup();
+        let cached = EvoConfig::fast(3);
+        let uncached = EvoConfig {
+            runtime: RuntimeOptions::sequential_uncached(),
+            ..cached
+        };
+        let a = evolutionary_search(&sc, &params, &task, &est, &cached);
+        let b = evolutionary_search(&sc, &params, &task, &est, &uncached);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.candidates(), b.candidates());
+        assert_eq!(b.memo_hits, 0, "uncached run cannot memoize");
+        assert!(a.evaluations <= b.evaluations);
     }
 
     #[test]

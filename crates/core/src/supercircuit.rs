@@ -49,12 +49,21 @@ impl SubConfig {
                 .unwrap_or(0);
             for l in 0..layers {
                 let wa = if b < self.n_blocks {
-                    self.widths.get(b).and_then(|x| x.get(l)).copied().unwrap_or(0)
+                    self.widths
+                        .get(b)
+                        .and_then(|x| x.get(l))
+                        .copied()
+                        .unwrap_or(0)
                 } else {
                     0
                 };
                 let wb = if b < other.n_blocks {
-                    other.widths.get(b).and_then(|x| x.get(l)).copied().unwrap_or(0)
+                    other
+                        .widths
+                        .get(b)
+                        .and_then(|x| x.get(l))
+                        .copied()
+                        .unwrap_or(0)
                 } else {
                     0
                 };
@@ -238,11 +247,7 @@ mod tests {
         for &kind in SpaceKind::all() {
             let s = sc(kind, 4, 2);
             let c = s.build(&s.max_config(), None);
-            assert_eq!(
-                c.referenced_train_indices().len(),
-                s.num_params(),
-                "{kind}"
-            );
+            assert_eq!(c.referenced_train_indices().len(), s.num_params(), "{kind}");
         }
     }
 

@@ -366,7 +366,12 @@ mod tests {
             let (lp, _) = qml_sample_grad(&circuit, &plus, &input, label, readout);
             let (lm, _) = qml_sample_grad(&circuit, &minus, &input, label, readout);
             let fd = (lp - lm) / (2.0 * h);
-            assert!((grad[i] - fd).abs() < 1e-5, "param {i}: {} vs {}", grad[i], fd);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "param {i}: {} vs {}",
+                grad[i],
+                fd
+            );
         }
     }
 
@@ -435,8 +440,7 @@ mod tests {
         // so compare the *validation* loss of the full SubCircuit with
         // trained vs freshly initialized shared parameters.
         let fresh = init_params(sc.num_params(), 0xF00D);
-        let (trained_loss, _) =
-            inherited_eval(&sc, &params, &sc.max_config(), &task, Split::Valid);
+        let (trained_loss, _) = inherited_eval(&sc, &params, &sc.max_config(), &task, Split::Valid);
         let (fresh_loss, _) = inherited_eval(&sc, &fresh, &sc.max_config(), &task, Split::Valid);
         assert!(
             trained_loss < fresh_loss,

@@ -64,7 +64,10 @@ impl Dataset {
     ///
     /// Panics if the fractions are not positive or sum above 1.
     pub fn split(&self, train_frac: f64, valid_frac: f64, seed: u64) -> Splits {
-        assert!(train_frac > 0.0 && valid_frac > 0.0, "fractions must be positive");
+        assert!(
+            train_frac > 0.0 && valid_frac > 0.0,
+            "fractions must be positive"
+        );
         assert!(train_frac + valid_frac <= 1.0 + 1e-12, "fractions exceed 1");
         let mut idx: Vec<usize> = (0..self.num_samples()).collect();
         let mut rng = StdRng::seed_from_u64(seed);

@@ -4,12 +4,7 @@ use qns_circuit::{Circuit, GateKind, Param};
 
 /// Appends one encoding layer of `kind` gates over the first `count`
 /// qubits, consuming consecutive input indices starting at `next_input`.
-fn encode_layer(
-    c: &mut Circuit,
-    kind: GateKind,
-    count: usize,
-    next_input: &mut usize,
-) {
+fn encode_layer(c: &mut Circuit, kind: GateKind, count: usize, next_input: &mut usize) {
     for q in 0..count {
         c.push(kind, &[q], &[Param::Input(*next_input)]);
         *next_input += 1;

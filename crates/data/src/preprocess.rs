@@ -36,7 +36,10 @@ pub fn center_crop(image: &[f64], from: usize, to: usize) -> Vec<f64> {
 /// Panics if `from` is not divisible by `to` or sizes mismatch.
 pub fn avg_pool(image: &[f64], from: usize, to: usize) -> Vec<f64> {
     assert_eq!(image.len(), from * from, "image must be {from}x{from}");
-    assert!(to > 0 && from.is_multiple_of(to), "{from} not divisible by {to}");
+    assert!(
+        to > 0 && from.is_multiple_of(to),
+        "{from} not divisible by {to}"
+    );
     let k = from / to;
     let mut out = Vec::with_capacity(to * to);
     for by in 0..to {

@@ -85,8 +85,8 @@ impl Adam {
             self.v[i] = b2 * self.v[i] + (1.0 - b2) * grads[i] * grads[i];
             let m_hat = self.m[i] / bc1;
             let v_hat = self.v[i] / bc2;
-            params[i] -= lr * (m_hat / (v_hat.sqrt() + self.config.eps)
-                + self.config.weight_decay * params[i]);
+            params[i] -= lr
+                * (m_hat / (v_hat.sqrt() + self.config.eps) + self.config.weight_decay * params[i]);
         }
     }
 
@@ -113,8 +113,8 @@ impl Adam {
             self.v[i] = b2 * self.v[i] + (1.0 - b2) * grads[i] * grads[i];
             let m_hat = self.m[i] / bc1;
             let v_hat = self.v[i] / bc2;
-            params[i] -= lr * (m_hat / (v_hat.sqrt() + self.config.eps)
-                + self.config.weight_decay * params[i]);
+            params[i] -= lr
+                * (m_hat / (v_hat.sqrt() + self.config.eps) + self.config.weight_decay * params[i]);
         }
     }
 

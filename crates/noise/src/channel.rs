@@ -1,7 +1,7 @@
 //! Kraus error channels with stochastic trajectory unraveling.
 
 use qns_sim::StateVec;
-use qns_tensor::{C64, Mat2};
+use qns_tensor::{Mat2, C64};
 use rand::Rng;
 
 /// A one-qubit error channel in Kraus form, `ρ → Σ_i K_i ρ K_i†`.
@@ -66,7 +66,10 @@ impl KrausChannel {
     /// Panics if `t2_ns > 2 * t1_ns` (unphysical) or any time is
     /// non-positive.
     pub fn thermal_relaxation(t1_ns: f64, t2_ns: f64, t_ns: f64) -> Self {
-        assert!(t1_ns > 0.0 && t2_ns > 0.0 && t_ns >= 0.0, "times must be positive");
+        assert!(
+            t1_ns > 0.0 && t2_ns > 0.0 && t_ns >= 0.0,
+            "times must be positive"
+        );
         assert!(t2_ns <= 2.0 * t1_ns + 1e-9, "T2 must be <= 2*T1");
         let gamma = 1.0 - (-t_ns / t1_ns).exp();
         // Residual pure dephasing rate.
@@ -81,12 +84,7 @@ impl KrausChannel {
             C64::ZERO,
             C64::real((1.0 - gamma).sqrt()),
         ]);
-        let a1 = Mat2::new([
-            C64::ZERO,
-            C64::real(gamma.sqrt()),
-            C64::ZERO,
-            C64::ZERO,
-        ]);
+        let a1 = Mat2::new([C64::ZERO, C64::real(gamma.sqrt()), C64::ZERO, C64::ZERO]);
         // Compose with phase flip {√(1-pz) I, √pz Z}.
         let zi = Mat2::identity().scale(C64::real((1.0 - pz).sqrt()));
         let zz = Mat2::pauli_z().scale(C64::real(pz.sqrt()));

@@ -10,7 +10,7 @@
 use crate::{Device, KrausChannel};
 use qns_circuit::{Circuit, GateMatrix};
 use qns_sim::StateVec;
-use qns_tensor::{C64, Mat2, Mat4};
+use qns_tensor::{Mat2, Mat4, C64};
 
 /// A density matrix over `n` qubits: `2^n × 2^n` complex entries,
 /// row-major, little-endian qubit order (matching [`StateVec`]).
@@ -177,7 +177,10 @@ impl DensityMatrix {
 
     /// Applies a two-qubit unitary (first qubit = high bit).
     pub fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
-        assert!(qa < self.n_qubits && qb < self.n_qubits, "qubit out of range");
+        assert!(
+            qa < self.n_qubits && qb < self.n_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "distinct qubits required");
         self.left_2q(m, qa, qb);
         self.right_2q_dagger(m, qa, qb);
@@ -392,11 +395,11 @@ mod tests {
         c.push(GateKind::H, &[0], &[]);
         c.push(GateKind::CX, &[0, 1], &[]);
         c.push(GateKind::RY, &[2], &[Param::Fixed(0.7)]);
-        c.push(GateKind::CU3, &[1, 2], &[
-            Param::Fixed(0.3),
-            Param::Fixed(0.4),
-            Param::Fixed(0.5),
-        ]);
+        c.push(
+            GateKind::CU3,
+            &[1, 2],
+            &[Param::Fixed(0.3), Param::Fixed(0.4), Param::Fixed(0.5)],
+        );
         let psi = run(&c, &[], &[], ExecMode::Dynamic);
 
         let mut rho = DensityMatrix::zero_state(3);
@@ -438,8 +441,15 @@ mod tests {
     fn channels_preserve_trace_and_hermiticity() {
         let mut rho = DensityMatrix::zero_state(2);
         rho.apply_1q(&qns_tensor::Mat2::hadamard(), 0);
-        rho.apply_2q(&qns_tensor::Mat4::controlled(&qns_tensor::Mat2::pauli_x()), 0, 1);
-        rho.apply_channel(&KrausChannel::thermal_relaxation(50_000.0, 60_000.0, 400.0), 0);
+        rho.apply_2q(
+            &qns_tensor::Mat4::controlled(&qns_tensor::Mat2::pauli_x()),
+            0,
+            1,
+        );
+        rho.apply_channel(
+            &KrausChannel::thermal_relaxation(50_000.0, 60_000.0, 400.0),
+            0,
+        );
         rho.apply_channel(&KrausChannel::bit_flip(0.2), 1);
         assert!((rho.trace().re - 1.0).abs() < 1e-10);
         assert!(rho.trace().im.abs() < 1e-12);

@@ -273,11 +273,7 @@ impl Device {
         let key = (a.min(b), a.max(b));
         match self.err_2q.get(&key) {
             Some(&e) => e,
-            None => self
-                .err_2q
-                .values()
-                .cloned()
-                .fold(0.02, f64::max),
+            None => self.err_2q.values().cloned().fold(0.02, f64::max),
         }
     }
 
@@ -484,7 +480,11 @@ mod tests {
         let dev = Device::santiago();
         // (0, 4) is not an edge on a line of 5.
         assert!(!dev.connected(0, 4));
-        let worst = dev.edges().iter().map(|&(a, b)| dev.err_2q(a, b)).fold(0.0, f64::max);
+        let worst = dev
+            .edges()
+            .iter()
+            .map(|&(a, b)| dev.err_2q(a, b))
+            .fold(0.0, f64::max);
         assert!(dev.err_2q(0, 4) >= worst);
     }
 

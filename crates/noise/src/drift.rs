@@ -87,7 +87,9 @@ mod tests {
     fn drift_moves_errors_both_directions() {
         let drift = DriftingDevice::new(Device::quito(), 0.3);
         let base = drift.base().err_1q(0);
-        let samples: Vec<f64> = (0..20).map(|i| drift.at(i as f64 * 0.05).err_1q(0)).collect();
+        let samples: Vec<f64> = (0..20)
+            .map(|i| drift.at(i as f64 * 0.05).err_1q(0))
+            .collect();
         assert!(samples.iter().any(|&e| e > base));
         assert!(samples.iter().any(|&e| e < base));
     }

@@ -263,7 +263,11 @@ impl TrajectoryExecutor {
                         for (q, &phys) in phys_of.iter().enumerate() {
                             let cal = self.device.qubit(phys);
                             let bit = read & (1 << q) != 0;
-                            let flip_p = if bit { cal.readout_p10 } else { cal.readout_p01 };
+                            let flip_p = if bit {
+                                cal.readout_p10
+                            } else {
+                                cal.readout_p01
+                            };
                             if rng.gen::<f64>() < flip_p {
                                 read ^= 1 << q;
                             }
@@ -354,7 +358,10 @@ mod tests {
         let exec = TrajectoryExecutor::new(Device::yorktown(), TrajectoryConfig::default());
         let noisy = exec.expect_z(&c, &[], &[], &[0]);
         assert!(noisy.expect_z[0] < 0.999);
-        assert!(noisy.expect_z[0] > 0.5, "noise should not destroy the state");
+        assert!(
+            noisy.expect_z[0] > 0.5,
+            "noise should not destroy the state"
+        );
     }
 
     #[test]
@@ -369,10 +376,14 @@ mod tests {
             seed: 11,
             readout: false,
         };
-        let quiet = TrajectoryExecutor::new(Device::santiago(), cfg)
-            .expect_z(&c, &[], &[], &[0, 1]);
-        let loud = TrajectoryExecutor::new(Device::santiago().scaled_errors(10.0), cfg)
-            .expect_z(&c, &[], &[], &[0, 1]);
+        let quiet =
+            TrajectoryExecutor::new(Device::santiago(), cfg).expect_z(&c, &[], &[], &[0, 1]);
+        let loud = TrajectoryExecutor::new(Device::santiago().scaled_errors(10.0), cfg).expect_z(
+            &c,
+            &[],
+            &[],
+            &[0, 1],
+        );
         // Identity circuit: ideal <Z> = 1 on both qubits.
         assert!(quiet.expect_z[0] > loud.expect_z[0]);
     }

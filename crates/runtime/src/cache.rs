@@ -1,0 +1,330 @@
+//! Content-addressed caching: a deterministic structural hasher and a
+//! sharded concurrent map keyed by 128-bit structural digests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content digest produced by [`StructuralHasher`].
+///
+/// Two independently seeded 64-bit FNV-1a streams; a collision requires
+/// both to collide simultaneously, which is negligible at search scale
+/// (billions of keys would be needed for a birthday collision).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Low half of the digest.
+    pub lo: u64,
+    /// High half of the digest.
+    pub hi: u64,
+}
+
+impl CacheKey {
+    /// The shard index for `n_shards` shards.
+    fn shard(&self, n_shards: usize) -> usize {
+        // hi is well-mixed; fold both halves so shard choice is not
+        // correlated with equality on either half alone.
+        ((self.hi ^ self.lo.rotate_left(32)) as usize) % n_shards
+    }
+}
+
+/// Deterministic streaming hasher over structured content.
+///
+/// Unlike `std::collections::hash_map::DefaultHasher`, the digest is
+/// stable across runs and platforms (no random state), so cache keys are
+/// reproducible — a requirement for the engine's determinism guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use qns_runtime::StructuralHasher;
+///
+/// let mut a = StructuralHasher::new();
+/// a.write_u64(7);
+/// a.write_f64(0.5);
+/// let mut b = StructuralHasher::new();
+/// b.write_u64(7);
+/// b.write_f64(0.5);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StructuralHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StructuralHasher {
+    /// A fresh hasher with the standard FNV offsets.
+    pub fn new() -> Self {
+        StructuralHasher {
+            lo: 0xCBF29CE484222325,
+            // Second stream starts from a distinct, fixed offset so the
+            // two halves are independent functions of the input.
+            hi: 0x84222325CBF29CE4,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ b as u64).wrapping_mul(0x100000001B3);
+            self.hi = (self.hi ^ b as u64)
+                .wrapping_mul(0x100000001B3)
+                .rotate_left(1);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
+    /// callers that care should normalize first).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a string (length-prefixed so `"ab","c"` ≠ `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> CacheKey {
+        // A final avalanche pass so short inputs still spread over shards.
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        CacheKey {
+            lo: mix(self.lo),
+            hi: mix(self.hi ^ self.lo.rotate_left(17)),
+        }
+    }
+}
+
+/// Hit/miss counters shared by all shards of a cache.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// A sharded concurrent map from [`CacheKey`] to `Arc<V>`.
+///
+/// Lock contention is bounded by sharding: each key maps to one of
+/// `n_shards` independent mutex-protected tables. Values are returned as
+/// `Arc<V>` so large entries (e.g. transpiled circuits) are shared, never
+/// cloned.
+///
+/// # Examples
+///
+/// ```
+/// use qns_runtime::{ShardedCache, StructuralHasher};
+///
+/// let cache: ShardedCache<String> = ShardedCache::new(8);
+/// let mut h = StructuralHasher::new();
+/// h.write_str("circuit-0");
+/// let key = h.finish();
+/// let v = cache.get_or_insert_with(key, || "compiled".to_string());
+/// assert_eq!(*v, "compiled");
+/// assert_eq!(cache.stats().misses(), 1);
+/// let again = cache.get_or_insert_with(key, || unreachable!());
+/// assert_eq!(*again, "compiled");
+/// assert_eq!(cache.stats().hits(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<V>>>>,
+    stats: CacheStats,
+}
+
+impl<V> ShardedCache<V> {
+    /// A cache with `n_shards` independent shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardedCache {
+            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, computing and inserting with `f` on a miss.
+    ///
+    /// The compute runs *outside* the shard lock so long-running builds
+    /// (transpiles) do not serialize unrelated lookups; two threads racing
+    /// on the same fresh key may both compute, with one result kept.
+    pub fn get_or_insert_with(&self, key: CacheKey, f: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(f());
+        let mut shard = self.lock_shard(key);
+        shard.entry(key).or_insert_with(|| value.clone()).clone()
+    }
+
+    /// Looks `key` up without computing; counts a hit when present.
+    pub fn get(&self, key: CacheKey) -> Option<Arc<V>> {
+        let shard = self.lock_shard(key);
+        let found = shard.get(&key).cloned();
+        if found.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts without lookup accounting (seeding / warm-up).
+    pub fn insert(&self, key: CacheKey, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut shard = self.lock_shard(key);
+        shard.insert(key, value.clone());
+        value
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (keeps hit/miss statistics).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn lock_shard(&self, key: CacheKey) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<V>>> {
+        self.shards[key.shard(self.shards.len())]
+            .lock()
+            .expect("cache shard poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(parts: &[u64]) -> CacheKey {
+        let mut h = StructuralHasher::new();
+        for &p in parts {
+            h.write_u64(p);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn digests_are_stable_and_order_sensitive() {
+        assert_eq!(key_of(&[1, 2, 3]), key_of(&[1, 2, 3]));
+        assert_ne!(key_of(&[1, 2, 3]), key_of(&[3, 2, 1]));
+        assert_ne!(key_of(&[1]), key_of(&[1, 0]));
+    }
+
+    #[test]
+    fn string_hashing_is_length_prefixed() {
+        let mut a = StructuralHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StructuralHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache: ShardedCache<u64> = ShardedCache::new(4);
+        for i in 0..10 {
+            cache.get_or_insert_with(key_of(&[i]), || i * 100);
+        }
+        assert_eq!(cache.stats().misses(), 10);
+        assert_eq!(cache.stats().hits(), 0);
+        for i in 0..10 {
+            let v = cache.get_or_insert_with(key_of(&[i]), || unreachable!());
+            assert_eq!(*v, i * 100);
+        }
+        assert_eq!(cache.stats().hits(), 10);
+        assert_eq!(cache.len(), 10);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let cache: ShardedCache<u64> = ShardedCache::new(2);
+        cache.get_or_insert_with(key_of(&[9]), || 9);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_converge() {
+        let cache = std::sync::Arc::new(ShardedCache::<usize>::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let v = cache.get_or_insert_with(key_of(&[i]), || i as usize);
+                        assert_eq!(*v, i as usize);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+    }
+}

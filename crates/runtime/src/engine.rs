@@ -1,0 +1,185 @@
+//! The candidate-evaluation engine: fans a batch of independent
+//! evaluations out over scoped worker threads.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many workers the engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workers {
+    /// One worker per available core.
+    Auto,
+    /// A fixed worker count (`Fixed(1)` is the sequential reference mode).
+    Fixed(usize),
+}
+
+impl Workers {
+    /// Resolves to a concrete thread count (at least 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Workers::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Workers::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+impl From<usize> for Workers {
+    /// `0` maps to [`Workers::Auto`], anything else to [`Workers::Fixed`].
+    fn from(n: usize) -> Self {
+        if n == 0 {
+            Workers::Auto
+        } else {
+            Workers::Fixed(n)
+        }
+    }
+}
+
+/// Fans batches of independent candidate evaluations out over worker
+/// threads.
+///
+/// Three invariants, regardless of worker count:
+///
+/// 1. **Deterministic collection** — results come back in input order;
+///    item `i`'s result lands in slot `i`.
+/// 2. **Work stealing** — workers pull the next unclaimed index from a
+///    shared atomic counter, so an expensive candidate never stalls the
+///    rest of the batch behind a static partition.
+/// 3. **Panic isolation** — a panicking evaluation (e.g. a transpile hitting
+///    an impossible layout) poisons only its own slot with the caller's
+///    `on_panic` value instead of tearing down the whole search.
+///
+/// # Examples
+///
+/// ```
+/// use qns_runtime::{EvalEngine, Workers};
+///
+/// let engine = EvalEngine::new(Workers::Fixed(2));
+/// let out = engine.run(&[1, 2, 3], |&x| x * 10, 0);
+/// assert_eq!(out, vec![10, 20, 30]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvalEngine {
+    workers: Workers,
+}
+
+impl EvalEngine {
+    /// An engine with the given worker policy.
+    pub fn new(workers: Workers) -> Self {
+        EvalEngine { workers }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.resolve()
+    }
+
+    /// Evaluates `f` over every item, returning results in input order.
+    /// A panicking evaluation yields a clone of `on_panic` in its slot.
+    pub fn run<T, U, F>(&self, items: &[T], f: F, on_panic: U) -> Vec<U>
+    where
+        T: Sync,
+        U: Send + Clone + Sync,
+        F: Fn(&T) -> U + Sync,
+    {
+        let n_workers = self.workers().min(items.len().max(1));
+        let guarded = |item: &T| {
+            catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|_| on_panic.clone())
+        };
+        if n_workers <= 1 || items.len() <= 1 {
+            return items.iter().map(guarded).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let out: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // Evaluate outside the lock; the lock only covers the
+                    // slot write, which is negligible next to a transpile
+                    // or simulation.
+                    let value = guarded(&items[i]);
+                    out.lock().expect("no panics hold this lock")[i] = Some(value);
+                });
+            }
+        });
+        out.into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        for workers in [Workers::Fixed(1), Workers::Fixed(3), Workers::Auto] {
+            let engine = EvalEngine::new(workers);
+            let out = engine.run(&items, |&x| x * 2, usize::MAX);
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panics_poison_only_their_slot() {
+        let items: Vec<usize> = (0..32).collect();
+        let engine = EvalEngine::new(Workers::Fixed(4));
+        let out = engine.run(
+            &items,
+            |&x| {
+                assert!(x % 7 != 3, "synthetic bad candidate");
+                x as f64
+            },
+            f64::INFINITY,
+        );
+        for (i, v) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                assert!(v.is_infinite(), "slot {i} should be poisoned");
+            } else {
+                assert_eq!(*v, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let engine = EvalEngine::new(Workers::Fixed(8));
+        let _ = engine.run(
+            &items,
+            |_| counter.fetch_add(1, Ordering::Relaxed),
+            usize::MAX,
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_work() {
+        let engine = EvalEngine::new(Workers::Auto);
+        let empty: Vec<u32> = vec![];
+        assert!(engine.run(&empty, |&x| x, 0).is_empty());
+        assert_eq!(engine.run(&[9u32], |&x| x + 1, 0), vec![10]);
+    }
+
+    #[test]
+    fn worker_policy_resolution() {
+        assert_eq!(Workers::Fixed(0).resolve(), 1);
+        assert_eq!(Workers::Fixed(5).resolve(), 5);
+        assert!(Workers::Auto.resolve() >= 1);
+        assert_eq!(Workers::from(0), Workers::Auto);
+        assert_eq!(Workers::from(3), Workers::Fixed(3));
+    }
+}

@@ -1,6 +1,29 @@
 //! Thread-parallel batch evaluation.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+
+thread_local! {
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with [`parallel_map`] forced sequential on this thread.
+///
+/// Outer-level parallelism (e.g. a candidate-evaluation engine fanning a
+/// population over workers) already saturates the cores; letting each
+/// worker spawn its own per-sample threads would oversubscribe. The flag
+/// is thread-local, so it must be set inside the worker closure, and it is
+/// restored on exit even if `f` panics.
+pub fn sequential_scope<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SEQUENTIAL.with(|flag| flag.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_SEQUENTIAL.with(|flag| flag.replace(true)));
+    f()
+}
 
 /// Applies `f` to every item of `items`, splitting the work across worker
 /// threads, and returns results in input order.
@@ -21,10 +44,14 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let threads = if FORCE_SEQUENTIAL.with(Cell::get) {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(items.len().max(1))
+    };
     if threads <= 1 || items.len() < 4 {
         return items.iter().map(&f).collect();
     }
@@ -67,9 +94,26 @@ mod tests {
     }
 
     #[test]
+    fn sequential_scope_suppresses_and_restores_parallelism() {
+        let items: Vec<usize> = (0..64).collect();
+        let inner = sequential_scope(|| {
+            assert!(super::FORCE_SEQUENTIAL.with(Cell::get));
+            parallel_map(&items, |&x| x * 2)
+        });
+        assert!(!super::FORCE_SEQUENTIAL.with(Cell::get));
+        assert_eq!(inner, parallel_map(&items, |&x| x * 2));
+        // Restored even when the scope panics.
+        let _ = std::panic::catch_unwind(|| sequential_scope(|| panic!("boom")));
+        assert!(!super::FORCE_SEQUENTIAL.with(Cell::get));
+    }
+
+    #[test]
     fn works_with_non_copy_results() {
         let items = vec!["a", "bb", "ccc"];
         let out = parallel_map(&items, |s| s.to_string());
-        assert_eq!(out, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+        assert_eq!(
+            out,
+            vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::{run, ExecMode, StateVec};
 use qns_circuit::{Circuit, GateMatrix};
-use qns_tensor::{C64, Mat2, Mat4};
+use qns_tensor::{Mat2, Mat4, C64};
 
 /// An observable the gradient engines can differentiate through.
 ///

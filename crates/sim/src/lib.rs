@@ -33,7 +33,7 @@ mod exec;
 mod grad;
 mod state;
 
-pub use batch::parallel_map;
+pub use batch::{parallel_map, sequential_scope};
 pub use exec::{run, run_into, ExecMode, FusedOp, FusedProgram};
 pub use grad::{
     adjoint_gradient, numeric_gradient, parameter_shift_gradient, DiagObservable, Observable,

@@ -1,6 +1,6 @@
 //! The state vector and local gate application kernels.
 
-use qns_tensor::{C64, Mat2, Mat4};
+use qns_tensor::{Mat2, Mat4, C64};
 use rand::Rng;
 
 /// An `n`-qubit pure state: `2^n` complex amplitudes.
@@ -44,10 +44,16 @@ impl StateVec {
     /// one by more than `1e-6`.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let n = amps.len();
-        assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "length must be a power of two"
+        );
         let n_qubits = n.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-6, "state must be normalized, got {norm}");
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state must be normalized, got {norm}"
+        );
         StateVec { n_qubits, amps }
     }
 
@@ -149,7 +155,10 @@ impl StateVec {
     ///
     /// Panics if the qubits coincide or are out of range.
     pub fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
-        assert!(qa < self.n_qubits && qb < self.n_qubits, "qubit out of range");
+        assert!(
+            qa < self.n_qubits && qb < self.n_qubits,
+            "qubit out of range"
+        );
         assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
         let ba = 1usize << qa;
         let bb = 1usize << qb;

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use qns_circuit::{Circuit, GateKind, Param};
 use qns_sim::{
-    adjoint_gradient, parameter_shift_gradient, run, DiagObservable, ExecMode, Observable,
-    StateVec,
+    adjoint_gradient, parameter_shift_gradient, run, DiagObservable, ExecMode, Observable, StateVec,
 };
 use qns_tensor::Mat2;
 

@@ -106,7 +106,8 @@ impl Mat2 {
 
     /// Returns `true` if `U U† = I` to within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.mul_mat(&self.adjoint()).approx_eq(&Mat2::identity(), tol)
+        self.mul_mat(&self.adjoint())
+            .approx_eq(&Mat2::identity(), tol)
     }
 
     /// Entry-wise approximate comparison.
@@ -124,8 +125,7 @@ impl Mat2 {
             for j in 0..2 {
                 for k in 0..2 {
                     for l in 0..2 {
-                        out.m[(2 * i + k) * 4 + (2 * j + l)] =
-                            self.m[i * 2 + j] * rhs.m[k * 2 + l];
+                        out.m[(2 * i + k) * 4 + (2 * j + l)] = self.m[i * 2 + j] * rhs.m[k * 2 + l];
                     }
                 }
             }
@@ -251,7 +251,8 @@ impl Mat4 {
 
     /// Returns `true` if `U U† = I` to within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.mul_mat(&self.adjoint()).approx_eq(&Mat4::identity(), tol)
+        self.mul_mat(&self.adjoint())
+            .approx_eq(&Mat4::identity(), tol)
     }
 
     /// Entry-wise approximate comparison.

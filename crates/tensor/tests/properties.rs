@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra foundation.
 
 use proptest::prelude::*;
-use qns_tensor::{sym_eigen, C64, Mat2, Mat4};
+use qns_tensor::{sym_eigen, Mat2, Mat4, C64};
 
 fn arb_c64() -> impl Strategy<Value = C64> {
     (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| C64::new(re, im))

@@ -125,7 +125,12 @@ impl Emitter {
     /// A fixed 2×2 unitary via ZYZ extraction.
     fn mat2(&mut self, q: usize, m: &Mat2) {
         let (_, theta, phi, lambda) = zyz_angles(m);
-        self.u3(q, Param::Fixed(theta), Param::Fixed(phi), Param::Fixed(lambda));
+        self.u3(
+            q,
+            Param::Fixed(theta),
+            Param::Fixed(phi),
+            Param::Fixed(lambda),
+        );
     }
 
     /// `RZZ(θ)` → `CX · RZ(θ)_t · CX` (exact).
@@ -204,12 +209,7 @@ pub fn to_ibm_basis(circuit: &Circuit) -> Circuit {
                 };
                 e.mat2(q, &m);
             }
-            GateKind::RX => e.u3(
-                q,
-                p(0),
-                Param::Fixed(-FRAC_PI_2),
-                Param::Fixed(FRAC_PI_2),
-            ),
+            GateKind::RX => e.u3(q, p(0), Param::Fixed(-FRAC_PI_2), Param::Fixed(FRAC_PI_2)),
             GateKind::RY => e.ry(q, p(0)),
             GateKind::U2 => e.u3(q, Param::Fixed(FRAC_PI_2), p(0), p(1)),
             GateKind::U3 => e.u3(q, p(0), p(1), p(2)),
@@ -253,13 +253,7 @@ pub fn to_ibm_basis(circuit: &Circuit) -> Circuit {
                 Param::Fixed(-FRAC_PI_2),
                 Param::Fixed(FRAC_PI_2),
             ),
-            GateKind::CRY => e.cu3(
-                q,
-                op.qubits[1],
-                p(0),
-                Param::Fixed(0.0),
-                Param::Fixed(0.0),
-            ),
+            GateKind::CRY => e.cu3(q, op.qubits[1], p(0), Param::Fixed(0.0), Param::Fixed(0.0)),
             GateKind::CRZ => {
                 // CRZ(θ) = RZ(θ/2)_t · CX · RZ(−θ/2)_t · CX (exact).
                 let t = op.qubits[1];
@@ -400,11 +394,7 @@ mod tests {
             c.push(
                 GateKind::U3,
                 &[0],
-                &[
-                    Param::Fixed(theta),
-                    Param::Fixed(phi),
-                    Param::Fixed(lambda),
-                ],
+                &[Param::Fixed(theta), Param::Fixed(phi), Param::Fixed(lambda)],
             );
             let n = to_ibm_basis(&c).num_ops();
             assert_eq!(

@@ -130,9 +130,8 @@ impl Layout {
                         continue;
                     }
                     let c = device.qubit(nb);
-                    let score = device.err_2q(q, nb)
-                        + 0.1 * (c.readout_p01 + c.readout_p10)
-                        + c.err_1q;
+                    let score =
+                        device.err_2q(q, nb) + 0.1 * (c.readout_p01 + c.readout_p10) + c.err_1q;
                     if candidate.map(|(_, s)| score < s).unwrap_or(true) {
                         candidate = Some((nb, score));
                     }

@@ -186,8 +186,12 @@ fn try_merge(prev: &Op, op: &Op) -> MergeResult {
     if prev.num_qubits() != nq {
         return MergeResult::None;
     }
-    let same_support = prev.qubits[..nq].iter().all(|&q| op.qubits[..nq].contains(&q))
-        && op.qubits[..nq].iter().all(|&q| prev.qubits[..nq].contains(&q));
+    let same_support = prev.qubits[..nq]
+        .iter()
+        .all(|&q| op.qubits[..nq].contains(&q))
+        && op.qubits[..nq]
+            .iter()
+            .all(|&q| prev.qubits[..nq].contains(&q));
     if !same_support {
         return MergeResult::None;
     }
@@ -301,11 +305,7 @@ fn synthesize_mat2(q: usize, m: &Mat2) -> Circuit {
     tmp.push(
         GateKind::U3,
         &[q],
-        &[
-            Param::Fixed(theta),
-            Param::Fixed(phi),
-            Param::Fixed(lambda),
-        ],
+        &[Param::Fixed(theta), Param::Fixed(phi), Param::Fixed(lambda)],
     );
     let lowered = crate::basis::to_ibm_basis(&tmp);
     for op in lowered.iter() {
@@ -418,7 +418,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut c = Circuit::new(1);
         for _ in 0..10 {
-            c.push(GateKind::RZ, &[0], &[Param::Fixed(rng.gen_range(-3.0..3.0))]);
+            c.push(
+                GateKind::RZ,
+                &[0],
+                &[Param::Fixed(rng.gen_range(-3.0..3.0))],
+            );
             c.push(GateKind::SX, &[0], &[]);
         }
         let o = optimize(&c, 2);

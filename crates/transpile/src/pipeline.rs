@@ -213,7 +213,11 @@ mod tests {
         let dev = Device::belem();
         let (c, _) = random_vqc(4, 2, 12);
         let sizes: Vec<usize> = (0..=3)
-            .map(|opt| transpile(&c, &dev, &Layout::trivial(4), opt).circuit.num_ops())
+            .map(|opt| {
+                transpile(&c, &dev, &Layout::trivial(4), opt)
+                    .circuit
+                    .num_ops()
+            })
             .collect();
         assert!(sizes[1] <= sizes[0]);
         assert!(sizes[2] <= sizes[1]);
@@ -225,7 +229,11 @@ mod tests {
         let (c, train) = random_vqc(4, 1, 5);
         let layout = Layout::from_vec(vec![10, 11, 12, 13]);
         let t = transpile(&c, &dev, &layout, 2);
-        assert!(t.circuit.num_qubits() <= 10, "width {}", t.circuit.num_qubits());
+        assert!(
+            t.circuit.num_qubits() <= 10,
+            "width {}",
+            t.circuit.num_qubits()
+        );
         check_pipeline(&c, &dev, &layout, 2, &train);
     }
 

@@ -95,8 +95,7 @@ pub fn route(circuit: &Circuit, device: &Device, layout: &Layout) -> RoutedCircu
                                 .take(LOOKAHEAD);
                             for &i in upcoming {
                                 let g = ops[i];
-                                let (ga, gb) =
-                                    (l2p[g.qubits[0]], l2p[g.qubits[1]]);
+                                let (ga, gb) = (l2p[g.qubits[0]], l2p[g.qubits[1]]);
                                 look += weight * dist[swap_pos(ga)][swap_pos(gb)] as f64;
                                 weight *= 0.8;
                             }
@@ -182,7 +181,11 @@ mod tests {
         for _ in 0..ops {
             if rng.gen_bool(0.5) {
                 let q = rng.gen_range(0..n);
-                c.push(GateKind::RY, &[q], &[Param::Fixed(rng.gen_range(-3.0..3.0))]);
+                c.push(
+                    GateKind::RY,
+                    &[q],
+                    &[Param::Fixed(rng.gen_range(-3.0..3.0))],
+                );
             } else {
                 let a = rng.gen_range(0..n);
                 let mut b = rng.gen_range(0..n);

@@ -17,12 +17,22 @@ struct OpSpec {
 
 fn arb_ops(n_qubits: usize, max_ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
     prop::collection::vec(
-        (0usize..8, 0..n_qubits, 0..n_qubits, prop::collection::vec(-3.0..3.0f64, 3)),
+        (
+            0usize..8,
+            0..n_qubits,
+            0..n_qubits,
+            prop::collection::vec(-3.0..3.0f64, 3),
+        ),
         1..max_ops,
     )
     .prop_map(|v| {
         v.into_iter()
-            .map(|(kind_idx, a, b, vals)| OpSpec { kind_idx, a, b, vals })
+            .map(|(kind_idx, a, b, vals)| OpSpec {
+                kind_idx,
+                a,
+                b,
+                vals,
+            })
             .collect()
     })
 }

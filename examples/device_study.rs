@@ -9,11 +9,11 @@
 //! cargo run --release --example device_study
 //! ```
 
+use qns_noise::{Device, TrajectoryConfig};
 use quantumnas::{
     evolutionary_search, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
     EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
-use qns_noise::{Device, TrajectoryConfig};
 
 fn main() {
     let task = Task::qml_digits(&[3, 6], 100, 4, 13);
@@ -59,14 +59,8 @@ fn main() {
             },
             None,
         );
-        let acc = estimator.test_accuracy(
-            &circuit,
-            &params,
-            &task,
-            &search.best.layout(),
-            50,
-            measure,
-        );
+        let acc =
+            estimator.test_accuracy(&circuit, &params, &task, &search.best.layout(), 50, measure);
         println!(
             "{:<10} {:>9} {:>10.4} {:>12} {:>16.3}",
             device.name(),

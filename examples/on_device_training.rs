@@ -12,14 +12,13 @@
 //! cargo run --release --example on_device_training
 //! ```
 
-use quantumnas::{
-    eval_task, train_qml_on_device, train_task, train_vqe_on_device, DesignSpace,
-    Estimator, EstimatorKind, OnDeviceTrainConfig, SpaceKind, Split, SuperCircuit, Task,
-    TrainConfig,
-};
 use qns_chem::Molecule;
 use qns_noise::{Device, TrajectoryConfig};
 use qns_transpile::Layout;
+use quantumnas::{
+    eval_task, train_qml_on_device, train_task, train_vqe_on_device, DesignSpace, Estimator,
+    EstimatorKind, OnDeviceTrainConfig, SpaceKind, Split, SuperCircuit, Task, TrainConfig,
+};
 
 fn main() {
     let device = Device::belem();

@@ -9,11 +9,11 @@
 //! cargo run --release --example outlook_extensions
 //! ```
 
-use quantumnas::{
-    barren_plateau_scan, plateau_relief, search_feature_map, DesignSpace, Estimator,
-    EstimatorKind, EvoConfig, SpaceKind, SubConfig, SuperCircuit, SuperTrainConfig, Task,
-};
 use qns_noise::Device;
+use quantumnas::{
+    barren_plateau_scan, plateau_relief, search_feature_map, DesignSpace, Estimator, EstimatorKind,
+    EvoConfig, SpaceKind, SubConfig, SuperCircuit, SuperTrainConfig, Task,
+};
 
 fn main() {
     // --- Outlook #2: the barren plateau, measured ---
@@ -41,8 +41,8 @@ fn main() {
     println!("\nfeature-map search (MNIST-2 on the Yorktown model):");
     let task = Task::qml_digits(&[3, 6], 80, 4, 17);
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
-    let estimator = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 2)
-        .with_valid_cap(12);
+    let estimator =
+        Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 2).with_valid_cap(12);
     let result = search_feature_map(
         &task,
         &sc,
@@ -57,7 +57,11 @@ fn main() {
     );
     println!("{:>8} {:>14}", "encoder", "search score");
     for (name, score) in &result.all_scores {
-        let marker = if *name == result.encoder_name { " <- winner" } else { "" };
+        let marker = if *name == result.encoder_name {
+            " <- winner"
+        } else {
+            ""
+        };
         println!("{:>8} {:>14.4}{}", name, score, marker);
     }
     println!(

@@ -10,13 +10,13 @@
 //! cargo run --release --example qml_classification
 //! ```
 
-use quantumnas::{
-    evolutionary_search, human_design, random_design, train_supercircuit, train_task,
-    DesignSpace, Estimator, EstimatorKind, EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig,
-    Task, TrainConfig,
-};
 use qns_noise::{Device, TrajectoryConfig};
 use qns_transpile::Layout;
+use quantumnas::{
+    evolutionary_search, human_design, random_design, train_supercircuit, train_task, DesignSpace,
+    Estimator, EstimatorKind, EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task,
+    TrainConfig,
+};
 
 fn main() {
     let device = Device::yorktown();
@@ -90,7 +90,14 @@ fn main() {
     let rows = [
         (
             "human + trivial mapping",
-            estimator.test_accuracy(&human_circuit, &human_params, &task, &trivial, n_test, measure),
+            estimator.test_accuracy(
+                &human_circuit,
+                &human_params,
+                &task,
+                &trivial,
+                n_test,
+                measure,
+            ),
         ),
         ("random (best of 3)", best_random_acc),
         (
@@ -106,11 +113,21 @@ fn main() {
         ),
         (
             "QuantumNAS (co-searched)",
-            estimator.test_accuracy(&nas_circuit, &nas_params, &task, &nas_layout, n_test, measure),
+            estimator.test_accuracy(
+                &nas_circuit,
+                &nas_params,
+                &task,
+                &nas_layout,
+                n_test,
+                measure,
+            ),
         ),
     ];
 
-    println!("\n{:<34}  measured accuracy ({} params each)", "method", n_params);
+    println!(
+        "\n{:<34}  measured accuracy ({} params each)",
+        "method", n_params
+    );
     for (name, acc) in rows {
         println!("{:<34}  {:.3}", name, acc);
     }

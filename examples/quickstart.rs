@@ -9,8 +9,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use quantumnas::{QuantumNas, QuantumNasConfig, SpaceKind, Task};
 use qns_noise::Device;
+use quantumnas::{QuantumNas, QuantumNasConfig, SpaceKind, Task};
 
 fn main() {
     let device = Device::yorktown();
@@ -43,10 +43,19 @@ fn main() {
         "blocks: {} | trainable params: {} | qubit mapping: {:?}",
         report.gene.config.n_blocks, report.n_params, report.gene.layout
     );
-    println!("search score (augmented validation loss): {:.4}", report.search_score);
-    println!("noise-free validation loss after training: {:.4}", report.trained_loss);
+    println!(
+        "search score (augmented validation loss): {:.4}",
+        report.search_score
+    );
+    println!(
+        "noise-free validation loss after training: {:.4}",
+        report.trained_loss
+    );
     println!("\n=== measured on the noisy device model ===");
-    println!("accuracy before pruning: {:.3}", report.accuracy_before_prune);
+    println!(
+        "accuracy before pruning: {:.3}",
+        report.accuracy_before_prune
+    );
     println!(
         "accuracy after pruning {:.0}% of parameters: {:.3}",
         100.0 * report.pruned_ratio,

@@ -9,13 +9,13 @@
 //! cargo run --release --example vqe_h2
 //! ```
 
+use qns_chem::{uccsd_ansatz, Molecule};
+use qns_noise::{Device, TrajectoryConfig};
+use qns_transpile::Layout;
 use quantumnas::{
     evolutionary_search, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
     EvoConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
-use qns_chem::{uccsd_ansatz, Molecule};
-use qns_noise::{Device, TrajectoryConfig};
-use qns_transpile::Layout;
 
 fn main() {
     let mol = Molecule::h2();
@@ -43,7 +43,8 @@ fn main() {
     // UCCSD baseline: problem ansatz, hardware-unaware.
     let (uccsd, _) = uccsd_ansatz(2, 1);
     let (uccsd_params, _) = train_task(&uccsd, &task, &train_cfg, None);
-    let uccsd_ideal = quantumnas::eval_task(&uccsd, &uccsd_params, &task, quantumnas::Split::Valid).0;
+    let uccsd_ideal =
+        quantumnas::eval_task(&uccsd, &uccsd_params, &task, quantumnas::Split::Valid).0;
     let uccsd_measured = estimator.vqe_energy_measured(
         &uccsd,
         &uccsd_params,
@@ -76,7 +77,10 @@ fn main() {
         measure,
     );
 
-    println!("\n{:<22} {:>12} {:>12} {:>8}", "ansatz", "noise-free", "measured", "#CX");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>8}",
+        "ansatz", "noise-free", "measured", "#CX"
+    );
     println!(
         "{:<22} {:>12.4} {:>12.4} {:>8}",
         "UCCSD",

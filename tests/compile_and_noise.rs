@@ -1,10 +1,10 @@
 //! Cross-crate semantics: design-space circuits survive the full
 //! transpile → noisy-execution path with correct measurement mapping.
 
-use quantumnas::{DesignSpace, SpaceKind, SuperCircuit};
 use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
 use qns_sim::{run, ExecMode};
 use qns_transpile::{transpile, Layout};
+use quantumnas::{DesignSpace, SpaceKind, SuperCircuit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -1,11 +1,11 @@
 //! End-to-end integration tests: every crate cooperating through the full
 //! QuantumNAS pipeline, at miniature scale.
 
+use qns_noise::{Device, TrajectoryConfig};
 use quantumnas::{
     EvoConfig, PruneConfig, QuantumNas, QuantumNasConfig, SpaceKind, SuperTrainConfig, Task,
     TrainConfig,
 };
-use qns_noise::{Device, TrajectoryConfig};
 
 fn tiny_config() -> QuantumNasConfig {
     let mut cfg = QuantumNasConfig::fast();

@@ -2,25 +2,25 @@
 //! performance with inherited SuperCircuit parameters predicts the ranking
 //! of from-scratch-trained SubCircuits (Figure 9's property).
 
+use qns_ml::spearman;
 use quantumnas::{
     eval_task, inherited_eval, train_supercircuit, train_task, DesignSpace, SpaceKind, Split,
     SubConfig, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
-use qns_ml::spearman;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 #[test]
 fn inherited_ranking_correlates_with_scratch_training() {
-    let task = Task::qml_digits(&[3, 6], 60, 4, 13);
+    let task = Task::qml_digits(&[3, 6], 160, 4, 13);
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
     let (shared, _) = train_supercircuit(
         &sc,
         &task,
         &SuperTrainConfig {
-            steps: 120,
-            batch_size: 8,
-            warmup_steps: 12,
+            steps: 300,
+            batch_size: 16,
+            warmup_steps: 20,
             ..Default::default()
         },
     );
@@ -66,7 +66,7 @@ fn inherited_ranking_correlates_with_scratch_training() {
 fn supercircuit_parameters_transfer_across_subconfigs() {
     // A SubCircuit evaluated with inherited parameters must beat random
     // parameters on average — the sharing actually trains the subsets.
-    let task = Task::qml_digits(&[1, 8], 50, 4, 17);
+    let task = Task::qml_digits(&[1, 8], 160, 4, 17);
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::ZzRy), 4, 2);
     let (shared, _) = train_supercircuit(
         &sc,
@@ -79,7 +79,9 @@ fn supercircuit_parameters_transfer_across_subconfigs() {
         },
     );
     let mut rng = StdRng::seed_from_u64(23);
-    let random: Vec<f64> = (0..sc.num_params()).map(|_| rng.gen_range(-0.3..0.3)).collect();
+    let random: Vec<f64> = (0..sc.num_params())
+        .map(|_| rng.gen_range(-0.3..0.3))
+        .collect();
     let mut inherited_better = 0;
     let n = 6;
     for _ in 0..n {

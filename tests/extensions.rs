@@ -2,14 +2,12 @@
 //! density-matrix estimation, readout mitigation, QASM export, and the
 //! outlook modules.
 
+use qns_circuit::{to_qasm, GateKind};
+use qns_noise::{density_expect_z, Device, ReadoutMitigator, TrajectoryConfig, TrajectoryExecutor};
+use qns_transpile::{transpile, Layout};
 use quantumnas::{
     gradient_variance, DesignSpace, Estimator, EstimatorKind, SpaceKind, SuperCircuit, Task,
 };
-use qns_circuit::{to_qasm, GateKind};
-use qns_noise::{
-    density_expect_z, Device, ReadoutMitigator, TrajectoryConfig, TrajectoryExecutor,
-};
-use qns_transpile::{transpile, Layout};
 
 /// DensitySim scoring agrees with a heavily-sampled NoisySim score through
 /// the full transpile pipeline — the exact/sampled pair is consistent at
@@ -67,7 +65,10 @@ fn mitigation_recovers_density_truth() {
             mitigated[q],
             truth[q]
         );
-        assert!((measured[q] - truth[q]).abs() > 1e-3, "readout had no effect");
+        assert!(
+            (measured[q] - truth[q]).abs() > 1e-3,
+            "readout had no effect"
+        );
     }
 }
 
@@ -136,7 +137,7 @@ fn sampled_counts_match_density_distribution() {
     let counts = exec.sample_counts(&c, &[], &[], &[0, 1], 40_000);
     let total: u32 = counts.iter().map(|(_, n)| n).sum();
     // Density truth.
-    let mut rho_probs = vec![0.0; 4];
+    let mut rho_probs = [0.0; 4];
     {
         // Rebuild exact probabilities via density_expect_z components:
         // easier to use expectations of Z0, Z1, Z0Z1 to solve the 2-qubit

@@ -23,7 +23,12 @@ fn arb_circuit(n_qubits: usize, max_ops: usize) -> impl Strategy<Value = (Circui
         GateKind::CRY,
     ];
     prop::collection::vec(
-        (0..gate_pool.len(), 0..n_qubits, 0..n_qubits, prop::collection::vec(-3.0..3.0f64, 3)),
+        (
+            0..gate_pool.len(),
+            0..n_qubits,
+            0..n_qubits,
+            prop::collection::vec(-3.0..3.0f64, 3),
+        ),
         1..max_ops,
     )
     .prop_map(move |ops| {

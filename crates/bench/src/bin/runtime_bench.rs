@@ -88,6 +88,7 @@ fn main() {
         runtime: RuntimeOptions {
             workers: 1,
             cache: true,
+            ..Default::default()
         },
         ..base
     };
@@ -103,6 +104,7 @@ fn main() {
         runtime: RuntimeOptions {
             workers: 1,
             cache: false,
+            ..Default::default()
         },
         ..base
     };
@@ -116,6 +118,7 @@ fn main() {
             runtime: RuntimeOptions {
                 workers,
                 cache: true,
+                ..Default::default()
             },
             ..base
         };

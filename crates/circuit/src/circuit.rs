@@ -121,6 +121,31 @@ impl Circuit {
         self
     }
 
+    /// Appends a gate without validating arity, qubit ranges, operand
+    /// distinctness, or parameter bookkeeping.
+    ///
+    /// Exists so the verifier's tests (and IR fuzzers) can construct
+    /// deliberately malformed circuits that [`Circuit::push`] rejects;
+    /// normal construction must go through `push`. Missing qubit operands
+    /// are filled with `usize::MAX` (always out of range), and declared
+    /// trainable/input widths are *not* grown, so out-of-range symbolic
+    /// slots stay out of range.
+    pub fn push_unchecked(
+        &mut self,
+        kind: GateKind,
+        qubits: &[usize],
+        params: &[Param],
+    ) -> &mut Self {
+        let q0 = qubits.first().copied().unwrap_or(usize::MAX);
+        let q1 = qubits.get(1).copied().unwrap_or(usize::MAX);
+        self.ops.push(Op {
+            kind,
+            qubits: [q0, q1],
+            params: params.to_vec(),
+        });
+        self
+    }
+
     /// Appends every op of `other` (qubit indices unchanged).
     ///
     /// # Panics

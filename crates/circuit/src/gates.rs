@@ -309,6 +309,7 @@ impl GateKind {
                 let g = a.kron(&b);
                 GateMatrix::Two(g.mul_mat(&u).scale(half))
             }
+            // lint:allow(no-panic) — documented API-misuse panic, guarded by the `which` assert above
             _ => panic!("gate {} has no parameters", self.name()),
         }
     }

@@ -10,6 +10,8 @@
 //!   --seed    <u64>
 //!   --workers <n>                      evaluation workers (0 = one per core)
 //!   --no-cache                         disable transpile cache + score memo
+//!   --verify [off|contracts|full]      per-stage transpiler verification
+//!                                      (bare --verify = full)
 //!   --stats                            print the runtime telemetry summary
 //!   --qasm    <path>                   export the deployed circuit
 //! ```
@@ -18,12 +20,14 @@ use qns_chem::Molecule;
 use qns_circuit::to_qasm;
 use qns_noise::Device;
 use qns_transpile::transpile;
+use qns_verify::VerifyLevel;
 use quantumnas::{QuantumNas, QuantumNasConfig, RuntimeOptions, SpaceKind, Task};
 
 fn usage() -> ! {
     eprintln!(
         "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
-         [--seed N] [--workers N] [--no-cache] [--stats] [--qasm PATH]"
+         [--seed N] [--workers N] [--no-cache] [--verify [off|contracts|full]] \
+         [--stats] [--qasm PATH]"
     );
     std::process::exit(2);
 }
@@ -124,9 +128,25 @@ fn cmd_run(args: &[String]) {
         .position(|a| a == "--qasm")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // `--verify` alone means full checking; an optional value picks the
+    // level (`--verify contracts` skips the equivalence spot check).
+    let verify_level = match args.iter().position(|a| a == "--verify") {
+        None => VerifyLevel::Off,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("off") => VerifyLevel::Off,
+            Some("contracts") => VerifyLevel::Contracts,
+            Some("full") => VerifyLevel::Full,
+            Some(v) if !v.starts_with("--") => {
+                eprintln!("unknown verify level '{v}' (off|contracts|full)");
+                usage()
+            }
+            _ => VerifyLevel::Full,
+        },
+    };
     let runtime = RuntimeOptions {
         workers: get("--workers", "0").parse().unwrap_or_else(|_| usage()),
         cache: !args.iter().any(|a| a == "--no-cache"),
+        verify: verify_level,
     };
     let show_stats = args.iter().any(|a| a == "--stats");
 

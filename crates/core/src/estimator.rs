@@ -9,7 +9,8 @@ use qns_ml::{accuracy, nll_loss};
 use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
 use qns_runtime::{counters, timers, Metrics, ShardedCache};
 use qns_sim::{parallel_map, run, ExecMode};
-use qns_transpile::{transpile, Layout, Transpiled};
+use qns_transpile::{transpile_with, Layout, TranspileOptions, Transpiled};
+use qns_verify::{VerifyLevel, PANIC_MARKER};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +65,8 @@ pub struct Estimator {
     transpile_cache: Option<Arc<ShardedCache<Transpiled>>>,
     /// Shared telemetry registry; `None` skips all accounting.
     metrics: Option<Arc<Metrics>>,
+    /// Per-stage contract checking on every fresh transpile.
+    verify: VerifyLevel,
 }
 
 impl Estimator {
@@ -77,6 +80,7 @@ impl Estimator {
             valid_cap: 24,
             transpile_cache: None,
             metrics: None,
+            verify: VerifyLevel::Off,
         }
     }
 
@@ -85,6 +89,20 @@ impl Estimator {
         assert!(cap > 0, "need at least one validation sample");
         self.valid_cap = cap;
         self
+    }
+
+    /// Turns on per-stage transpiler contract checking. A violation panics
+    /// with a [`PANIC_MARKER`]-prefixed message, which the batch engine
+    /// catches and classifies as a verification failure (a real error in
+    /// the telemetry) instead of silently poisoning the score.
+    pub fn with_verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
+    /// The configured verification level.
+    pub fn verify_level(&self) -> VerifyLevel {
+        self.verify
     }
 
     /// The target device.
@@ -149,12 +167,28 @@ impl Estimator {
     }
 
     fn timed_transpile(&self, circuit: &Circuit, layout: &Layout) -> Transpiled {
+        // lint:allow(wallclock) — transpile wall time lands in the telemetry registry only
         let start = Instant::now();
-        let t = transpile(circuit, &self.device, layout, self.opt_level);
+        let opts = TranspileOptions::verified(self.verify);
+        let result = transpile_with(circuit, &self.device, layout, self.opt_level, opts);
         if let Some(m) = &self.metrics {
             m.record(timers::TRANSPILE, start.elapsed());
+            if self.verify.enabled() {
+                m.incr(counters::VERIFY_CHECKS, 1);
+            }
         }
-        t
+        match result {
+            Ok(t) => t,
+            // The marker lets the batch engine tell a contract violation
+            // from an arbitrary worker crash (and count it separately).
+            Err(e) => {
+                let msg = e.to_string();
+                if msg.starts_with(PANIC_MARKER) {
+                    panic!("{msg}");
+                }
+                panic!("{PANIC_MARKER} {msg}");
+            }
+        }
     }
 
     fn timed_sim<T>(&self, f: impl FnOnce() -> T) -> T {

@@ -141,6 +141,7 @@ pub fn iterative_prune_rt(
     let mut final_loss = f64::NAN;
 
     for step in 0..config.steps {
+        // lint:allow(wallclock) — round timing feeds progress logs, not results
         let round_start = Instant::now();
         let progress = (step + 1) as f64 / config.steps as f64;
         let ratio = polynomial_ratio(config.initial_ratio, config.final_ratio, progress);

@@ -20,16 +20,21 @@ use qns_runtime::{
     counters, timers, CacheKey, EvalEngine, Metrics, ShardedCache, StructuralHasher, Workers,
 };
 use qns_transpile::{Layout, Transpiled};
+use qns_verify::{VerifyLevel, PANIC_MARKER};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// User-facing runtime knobs (the CLI's `--workers` / `--no-cache`).
+/// User-facing runtime knobs (the CLI's `--workers` / `--no-cache` /
+/// `--verify`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RuntimeOptions {
     /// Worker threads for candidate evaluation; `0` = one per core.
     pub workers: usize,
     /// Enables the transpile cache and gene-score memo.
     pub cache: bool,
+    /// Per-stage transpiler contract checking for every instrumented
+    /// estimator ([`VerifyLevel::Off`] by default).
+    pub verify: VerifyLevel,
 }
 
 impl Default for RuntimeOptions {
@@ -37,6 +42,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             workers: 0,
             cache: true,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -48,6 +54,7 @@ impl RuntimeOptions {
         RuntimeOptions {
             workers: 1,
             cache: false,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -66,6 +73,11 @@ pub struct BatchOutcome {
     pub memo_hits: usize,
     /// Wall time of the whole batch.
     pub elapsed: Duration,
+    /// `(batch index, message)` for every fresh evaluation that failed.
+    /// Verification contract violations carry the `qns-verify:` marker and
+    /// are counted separately from generic worker panics; either way the
+    /// corresponding score slot holds `+inf`.
+    pub errors: Vec<(usize, String)>,
 }
 
 /// The per-search evaluation runtime: engine + caches + telemetry.
@@ -125,10 +137,11 @@ impl SearchRuntime {
     }
 
     /// A copy of `estimator` wired into this runtime: compiles go through
-    /// the shared transpile cache and wall time lands in the metrics
-    /// registry.
+    /// the shared transpile cache, wall time lands in the metrics registry,
+    /// and the runtime's [`RuntimeOptions::verify`] level applies to every
+    /// fresh transpile.
     pub fn instrument_estimator(&self, estimator: &Estimator) -> Estimator {
-        let mut est = estimator.clone();
+        let mut est = estimator.clone().with_verify(self.options.verify);
         est.attach_runtime(self.transpile_cache.clone(), Some(self.metrics.clone()));
         est
     }
@@ -145,6 +158,7 @@ impl SearchRuntime {
         genes: &[Gene],
         score: impl Fn(&Gene) -> f64 + Sync,
     ) -> BatchOutcome {
+        // lint:allow(wallclock) — batch wall time is telemetry only, never a score input
         let start = Instant::now();
         let run_one = |gene: &Gene| -> f64 {
             self.metrics.incr(counters::EVALUATIONS, 1);
@@ -159,12 +173,24 @@ impl SearchRuntime {
 
         let outcome = match &self.score_memo {
             None => {
-                let scores = self.engine.run(genes, run_one, f64::INFINITY);
+                let results = self.engine.try_run(genes, run_one);
+                let mut scores = Vec::with_capacity(results.len());
+                let mut errors = Vec::new();
+                for (i, r) in results.into_iter().enumerate() {
+                    match r {
+                        Ok(s) => scores.push(s),
+                        Err(msg) => {
+                            scores.push(f64::INFINITY);
+                            errors.push((i, msg));
+                        }
+                    }
+                }
                 BatchOutcome {
                     evaluated: genes.len(),
                     memo_hits: 0,
                     elapsed: start.elapsed(),
                     scores,
+                    errors,
                 }
             }
             Some(memo) => {
@@ -189,10 +215,15 @@ impl SearchRuntime {
                     }
                 }
                 let fresh_genes: Vec<&Gene> = fresh.iter().map(|&i| &genes[i]).collect();
-                let fresh_scores = self.engine.run(&fresh_genes, |g| run_one(g), f64::INFINITY);
+                let fresh_results = self.engine.try_run(&fresh_genes, |g| run_one(g));
+                let fresh_scores: Vec<f64> = fresh_results
+                    .iter()
+                    .map(|r| *r.as_ref().unwrap_or(&f64::INFINITY))
+                    .collect();
                 for (&i, &s) in fresh.iter().zip(&fresh_scores) {
                     memo.insert(keys[i], s);
                 }
+                let mut errors = Vec::new();
                 for i in 0..genes.len() {
                     if scores[i].is_none() {
                         let j = fresh
@@ -200,6 +231,9 @@ impl SearchRuntime {
                             .position(|&f| keys[f] == keys[i])
                             .expect("every missed key has a fresh representative");
                         scores[i] = Some(fresh_scores[j]);
+                        if let Err(msg) = &fresh_results[j] {
+                            errors.push((i, msg.clone()));
+                        }
                     }
                 }
                 BatchOutcome {
@@ -210,11 +244,24 @@ impl SearchRuntime {
                         .into_iter()
                         .map(|s| s.expect("all slots filled"))
                         .collect(),
+                    errors,
                 }
             }
         };
 
-        let panics = outcome.scores.iter().filter(|s| s.is_infinite()).count();
+        // Contract violations carry the verifier's marker; everything else
+        // is a generic worker panic. Both poison their slot to +inf, but
+        // they land in distinct telemetry counters.
+        let violations = outcome
+            .errors
+            .iter()
+            .filter(|(_, msg)| msg.contains(PANIC_MARKER))
+            .count();
+        let panics = outcome.errors.len() - violations;
+        if violations > 0 {
+            self.metrics
+                .incr(counters::VERIFY_VIOLATIONS, violations as u64);
+        }
         if panics > 0 {
             self.metrics.incr(counters::PANICS, panics as u64);
         }
@@ -469,6 +516,7 @@ mod tests {
         let rt = SearchRuntime::new(RuntimeOptions {
             workers: 2,
             cache: true,
+            ..Default::default()
         });
         let g1 = gene(vec![vec![1, 1]], vec![0, 1]);
         let g2 = gene(vec![vec![2, 2]], vec![0, 1]);
@@ -504,6 +552,7 @@ mod tests {
         let rt = SearchRuntime::new(RuntimeOptions {
             workers: 1,
             cache: true,
+            ..Default::default()
         });
         let g = gene(vec![vec![1]], vec![0]);
         let a = rt.score_batch(CacheKey { lo: 0, hi: 0 }, std::slice::from_ref(&g), |_| 1.0);

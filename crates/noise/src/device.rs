@@ -194,6 +194,24 @@ impl Device {
         Device::synthetic("manhattan", 65, Topology::HeavyHex, 1.6e-3, 32, 0xB0B)
     }
 
+    /// Every shipped synthetic device, smallest to largest.
+    pub fn all() -> Vec<Device> {
+        vec![
+            Device::santiago(),
+            Device::athens(),
+            Device::rome(),
+            Device::belem(),
+            Device::quito(),
+            Device::lima(),
+            Device::yorktown(),
+            Device::jakarta(),
+            Device::melbourne(),
+            Device::guadalupe(),
+            Device::toronto(),
+            Device::manhattan(),
+        ]
+    }
+
     /// All seven 5-qubit machines, from least to most noisy.
     pub fn all_5q() -> Vec<Device> {
         vec![

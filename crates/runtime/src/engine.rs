@@ -84,16 +84,34 @@ impl EvalEngine {
         U: Send + Clone + Sync,
         F: Fn(&T) -> U + Sync,
     {
+        self.try_run(items, f)
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|_| on_panic.clone()))
+            .collect()
+    }
+
+    /// [`EvalEngine::run`], but a panicking evaluation yields
+    /// `Err(panic message)` in its slot instead of a poison value, so the
+    /// caller can classify failures (e.g. a verification contract violation
+    /// vs. an unexpected worker crash) rather than folding them all into
+    /// one sentinel score.
+    pub fn try_run<T, U, F>(&self, items: &[T], f: F) -> Vec<Result<U, String>>
+    where
+        T: Sync,
+        U: Send + Sync,
+        F: Fn(&T) -> U + Sync,
+    {
         let n_workers = self.workers().min(items.len().max(1));
         let guarded = |item: &T| {
-            catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|_| on_panic.clone())
+            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(p.as_ref()))
         };
         if n_workers <= 1 || items.len() <= 1 {
             return items.iter().map(guarded).collect();
         }
 
         let next = AtomicUsize::new(0);
-        let out: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+        let out: Mutex<Vec<Option<Result<U, String>>>> =
+            Mutex::new((0..items.len()).map(|_| None).collect());
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
                 scope.spawn(|| loop {
@@ -114,6 +132,18 @@ impl EvalEngine {
             .into_iter()
             .map(|slot| slot.expect("every index is claimed by exactly one worker"))
             .collect()
+    }
+}
+
+/// Extracts the human-readable message from a panic payload (the `&str` or
+/// `String` that `panic!` carries; anything else gets a fixed label).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -164,6 +194,28 @@ mod tests {
             usize::MAX,
         );
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn try_run_carries_panic_messages() {
+        let items: Vec<usize> = (0..16).collect();
+        for workers in [Workers::Fixed(1), Workers::Fixed(4)] {
+            let engine = EvalEngine::new(workers);
+            let out = engine.try_run(&items, |&x| {
+                if x % 5 == 2 {
+                    panic!("candidate {x} rejected");
+                }
+                x * 3
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 2 {
+                    let msg = slot.as_ref().unwrap_err();
+                    assert!(msg.contains("rejected"), "got {msg:?}");
+                } else {
+                    assert_eq!(*slot.as_ref().unwrap(), i * 3);
+                }
+            }
+        }
     }
 
     #[test]

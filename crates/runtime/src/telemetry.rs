@@ -19,6 +19,11 @@ pub mod counters {
     pub const TRANSPILE_MISSES: &str = "transpile_misses";
     /// Candidate evaluations that panicked and were poisoned to `+inf`.
     pub const PANICS: &str = "eval_panics";
+    /// Verified transpiles: pipelines run with contract checking enabled.
+    pub const VERIFY_CHECKS: &str = "verify_checks";
+    /// Verification contract violations (each one is a real compiler bug or
+    /// an illegal candidate, surfaced instead of silently mis-scored).
+    pub const VERIFY_VIOLATIONS: &str = "verify_violations";
 }
 
 /// Well-known timer names.
@@ -263,6 +268,15 @@ impl Metrics {
                 "  {:<22} {:.1}%\n",
                 "transpile hit rate",
                 100.0 * t_hits as f64 / (t_hits + t_miss) as f64
+            ));
+        }
+        // When any verified transpiles ran, always show the violation count
+        // — a zero here is the line auditors look for.
+        if self.counter(counters::VERIFY_CHECKS) > 0 {
+            out.push_str(&format!(
+                "  {:<22} {}\n",
+                "verify violations",
+                self.counter(counters::VERIFY_VIOLATIONS)
             ));
         }
         {

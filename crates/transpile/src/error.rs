@@ -1,0 +1,63 @@
+//! Typed transpilation errors.
+//!
+//! The search loop hands the compiler *searched* layouts, so invalid input
+//! is an expected runtime condition, not a programming bug: it must come
+//! back as a value the caller can report and score, never as a worker
+//! panic.
+
+use qns_verify::VerifyError;
+use std::fmt;
+
+/// Why a transpile (or a single routing pass) failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TranspileError {
+    /// The layout maps a different number of logical qubits than the
+    /// circuit has.
+    LayoutWidthMismatch {
+        /// Logical qubits the layout maps.
+        layout: usize,
+        /// Qubits the circuit acts on.
+        circuit: usize,
+    },
+    /// The layout maps a logical qubit outside the device, or maps two
+    /// logical qubits to the same physical qubit.
+    InvalidLayout {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The router's swap heuristic could not make progress — only possible
+    /// on a disconnected coupling graph (no shipped device has one).
+    RoutingStuck {
+        /// Index of the logical op being routed when progress stopped.
+        op_index: usize,
+    },
+    /// A verification pass contract failed; the report pinpoints the stage
+    /// and rule.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::LayoutWidthMismatch { layout, circuit } => write!(
+                f,
+                "layout maps {layout} logical qubits, circuit has {circuit}"
+            ),
+            TranspileError::InvalidLayout { reason } => {
+                write!(f, "invalid layout: {reason}")
+            }
+            TranspileError::RoutingStuck { op_index } => {
+                write!(f, "routing made no progress at op {op_index}")
+            }
+            TranspileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+impl From<VerifyError> for TranspileError {
+    fn from(e: VerifyError) -> Self {
+        TranspileError::Verify(e)
+    }
+}

@@ -16,7 +16,10 @@
 //! - [`optimize`] — gate cancellation, rotation merging, and single-qubit
 //!   resynthesis passes,
 //! - [`transpile`] — the full pipeline producing a [`Transpiled`] circuit
-//!   with compiled metrics (depth, gate counts) and measurement mapping.
+//!   with compiled metrics (depth, gate counts) and measurement mapping,
+//! - [`transpile_with`] / [`try_route`] — the same pipeline with typed
+//!   [`TranspileError`] results and optional per-stage verification
+//!   ([`qns_verify::PassContract`]) selected by [`TranspileOptions`].
 //!
 //! # Examples
 //!
@@ -34,13 +37,15 @@
 //! ```
 
 mod basis;
+mod error;
 mod layout;
 mod passes;
 mod pipeline;
 mod router;
 
 pub use basis::{to_ibm_basis, zyz_angles};
+pub use error::TranspileError;
 pub use layout::{distance_matrix, Layout};
 pub use passes::optimize;
-pub use pipeline::{transpile, Transpiled};
-pub use router::{route, RoutedCircuit};
+pub use pipeline::{transpile, transpile_with, TranspileOptions, Transpiled};
+pub use router::{route, try_route, RoutedCircuit};

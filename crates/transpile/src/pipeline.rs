@@ -1,8 +1,24 @@
 //! The full transpilation pipeline and its output type.
 
-use crate::{optimize, route, to_ibm_basis, Layout};
+use crate::{optimize, to_ibm_basis, try_route, Layout, TranspileError};
 use qns_circuit::Circuit;
 use qns_noise::Device;
+use qns_verify::{PassContract, VerifyLevel};
+
+/// Knobs for [`transpile_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TranspileOptions {
+    /// Per-stage contract checking (default [`VerifyLevel::Off`], which adds
+    /// zero work to the pipeline).
+    pub verify: VerifyLevel,
+}
+
+impl TranspileOptions {
+    /// Options with contract checking at `level`.
+    pub fn verified(level: VerifyLevel) -> Self {
+        TranspileOptions { verify: level }
+    }
+}
 
 /// The result of [`transpile`]: an executable physical circuit plus the
 /// bookkeeping needed to run and read it out.
@@ -66,9 +82,63 @@ impl Transpiled {
 /// assert!(t.circuit.num_train_params() >= 1);
 /// ```
 pub fn transpile(circuit: &Circuit, device: &Device, layout: &Layout, opt_level: u8) -> Transpiled {
-    let routed = route(circuit, device, layout);
+    match transpile_with(
+        circuit,
+        device,
+        layout,
+        opt_level,
+        TranspileOptions::default(),
+    ) {
+        Ok(t) => t,
+        // lint:allow(no-panic) — documented panicking wrapper over `transpile_with`
+        Err(e) => panic!("transpile failed: {e}"),
+    }
+}
+
+/// [`transpile`] with options: invalid layouts come back as typed errors,
+/// and [`TranspileOptions::verify`] turns on per-stage [`PassContract`]
+/// checks (layout → route → basis → optimize → output) whose violations
+/// surface as [`TranspileError::Verify`] with stage-tagged diagnostics.
+///
+/// With verification off this is exactly the [`transpile`] pipeline plus
+/// two integer comparisons — no measurable overhead.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind};
+/// use qns_noise::Device;
+/// use qns_transpile::{transpile_with, Layout, TranspileOptions};
+/// use qns_verify::VerifyLevel;
+///
+/// let mut c = Circuit::new(2);
+/// c.push(GateKind::H, &[0], &[]);
+/// c.push(GateKind::CX, &[0, 1], &[]);
+/// let opts = TranspileOptions::verified(VerifyLevel::Full);
+/// let t = transpile_with(&c, &Device::belem(), &Layout::trivial(2), 2, opts).unwrap();
+/// assert_eq!(t.dense_of_logical.len(), 2);
+///
+/// // A layout outside the device is an error, not a panic.
+/// let bad = Layout::from_vec(vec![0, 17]);
+/// assert!(transpile_with(&c, &Device::belem(), &bad, 2, opts).is_err());
+/// ```
+pub fn transpile_with(
+    circuit: &Circuit,
+    device: &Device,
+    layout: &Layout,
+    opt_level: u8,
+    options: TranspileOptions,
+) -> Result<Transpiled, TranspileError> {
+    let contract = PassContract::new(circuit, device, options.verify);
+    contract.check_layout(layout.as_slice()).into_result()?;
+    let routed = try_route(circuit, device, layout)?;
+    contract
+        .check_routed(layout.as_slice(), &routed.circuit, &routed.final_phys_of)
+        .into_result()?;
     let lowered = to_ibm_basis(&routed.circuit);
+    contract.check_lowered(&lowered).into_result()?;
     let optimized = optimize(&lowered, opt_level);
+    contract.check_optimized(&optimized).into_result()?;
 
     // Compact: keep qubits that carry gates or hold a logical qubit.
     let mut used = vec![false; device.num_qubits()];
@@ -99,12 +169,16 @@ pub fn transpile(circuit: &Circuit, device: &Device, layout: &Layout, opt_level:
         .map(|&p| dense_of_phys[p])
         .collect();
 
-    Transpiled {
+    let out = Transpiled {
         circuit: dense_circuit,
         phys_of,
         dense_of_logical,
         swaps_inserted: routed.swaps_inserted,
-    }
+    };
+    contract
+        .check_output(&out.circuit, &out.phys_of, &out.dense_of_logical)
+        .into_result()?;
+    Ok(out)
 }
 
 fn remap_dense(circuit: &Circuit, mapping: &[usize], new_width: usize) -> Circuit {

@@ -1,6 +1,6 @@
 //! SABRE-style routing: SWAP insertion for the device coupling map.
 
-use crate::{distance_matrix, Layout};
+use crate::{distance_matrix, Layout, TranspileError};
 use qns_circuit::{Circuit, GateKind};
 use qns_noise::Device;
 
@@ -37,14 +37,40 @@ pub struct RoutedCircuit {
 /// # Panics
 ///
 /// Panics if the layout width differs from the circuit width or maps
-/// outside the device.
+/// outside the device. Search loops feeding *searched* (possibly invalid)
+/// layouts should call [`try_route`] instead.
 pub fn route(circuit: &Circuit, device: &Device, layout: &Layout) -> RoutedCircuit {
-    assert_eq!(
-        layout.num_logical(),
-        circuit.num_qubits(),
-        "layout width must match circuit width"
-    );
-    assert!(layout.is_valid_for(device), "layout maps outside device");
+    match try_route(circuit, device, layout) {
+        Ok(routed) => routed,
+        // lint:allow(no-panic) — documented panicking wrapper over `try_route`
+        Err(e) => panic!("routing failed: {e}"),
+    }
+}
+
+/// [`route`], but invalid input comes back as a [`TranspileError`] instead
+/// of a panic — the form the search loop wants, since searched layouts are
+/// untrusted data, not programmer invariants.
+pub fn try_route(
+    circuit: &Circuit,
+    device: &Device,
+    layout: &Layout,
+) -> Result<RoutedCircuit, TranspileError> {
+    if layout.num_logical() != circuit.num_qubits() {
+        return Err(TranspileError::LayoutWidthMismatch {
+            layout: layout.num_logical(),
+            circuit: circuit.num_qubits(),
+        });
+    }
+    if !layout.is_valid_for(device) {
+        return Err(TranspileError::InvalidLayout {
+            reason: format!(
+                "layout {:?} maps outside device {} ({} qubits)",
+                layout.as_slice(),
+                device.name(),
+                device.num_qubits()
+            ),
+        });
+    }
     let dist = distance_matrix(device);
     let n_phys = device.num_qubits();
 
@@ -111,11 +137,15 @@ pub fn route(circuit: &Circuit, device: &Device, layout: &Layout) -> RoutedCircu
                             }
                         }
                     }
-                    let ((x, y), (after, _)) = best.expect("coupled device has candidates");
-                    assert!(
-                        after < dist[pa][pb],
-                        "swap heuristic failed to make progress"
-                    );
+                    // On a connected coupling graph a shortest-path swap is
+                    // always a candidate; no candidate or no progress means
+                    // the operands are unreachable from each other.
+                    let Some(((x, y), (after, _))) = best else {
+                        return Err(TranspileError::RoutingStuck { op_index: op_idx });
+                    };
+                    if after >= dist[pa][pb] {
+                        return Err(TranspileError::RoutingStuck { op_index: op_idx });
+                    }
                     out.push(GateKind::Swap, &[x, y], &[]);
                     swaps += 1;
                     // Update the mapping: any logical on x/y moves.
@@ -133,11 +163,11 @@ pub fn route(circuit: &Circuit, device: &Device, layout: &Layout) -> RoutedCircu
         }
     }
 
-    RoutedCircuit {
+    Ok(RoutedCircuit {
         circuit: out,
         final_phys_of: l2p,
         swaps_inserted: swaps,
-    }
+    })
 }
 
 #[cfg(test)]

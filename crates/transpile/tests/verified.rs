@@ -1,0 +1,244 @@
+//! Verified-transpile tests: the pass contracts accept every honest
+//! pipeline run and catch injected miscompiles.
+
+use proptest::prelude::*;
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_noise::Device;
+use qns_transpile::{route, transpile_with, Layout, TranspileError, TranspileOptions};
+use qns_verify::{verify_circuit, PassContract, Rule, VerifyLevel};
+
+#[derive(Debug, Clone)]
+struct OpSpec {
+    kind_idx: usize,
+    a: usize,
+    b: usize,
+    vals: Vec<f64>,
+    // 0 = fixed, 1 = trainable, 2 = input
+    param_mode: usize,
+}
+
+fn arb_ops(n_qubits: usize, max_ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
+    prop::collection::vec(
+        (
+            0usize..8,
+            0..n_qubits,
+            0..n_qubits,
+            prop::collection::vec(-3.0..3.0f64, 3),
+            0usize..3,
+        ),
+        1..max_ops,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(kind_idx, a, b, vals, param_mode)| OpSpec {
+                kind_idx,
+                a,
+                b,
+                vals,
+                param_mode,
+            })
+            .collect()
+    })
+}
+
+/// Builds a legal logical circuit, mixing fixed, trainable, and input
+/// parameters so contract checks see symbolic slots.
+fn build(n_qubits: usize, ops: &[OpSpec]) -> Circuit {
+    let pool = [
+        GateKind::H,
+        GateKind::RX,
+        GateKind::RY,
+        GateKind::U3,
+        GateKind::CX,
+        GateKind::CU3,
+        GateKind::RZZ,
+        GateKind::CZ,
+    ];
+    let mut c = Circuit::new(n_qubits);
+    let mut next_train = 0usize;
+    let mut next_input = 0usize;
+    for spec in ops {
+        let kind = pool[spec.kind_idx];
+        let qs: Vec<usize> = if kind.num_qubits() == 1 {
+            vec![spec.a]
+        } else if spec.a != spec.b {
+            vec![spec.a, spec.b]
+        } else {
+            vec![spec.a, (spec.a + 1) % n_qubits]
+        };
+        let ps: Vec<Param> = (0..kind.num_params())
+            .map(|k| match spec.param_mode {
+                1 => {
+                    next_train += 1;
+                    Param::Train(next_train - 1)
+                }
+                2 => {
+                    next_input += 1;
+                    Param::Input(next_input - 1)
+                }
+                _ => Param::Fixed(spec.vals[k]),
+            })
+            .collect();
+        c.push(kind, &qs, &ps);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits transpile verified-clean at [`VerifyLevel::Full`]
+    /// across random devices, layouts, and every optimization level.
+    #[test]
+    fn random_transpiles_verify_clean(
+        ops in arb_ops(4, 12),
+        dev_idx in 0usize..12,
+        layout_seed in 0u64..1000,
+        opt in 0u8..=3,
+    ) {
+        use rand::SeedableRng;
+        let circuit = build(4, &ops);
+        prop_assert!(verify_circuit(&circuit).is_clean());
+        let device = Device::all()[dev_idx].clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(layout_seed);
+        let layout = Layout::random(4, &device, &mut rng);
+        let opts = TranspileOptions::verified(VerifyLevel::Full);
+        let t = transpile_with(&circuit, &device, &layout, opt, opts);
+        prop_assert!(t.is_ok(), "{:?}", t.err());
+    }
+}
+
+/// Deterministic sweep: every shipped device, every optimization level,
+/// with full verification on — the "no false positives" guarantee the
+/// search loop relies on.
+#[test]
+fn all_devices_all_opt_levels_verify_clean() {
+    let specs: Vec<OpSpec> = (0..10)
+        .map(|i| OpSpec {
+            kind_idx: i % 8,
+            a: i % 4,
+            b: (i + 1) % 4,
+            vals: vec![0.3 + i as f64 * 0.17, -0.9, 1.1],
+            param_mode: i % 3,
+        })
+        .collect();
+    let circuit = build(4, &specs);
+    let devices = Device::all();
+    assert!(devices.len() >= 11, "expected the full synthetic fleet");
+    for device in &devices {
+        for opt in 0..=3 {
+            let opts = TranspileOptions::verified(VerifyLevel::Full);
+            let t = transpile_with(&circuit, device, &Layout::trivial(4), opt, opts);
+            assert!(t.is_ok(), "{} at opt {opt}: {:?}", device.name(), t.err());
+        }
+    }
+}
+
+/// The acceptance-criterion regression: a routing pass that silently drops
+/// a SWAP is caught by the route contract (`QC102`), not by simulation.
+#[test]
+fn dropped_swap_is_caught() {
+    let device = Device::santiago();
+    let mut c = Circuit::new(5);
+    c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+    c.push(GateKind::CX, &[0, 4], &[]); // distance 4 on the line: needs SWAPs
+    let layout = Layout::trivial(5);
+    let routed = route(&c, &device, &layout);
+    assert!(routed.swaps_inserted >= 3);
+
+    let pc = PassContract::new(&c, &device, VerifyLevel::Contracts);
+    assert!(
+        pc.check_routed(layout.as_slice(), &routed.circuit, &routed.final_phys_of)
+            .is_clean(),
+        "honest routing must pass"
+    );
+
+    // A buggy router: identical output minus the first inserted SWAP.
+    let mut doctored = Circuit::new(routed.circuit.num_qubits());
+    let mut dropped = false;
+    for op in routed.circuit.iter() {
+        if !dropped && op.kind == GateKind::Swap {
+            dropped = true;
+            continue;
+        }
+        doctored.push(op.kind, &op.qubits[..op.num_qubits()], &op.params);
+    }
+    assert!(dropped);
+    let report = pc.check_routed(layout.as_slice(), &doctored, &routed.final_phys_of);
+    assert!(
+        !report.with_rule(Rule::ContractGateLoss).is_empty(),
+        "dropped SWAP must trip QC102: {report}"
+    );
+}
+
+/// Misreported final mappings (the other half of a SWAP miscompile) also
+/// trip the route contract.
+#[test]
+fn wrong_final_mapping_is_caught() {
+    let device = Device::athens();
+    let mut c = Circuit::new(5);
+    c.push(GateKind::CX, &[0, 3], &[]);
+    let layout = Layout::trivial(5);
+    let routed = route(&c, &device, &layout);
+    let pc = PassContract::new(&c, &device, VerifyLevel::Contracts);
+    let mut wrong = routed.final_phys_of.clone();
+    wrong.swap(0, 1);
+    let report = pc.check_routed(layout.as_slice(), &routed.circuit, &wrong);
+    assert!(!report.with_rule(Rule::ContractGateLoss).is_empty());
+}
+
+/// Invalid layouts come back as typed errors from the verified pipeline.
+#[test]
+fn invalid_layouts_are_typed_errors() {
+    let mut c = Circuit::new(2);
+    c.push(GateKind::CX, &[0, 1], &[]);
+    let device = Device::belem();
+    let opts = TranspileOptions::default();
+
+    let wide = Layout::trivial(3);
+    match transpile_with(&c, &device, &wide, 2, opts) {
+        Err(TranspileError::LayoutWidthMismatch {
+            layout: 3,
+            circuit: 2,
+        }) => {}
+        other => panic!("expected width mismatch, got {other:?}"),
+    }
+
+    let outside = Layout::from_vec(vec![0, 40]);
+    match transpile_with(&c, &device, &outside, 2, opts) {
+        Err(TranspileError::InvalidLayout { .. }) => {}
+        other => panic!("expected invalid layout, got {other:?}"),
+    }
+
+    // With verification on, the contract reports it as QC101 instead.
+    let verified = TranspileOptions::verified(VerifyLevel::Contracts);
+    match transpile_with(&c, &device, &outside, 2, verified) {
+        Err(TranspileError::Verify(e)) => {
+            assert_eq!(e.first().rule, Rule::ContractInvalidLayout);
+        }
+        other => panic!("expected verify error, got {other:?}"),
+    }
+}
+
+/// Seeded illegal circuits trip the expected rule codes end to end.
+#[test]
+fn illegal_circuits_report_stable_codes() {
+    // Out-of-range qubit → QV001.
+    let mut c = Circuit::new(2);
+    c.push_unchecked(GateKind::X, &[5], &[]);
+    let r = verify_circuit(&c);
+    assert!(!r.with_rule(Rule::QubitOutOfRange).is_empty(), "{r}");
+
+    // Non-adjacent CX on a line device → QV007.
+    let mut c = Circuit::new(5);
+    c.push(GateKind::CX, &[0, 4], &[]);
+    let r = qns_verify::verify_coupling(&c, &Device::santiago(), None);
+    assert!(!r.with_rule(Rule::UncoupledGate).is_empty(), "{r}");
+
+    // NaN parameter → non-finite (QV004) and non-unitary (QV006).
+    let mut c = Circuit::new(1);
+    c.push(GateKind::RX, &[0], &[Param::Fixed(f64::NAN)]);
+    let r = verify_circuit(&c);
+    assert!(!r.with_rule(Rule::NonFiniteParam).is_empty(), "{r}");
+    assert!(!r.with_rule(Rule::NonUnitaryMatrix).is_empty(), "{r}");
+}

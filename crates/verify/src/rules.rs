@@ -1,0 +1,367 @@
+//! Circuit/IR verification rules (`QV0xx`).
+//!
+//! Each function checks one family of invariants on a [`Circuit`] and
+//! returns a [`VerifyReport`]; [`verify_circuit`] bundles the
+//! device-independent rules. All rules are total: they never panic on
+//! malformed input (that is the point).
+
+use crate::diag::{Diagnostic, Location, Rule, VerifyReport};
+use qns_circuit::{Circuit, GateKind, GateMatrix, Op, Param};
+use qns_noise::Device;
+
+/// The IBM hardware basis the transpiler lowers to.
+pub const IBM_BASIS: &[GateKind] = &[GateKind::CX, GateKind::SX, GateKind::RZ, GateKind::X];
+
+/// Deterministic sample values for trainable slots (unitarity and
+/// equivalence checks must not read entropy: cache keys depend on it).
+pub fn sample_train(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.37 + 0.193 * i as f64).collect()
+}
+
+/// Deterministic sample values for input slots.
+pub fn sample_input(n: usize) -> Vec<f64> {
+    (0..n).map(|i| -0.51 + 0.147 * i as f64).collect()
+}
+
+fn finite_parts(p: Param) -> bool {
+    match p {
+        Param::Fixed(v) => v.is_finite(),
+        Param::Input(_) | Param::Train(_) => true,
+        Param::AffineInput { scale, offset, .. } | Param::AffineTrain { scale, offset, .. } => {
+            scale.is_finite() && offset.is_finite()
+        }
+    }
+}
+
+fn slots_in_range(p: Param, n_train: usize, n_input: usize) -> bool {
+    let train_ok = p.train_index().map(|i| i < n_train).unwrap_or(true);
+    let input_ok = p.input_index().map(|i| i < n_input).unwrap_or(true);
+    train_ok && input_ok
+}
+
+/// Checks structural rules on one op; pushed diagnostics carry `op_index`.
+fn check_op(report: &mut VerifyReport, c: &Circuit, i: usize, op: &Op) {
+    let nq = op.num_qubits();
+    // Whether the parameter list is well-formed enough to evaluate the gate
+    // matrix: right arity and in-range symbolic slots (non-finite values
+    // still evaluate — they are exactly what the unitarity rule catches).
+    let mut evaluable = true;
+
+    // QV001: qubit bounds.
+    for &q in &op.qubits[..nq] {
+        if q >= c.num_qubits() {
+            report.push(Diagnostic::error(
+                Rule::QubitOutOfRange,
+                format!(
+                    "gate {} touches qubit {q} but the circuit has {} qubits",
+                    op.kind,
+                    c.num_qubits()
+                ),
+                Location::op_qubit(i, q),
+            ));
+        }
+    }
+
+    // QV002: distinct operands.
+    if nq == 2 && op.qubits[0] == op.qubits[1] {
+        report.push(Diagnostic::error(
+            Rule::DuplicateOperands,
+            format!(
+                "two-qubit gate {} uses qubit {} for both operands",
+                op.kind, op.qubits[0]
+            ),
+            Location::op_qubit(i, op.qubits[0]),
+        ));
+    }
+
+    // QV003: parameter arity.
+    if op.params.len() != op.kind.num_params() {
+        evaluable = false;
+        report.push(Diagnostic::error(
+            Rule::ParamArityMismatch,
+            format!(
+                "gate {} expects {} parameter slots, found {}",
+                op.kind,
+                op.kind.num_params(),
+                op.params.len()
+            ),
+            Location::op(i),
+        ));
+    }
+
+    // QV004 / QV005: per-slot values and indices.
+    for (k, &p) in op.params.iter().enumerate() {
+        if !finite_parts(p) {
+            report.push(Diagnostic::error(
+                Rule::NonFiniteParam,
+                format!("gate {} slot {k} holds a non-finite value ({p:?})", op.kind),
+                Location::op(i),
+            ));
+        }
+        if !slots_in_range(p, c.num_train_params(), c.num_inputs()) {
+            evaluable = false;
+            report.push(Diagnostic::error(
+                Rule::SymbolicSlotOutOfRange,
+                format!(
+                    "gate {} slot {k} references {p:?} outside declared widths \
+                     (train {}, input {})",
+                    op.kind,
+                    c.num_train_params(),
+                    c.num_inputs()
+                ),
+                Location::op(i),
+            ));
+        }
+    }
+
+    // QV006: unitarity at sample parameters.
+    if evaluable {
+        let train = sample_train(c.num_train_params());
+        let input = sample_input(c.num_inputs());
+        let vals = op.resolve_params(&train, &input);
+        let unitary = match op.kind.matrix(&vals) {
+            GateMatrix::One(m) => m.is_unitary(1e-8),
+            GateMatrix::Two(m) => m.is_unitary(1e-8),
+        };
+        if !unitary {
+            report.push(Diagnostic::error(
+                Rule::NonUnitaryMatrix,
+                format!(
+                    "gate {} is not unitary at sample parameters {vals:?}",
+                    op.kind
+                ),
+                Location::op(i),
+            ));
+        }
+    }
+}
+
+/// Device-independent verification: qubit bounds, operand distinctness,
+/// parameter arity, finiteness, symbolic slot ranges, and unitarity at
+/// sample parameters (`QV001`–`QV006`).
+pub fn verify_circuit(c: &Circuit) -> VerifyReport {
+    let mut report = VerifyReport::clean();
+    for (i, op) in c.iter().enumerate() {
+        check_op(&mut report, c, i, op);
+    }
+    report
+}
+
+/// Coupling legality (`QV007`): every structurally valid two-qubit gate acts
+/// on a coupled physical pair.
+///
+/// `phys_of` maps circuit qubit indices to device qubits; pass `None` when
+/// the circuit is already expressed over physical indices (router output).
+pub fn verify_coupling(c: &Circuit, device: &Device, phys_of: Option<&[usize]>) -> VerifyReport {
+    let mut report = VerifyReport::clean();
+    let to_phys = |q: usize| -> Option<usize> {
+        match phys_of {
+            None => (q < device.num_qubits()).then_some(q),
+            Some(map) => map.get(q).copied().filter(|&p| p < device.num_qubits()),
+        }
+    };
+    for (i, op) in c.iter().enumerate() {
+        if op.num_qubits() != 2 || op.qubits[0] == op.qubits[1] {
+            continue;
+        }
+        match (to_phys(op.qubits[0]), to_phys(op.qubits[1])) {
+            (Some(pa), Some(pb)) => {
+                if !device.connected(pa, pb) {
+                    report.push(Diagnostic::error(
+                        Rule::UncoupledGate,
+                        format!(
+                            "gate {} acts on physical pair {pa}-{pb}, not coupled on {}",
+                            op.kind,
+                            device.name()
+                        ),
+                        Location::op(i),
+                    ));
+                }
+            }
+            _ => report.push(Diagnostic::error(
+                Rule::UncoupledGate,
+                format!(
+                    "gate {} operands {:?} do not map onto device {}",
+                    op.kind,
+                    &op.qubits[..2],
+                    device.name()
+                ),
+                Location::op(i),
+            )),
+        }
+    }
+    report
+}
+
+/// Basis conformance (`QV008`): every gate kind is in `basis`.
+pub fn verify_basis(c: &Circuit, basis: &[GateKind]) -> VerifyReport {
+    let mut report = VerifyReport::clean();
+    for (i, op) in c.iter().enumerate() {
+        if !basis.contains(&op.kind) {
+            report.push(Diagnostic::error(
+                Rule::NonBasisGate,
+                format!("gate {} is outside the target basis", op.kind),
+                Location::op(i),
+            ));
+        }
+    }
+    report
+}
+
+/// Measurement-map validity (`QV009`): every entry of `dense_of_logical` is
+/// a distinct in-range dense qubit index.
+pub fn verify_measurement_map(dense_of_logical: &[usize], num_dense: usize) -> VerifyReport {
+    let mut report = VerifyReport::clean();
+    let mut seen = vec![false; num_dense];
+    for (l, &d) in dense_of_logical.iter().enumerate() {
+        if d >= num_dense {
+            report.push(Diagnostic::error(
+                Rule::InvalidMeasurementMap,
+                format!("logical qubit {l} measures dense index {d}, width is {num_dense}"),
+                Location {
+                    op_index: None,
+                    qubit: Some(l),
+                },
+            ));
+        } else if seen[d] {
+            report.push(Diagnostic::error(
+                Rule::InvalidMeasurementMap,
+                format!("logical qubit {l} measures dense index {d}, already claimed"),
+                Location {
+                    op_index: None,
+                    qubit: Some(l),
+                },
+            ));
+        } else {
+            seen[d] = true;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qns_circuit::{Circuit, GateKind, Param};
+
+    #[test]
+    fn valid_circuit_is_clean() {
+        let mut c = Circuit::new(3);
+        c.push(GateKind::H, &[0], &[]);
+        c.push(GateKind::RY, &[1], &[Param::Train(0)]);
+        c.push(GateKind::CX, &[0, 2], &[]);
+        assert!(verify_circuit(&c).is_clean());
+    }
+
+    #[test]
+    fn out_of_range_qubit_fires_qv001() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(GateKind::H, &[7], &[]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::QubitOutOfRange).len(), 1);
+        assert_eq!(r.diagnostics[0].rule.code(), "QV001");
+        assert_eq!(r.diagnostics[0].location.op_index, Some(0));
+    }
+
+    #[test]
+    fn duplicate_operands_fire_qv002() {
+        let mut c = Circuit::new(2);
+        c.push_unchecked(GateKind::CX, &[1, 1], &[]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::DuplicateOperands).len(), 1);
+    }
+
+    #[test]
+    fn param_arity_mismatch_fires_qv003() {
+        let mut c = Circuit::new(1);
+        c.push_unchecked(GateKind::RX, &[0], &[]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::ParamArityMismatch).len(), 1);
+    }
+
+    #[test]
+    fn non_finite_param_fires_qv004() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[Param::Fixed(f64::NAN)]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::NonFiniteParam).len(), 1);
+    }
+
+    #[test]
+    fn symbolic_slot_out_of_range_fires_qv005() {
+        let mut c = Circuit::new(1);
+        // push() grows declared widths, so seed the bad slot unchecked.
+        c.push_unchecked(GateKind::RX, &[0], &[Param::Train(3)]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::SymbolicSlotOutOfRange).len(), 1);
+    }
+
+    #[test]
+    fn non_unitary_matrix_fires_qv006() {
+        // A NaN angle makes every RX matrix entry NaN, hence non-unitary:
+        // QV004 fires on the slot and QV006 on the matrix.
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[Param::Fixed(f64::NAN)]);
+        let r = verify_circuit(&c);
+        assert_eq!(r.with_rule(Rule::NonFiniteParam).len(), 1);
+        assert_eq!(r.with_rule(Rule::NonUnitaryMatrix).len(), 1);
+        let sane = verify_circuit(&{
+            let mut c = Circuit::new(1);
+            c.push(GateKind::RX, &[0], &[Param::Fixed(1.0)]);
+            c
+        });
+        assert!(sane.is_clean());
+    }
+
+    #[test]
+    fn uncoupled_gate_fires_qv007() {
+        let dev = qns_noise::Device::santiago(); // line: 0-1-2-3-4
+        let mut c = Circuit::new(5);
+        c.push(GateKind::CX, &[0, 4], &[]);
+        let r = verify_coupling(&c, &dev, None);
+        assert_eq!(r.with_rule(Rule::UncoupledGate).len(), 1);
+        let ok = {
+            let mut c = Circuit::new(5);
+            c.push(GateKind::CX, &[1, 2], &[]);
+            c
+        };
+        assert!(verify_coupling(&ok, &dev, None).is_clean());
+    }
+
+    #[test]
+    fn coupling_respects_phys_map() {
+        let dev = qns_noise::Device::santiago();
+        let mut c = Circuit::new(2);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        // Dense 0,1 sit on physical 0 and 4: not coupled.
+        let r = verify_coupling(&c, &dev, Some(&[0, 4]));
+        assert_eq!(r.with_rule(Rule::UncoupledGate).len(), 1);
+        assert!(verify_coupling(&c, &dev, Some(&[2, 3])).is_clean());
+    }
+
+    #[test]
+    fn non_basis_gate_fires_qv008() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0], &[]);
+        let r = verify_basis(&c, IBM_BASIS);
+        assert_eq!(r.with_rule(Rule::NonBasisGate).len(), 1);
+        let ok = {
+            let mut c = Circuit::new(2);
+            c.push(GateKind::SX, &[0], &[]);
+            c.push(GateKind::RZ, &[0], &[Param::Fixed(0.2)]);
+            c.push(GateKind::CX, &[0, 1], &[]);
+            c.push(GateKind::X, &[1], &[]);
+            c
+        };
+        assert!(verify_basis(&ok, IBM_BASIS).is_clean());
+    }
+
+    #[test]
+    fn invalid_measurement_map_fires_qv009() {
+        let out_of_range = verify_measurement_map(&[0, 5], 3);
+        assert_eq!(out_of_range.with_rule(Rule::InvalidMeasurementMap).len(), 1);
+        let duplicated = verify_measurement_map(&[1, 1], 3);
+        assert_eq!(duplicated.with_rule(Rule::InvalidMeasurementMap).len(), 1);
+        assert!(verify_measurement_map(&[2, 0, 1], 3).is_clean());
+    }
+}

@@ -1,0 +1,34 @@
+// Escapes and non-code contexts that must NOT fire any rule.
+
+// A mention of Instant::now or thread_rng in a comment is fine.
+/// Doc comments quoting `x.unwrap()` or `panic!` are fine too.
+fn documented() {}
+
+fn justified_timer() {
+    // lint:allow(wallclock) — sanctioned coarse timing for a local demo
+    let _ = std::time::Instant::now();
+    let _ = std::time::SystemTime::UNIX_EPOCH; // lint:allow(wallclock) — same demo
+}
+
+fn justified_entropy() {
+    // lint:allow(entropy) — demo only, never feeds cache keys
+    let _ = rand::thread_rng();
+    let _ = StdRng::from_entropy(); // lint:allow(entropy) — demo only
+    // lint:allow(entropy) — demo only
+    let _ = OsRng;
+}
+
+fn justified_spawn() {
+    std::thread::spawn(|| {}); // lint:allow(spawn) — detached helper for a demo
+}
+
+fn justified_panics(x: Option<u32>) -> u32 {
+    let s = "panic! and .unwrap() in a string are fine";
+    let _ = s;
+    // lint:allow(no-panic) — documented API-misuse panic
+    let v = x.unwrap();
+    if v > 10 {
+        panic!("impossible by construction"); // lint:allow(no-panic) — invariant
+    }
+    v
+}

@@ -1,0 +1,14 @@
+// Seeded violations for the `entropy` rule (never compiled).
+
+fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+fn seed_from_os() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn os_rng() {
+    let _ = OsRng;
+}

@@ -1,0 +1,9 @@
+// Seeded violations for the `no-panic` rule (never compiled).
+
+fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn boom() {
+    panic!("library code must not panic");
+}

@@ -1,0 +1,5 @@
+// Seeded violation for the `spawn` rule (never compiled).
+
+fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

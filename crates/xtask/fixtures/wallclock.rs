@@ -1,0 +1,12 @@
+// Seeded violations for the `wallclock` rule (never compiled).
+
+fn elapsed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+fn epoch() -> u64 {
+    let t = std::time::SystemTime::UNIX_EPOCH;
+    let _ = t;
+    0
+}

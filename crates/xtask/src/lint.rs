@@ -1,0 +1,339 @@
+//! Source-scanning lints for rules clippy cannot express.
+//!
+//! PR 1 made determinism load-bearing: candidate scores are memoized under
+//! content-addressed cache keys, so any wall-clock read or OS-entropy draw
+//! inside a search-path crate is a correctness bug, not a style issue.
+//! Likewise, the panic-isolating evaluation engine converts worker panics
+//! into poisoned scores, so `unwrap()`/`panic!` in library code of the
+//! compiler/simulator crates silently corrupts search results.
+//!
+//! Rules (named in `// lint:allow(<rule>)` escapes):
+//!
+//! - `wallclock` — no `Instant::now`/`SystemTime` in search-path crates;
+//!   allow-listed in `runtime/src/telemetry.rs` (the one sanctioned timing
+//!   sink) and bench code (bench crates are not scanned),
+//! - `entropy` — no `thread_rng`/`from_entropy`/`OsRng` in search-path
+//!   crates; all randomness must flow through seeded `StdRng`s,
+//! - `spawn` — no `thread::spawn` outside `qns-runtime`, which owns worker
+//!   threads,
+//! - `no-panic` — no `.unwrap()`/`panic!` in library (non-test) code of
+//!   `circuit`/`transpile`/`sim`/`noise`.
+//!
+//! Escapes: a `// lint:allow(<rule>)` comment on the same line, or on a
+//! standalone comment line immediately above, suppresses one finding; the
+//! comment doubles as the written justification.
+//!
+//! Mechanics: line comments and string-literal contents are stripped before
+//! matching, and scanning stops at the first top-level `#[cfg(test)]` line
+//! (this workspace keeps test modules at the end of each file).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Search-path crates: everything whose behavior feeds candidate scores or
+/// cache keys. Bench code and the offline dependency shims are exempt.
+const SEARCH_PATH_CRATES: &[&str] = &[
+    "tensor",
+    "circuit",
+    "sim",
+    "noise",
+    "transpile",
+    "verify",
+    "ml",
+    "data",
+    "chem",
+    "core",
+    "runtime",
+];
+
+/// Crates where worker threads may not be created (`runtime` owns them).
+const NO_SPAWN_CRATES: &[&str] = &[
+    "tensor",
+    "circuit",
+    "sim",
+    "noise",
+    "transpile",
+    "verify",
+    "ml",
+    "data",
+    "chem",
+    "core",
+];
+
+/// Crates whose library code must stay panic-free.
+const NO_PANIC_CRATES: &[&str] = &["circuit", "transpile", "sim", "noise"];
+
+/// One lint rule: a name, the substrings that trigger it, the crates it
+/// scans, and file suffixes that are always exempt.
+struct RuleDef {
+    name: &'static str,
+    patterns: &'static [&'static str],
+    crates: &'static [&'static str],
+    allow_files: &'static [&'static str],
+}
+
+const RULES: &[RuleDef] = &[
+    RuleDef {
+        name: "wallclock",
+        patterns: &["Instant::now", "SystemTime"],
+        crates: SEARCH_PATH_CRATES,
+        allow_files: &["runtime/src/telemetry.rs"],
+    },
+    RuleDef {
+        name: "entropy",
+        patterns: &["thread_rng", "from_entropy", "OsRng"],
+        crates: SEARCH_PATH_CRATES,
+        allow_files: &[],
+    },
+    RuleDef {
+        name: "spawn",
+        patterns: &["thread::spawn"],
+        crates: NO_SPAWN_CRATES,
+        allow_files: &[],
+    },
+    RuleDef {
+        name: "no-panic",
+        patterns: &[".unwrap()", "panic!"],
+        crates: NO_PANIC_CRATES,
+        allow_files: &[],
+    },
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (`wallclock`, `entropy`, `spawn`, `no-panic`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lint[{}] {}:{}: {}",
+            self.rule, self.path, self.line, self.text
+        )
+    }
+}
+
+/// Scans the workspace under `root` and returns all findings, sorted by
+/// path then line.
+pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for rule in RULES {
+        for krate in rule.crates {
+            let src = root.join("crates").join(krate).join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            for file in rust_files(&src)? {
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if rule.allow_files.iter().any(|suf| rel.ends_with(suf)) {
+                    continue;
+                }
+                let content = fs::read_to_string(&file)?;
+                out.extend(scan_file(rule, &rel, &content));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(rust_files(&path)?);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+/// Scans one file against one rule.
+fn scan_file(rule: &RuleDef, rel_path: &str, content: &str) -> Vec<Violation> {
+    let allow_tag = format!("lint:allow({})", rule.name);
+    let mut out = Vec::new();
+    let mut prev_line_allows = false;
+    for (idx, raw) in content.lines().enumerate() {
+        let trimmed = raw.trim();
+        // Test modules sit at the end of each file in this workspace; the
+        // rules only police library code.
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let allows_here = raw.contains(&allow_tag);
+        let suppressed = allows_here || prev_line_allows;
+        // A standalone comment carrying the tag covers the next line.
+        prev_line_allows = allows_here && trimmed.starts_with("//");
+
+        let code = strip_comments_and_strings(raw);
+        if rule.patterns.iter().any(|p| code.contains(p)) && !suppressed {
+            out.push(Violation {
+                rule: rule.name,
+                path: rel_path.to_string(),
+                line: idx + 1,
+                text: trimmed.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Removes string-literal contents and everything after `//` so patterns
+/// only match code. Quote tracking is line-local, which is enough for this
+/// workspace's style (no multi-line literals containing lint patterns).
+fn strip_comments_and_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(name: &str) -> &'static RuleDef {
+        RULES.iter().find(|r| r.name == name).expect("known rule")
+    }
+
+    fn fixture(name: &str) -> String {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+    }
+
+    #[test]
+    fn wallclock_rule_fires_on_fixture() {
+        let v = scan_file(
+            rule("wallclock"),
+            "fixtures/wallclock.rs",
+            &fixture("wallclock.rs"),
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "wallclock"));
+    }
+
+    #[test]
+    fn entropy_rule_fires_on_fixture() {
+        let v = scan_file(
+            rule("entropy"),
+            "fixtures/entropy.rs",
+            &fixture("entropy.rs"),
+        );
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn spawn_rule_fires_on_fixture() {
+        let v = scan_file(rule("spawn"), "fixtures/spawn.rs", &fixture("spawn.rs"));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn no_panic_rule_fires_on_fixture() {
+        let v = scan_file(
+            rule("no-panic"),
+            "fixtures/no_panic.rs",
+            &fixture("no_panic.rs"),
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn allow_escapes_and_comments_suppress() {
+        let content = fixture("allowed.rs");
+        for r in RULES {
+            let v = scan_file(r, "fixtures/allowed.rs", &content);
+            assert!(v.is_empty(), "rule {} fired: {v:?}", r.name);
+        }
+    }
+
+    #[test]
+    fn test_sections_are_skipped() {
+        let content = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(\"boom\"); }\n}\n";
+        let v = scan_file(rule("no-panic"), "inline.rs", content);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn string_and_comment_stripping() {
+        assert_eq!(
+            strip_comments_and_strings("let x = 1; // panic!"),
+            "let x = 1; "
+        );
+        assert_eq!(
+            strip_comments_and_strings("let s = \"panic! inside\";"),
+            "let s = \"\";"
+        );
+        assert_eq!(
+            strip_comments_and_strings("let s = \"esc \\\" panic!\";"),
+            "let s = \"\";"
+        );
+    }
+
+    #[test]
+    fn allow_tag_only_covers_its_own_rule() {
+        let content = "let _ = std::time::Instant::now(); // lint:allow(entropy)\n";
+        let v = scan_file(rule("wallclock"), "inline.rs", content);
+        assert_eq!(v.len(), 1, "wrong-rule tag must not suppress");
+    }
+
+    /// The real gate: the workspace itself is lint-clean.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let v = run(&root).expect("scan workspace");
+        assert!(
+            v.is_empty(),
+            "workspace lint violations:\n{}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

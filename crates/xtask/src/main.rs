@@ -1,0 +1,50 @@
+//! Workspace automation tasks (the cargo-xtask pattern).
+//!
+//! Currently one task: `lint`, a source-scanning determinism/robustness lint
+//! enforcing workspace rules clippy cannot express (see [`lint`]).
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            match lint::run(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}

@@ -3,11 +3,12 @@
 
 use proptest::prelude::*;
 use qns_noise::Device;
-use qns_runtime::{EvalEngine, StructuralHasher, Workers};
+use qns_runtime::{counters, CacheKey, EvalEngine, StructuralHasher, Workers};
 use qns_transpile::Layout;
+use qns_verify::VerifyLevel;
 use quantumnas::{
     evolutionary_search, hash_device, random_search, transpile_key, DesignSpace, Estimator,
-    EstimatorKind, EvoConfig, RuntimeOptions, SpaceKind, SuperCircuit, Task,
+    EstimatorKind, EvoConfig, Gene, RuntimeOptions, SearchRuntime, SpaceKind, SuperCircuit, Task,
 };
 
 fn setup() -> (SuperCircuit, Vec<f64>, Task, Estimator) {
@@ -45,6 +46,7 @@ fn search_is_bit_identical_across_worker_counts() {
             let cfg = cfg_with(RuntimeOptions {
                 workers: w,
                 cache: true,
+                ..Default::default()
             });
             evolutionary_search(&sc, &params, &task, &est, &cfg)
         })
@@ -69,6 +71,7 @@ fn search_is_bit_identical_with_and_without_cache() {
         &cfg_with(RuntimeOptions {
             workers: 1,
             cache: true,
+            ..Default::default()
         }),
     );
     let off = evolutionary_search(
@@ -79,6 +82,7 @@ fn search_is_bit_identical_with_and_without_cache() {
         &cfg_with(RuntimeOptions {
             workers: 1,
             cache: false,
+            ..Default::default()
         }),
     );
     assert_eq!(on.best, off.best);
@@ -105,10 +109,12 @@ fn random_search_is_deterministic_across_runtime_settings() {
         RuntimeOptions {
             workers: 3,
             cache: true,
+            ..Default::default()
         },
         RuntimeOptions {
             workers: 0,
             cache: true,
+            ..Default::default()
         },
     ] {
         let r = random_search(&sc, &params, &task, &est, &cfg_with(runtime));
@@ -139,6 +145,61 @@ fn engine_poisons_panicking_candidates_only() {
             assert_eq!(*v, i as f64);
         }
     }
+}
+
+/// A verify-enabled runtime classifies contract violations separately
+/// from generic worker panics: the offending gene is poisoned to `+inf`,
+/// its error message carries the verifier marker, and the violation lands
+/// in its own telemetry counter (visible in the summary) while the panic
+/// counter stays at zero.
+#[test]
+fn verify_violations_are_classified_and_counted() {
+    let (sc, params, task, est) = setup();
+    let encoder = match &task {
+        Task::Qml { encoder, .. } => encoder.clone(),
+        _ => unreachable!(),
+    };
+    let rt = SearchRuntime::new(RuntimeOptions {
+        workers: 1,
+        cache: false,
+        verify: VerifyLevel::Contracts,
+    });
+    let est = rt.instrument_estimator(&est);
+    let genes = [
+        // A clean gene on the trivial mapping...
+        Gene {
+            config: sc.max_config(),
+            layout: (0..4).collect(),
+        },
+        // ...and one whose mapping targets a qubit yorktown doesn't have.
+        Gene {
+            config: sc.max_config(),
+            layout: vec![0, 1, 2, 40],
+        },
+    ];
+    let out = rt.score_batch(CacheKey { lo: 7, hi: 7 }, &genes, |g| {
+        let circuit = sc.build(&g.config, Some(&encoder));
+        est.score(&circuit, &params, &task, &g.layout())
+    });
+
+    assert!(out.scores[0].is_finite(), "clean gene must score normally");
+    assert!(
+        out.scores[1].is_infinite(),
+        "violating gene must be poisoned"
+    );
+    assert_eq!(out.errors.len(), 1);
+    assert_eq!(out.errors[0].0, 1, "error must name the violating slot");
+    assert!(
+        out.errors[0].1.contains("qns-verify:"),
+        "message must carry the verifier marker, got: {}",
+        out.errors[0].1
+    );
+
+    let m = rt.metrics();
+    assert_eq!(m.counter(counters::VERIFY_VIOLATIONS), 1);
+    assert_eq!(m.counter(counters::PANICS), 0);
+    assert!(m.counter(counters::VERIFY_CHECKS) >= 1);
+    assert!(m.summary().contains("verify violations"));
 }
 
 proptest! {

@@ -1,0 +1,93 @@
+//! Kernel-level timings for the fast simulation path: structure-
+//! specialized apply kernels vs. the naive reference kernels, fusion
+//! levels 0–3, and plan replay vs. recompile across shifted parameters.
+//!
+//! The `sim_bench` binary records the same measurements as
+//! `BENCH_sim.json`; this harness keeps them runnable under
+//! `cargo bench -p qns-bench --bench sim_kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{
+    run_into_with, shifted_expectations, DiagObservable, ExecMode, SimBackend, SimPlan, StateVec,
+};
+
+/// Hardware-efficient layers: RZ·RX per qubit plus a CX + CRY ring.
+fn deep_circuit(n: usize, layers: usize) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n);
+    let mut t = 0;
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push(GateKind::RZ, &[q], &[Param::Train(t)]);
+            c.push(GateKind::RX, &[q], &[Param::Train(t + 1)]);
+            t += 2;
+        }
+        for q in 0..n {
+            c.push(GateKind::CX, &[q, (q + 1) % n], &[]);
+            c.push(GateKind::CRY, &[q, (q + 1) % n], &[Param::Train(t)]);
+            t += 1;
+        }
+    }
+    let params = (0..t).map(|i| 0.7 + 0.05 * i as f64).collect();
+    (c, params)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernels");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        let (circuit, params) = deep_circuit(n, 6);
+        let mut state = StateVec::zero_state(n);
+        for backend in [SimBackend::Fast, SimBackend::Reference] {
+            let label = format!("{backend:?}").to_lowercase();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    run_into_with(
+                        &circuit,
+                        &params,
+                        &[],
+                        ExecMode::Dynamic,
+                        backend,
+                        &mut state,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fusion_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_levels");
+    group.sample_size(10);
+    let n = 10;
+    let (circuit, params) = deep_circuit(n, 6);
+    let mut state = StateVec::zero_state(n);
+    for level in 0..=3u8 {
+        let plan = SimPlan::compile(&circuit, level);
+        group.bench_with_input(BenchmarkId::new("exec", level), &level, |b, _| {
+            b.iter(|| plan.execute_into(&circuit, &params, &[], &mut state))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_replay");
+    group.sample_size(10);
+    let n = 10;
+    let (circuit, params) = deep_circuit(n, 6);
+    let obs = DiagObservable::new(vec![1.0; n]);
+    for &shifts in &[8usize, 32] {
+        let pairs: Vec<(usize, f64)> = (0..shifts)
+            .map(|i| (i % params.len(), std::f64::consts::FRAC_PI_2))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("shifted", shifts), &shifts, |b, _| {
+            b.iter(|| shifted_expectations(&circuit, &params, &[], &obs, &pairs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_fusion_levels, bench_replay);
+criterion_main!(benches);

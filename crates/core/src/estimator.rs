@@ -7,8 +7,10 @@ use qns_circuit::Circuit;
 use qns_data::Dataset;
 use qns_ml::{accuracy, nll_loss};
 use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
-use qns_runtime::{counters, timers, Metrics, ShardedCache};
-use qns_sim::{parallel_map, run, ExecMode};
+use qns_runtime::{counters, timers, Metrics, ShardedCache, Workers};
+use qns_sim::{
+    parallel_map, run, run_with, ExecMode, SimBackend, SimPlan, StateVec, DEFAULT_FUSION_LEVEL,
+};
 use qns_transpile::{transpile_with, Layout, TranspileOptions, Transpiled};
 use qns_verify::{VerifyLevel, PANIC_MARKER};
 use std::sync::Arc;
@@ -67,6 +69,13 @@ pub struct Estimator {
     metrics: Option<Arc<Metrics>>,
     /// Per-stage contract checking on every fresh transpile.
     verify: VerifyLevel,
+    /// Which simulator kernels score candidates (`Fast` in production;
+    /// `Reference` replays the naive oracle for differential runs).
+    backend: SimBackend,
+    /// Worker policy for fanning noise trajectories of one candidate over
+    /// the runtime engine (VQE measurement path). Sample-parallel QML paths
+    /// keep trajectories sequential to avoid nested oversubscription.
+    traj_workers: Workers,
 }
 
 impl Estimator {
@@ -81,7 +90,28 @@ impl Estimator {
             transpile_cache: None,
             metrics: None,
             verify: VerifyLevel::Off,
+            backend: SimBackend::Fast,
+            traj_workers: Workers::Fixed(1),
         }
+    }
+
+    /// Selects the simulation backend for every score path.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The configured simulation backend.
+    pub fn backend(&self) -> SimBackend {
+        self.backend
+    }
+
+    /// Fans noise trajectories for one candidate over the runtime engine in
+    /// the trajectory-only paths (VQE measurement). Results are
+    /// bit-identical for any worker count.
+    pub fn with_trajectory_workers(mut self, workers: Workers) -> Self {
+        self.traj_workers = workers;
+        self
     }
 
     /// Caps how many validation samples each score call touches.
@@ -213,6 +243,41 @@ impl Estimator {
         }
     }
 
+    /// Per-sample validation losses via the plan-replay fast path: the
+    /// fusion plan is compiled once, the blocks are materialized once, and
+    /// each sample replays only the input-dependent blocks. The reference
+    /// backend re-runs the naive per-gate oracle instead.
+    fn qml_losses(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        valid: &Dataset,
+        readout: &Readout,
+        samples: &[usize],
+    ) -> Vec<f64> {
+        match self.backend {
+            SimBackend::Fast => {
+                let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
+                let base = plan.materialize(circuit, params, &valid.features[samples[0]]);
+                parallel_map(samples, |&i| {
+                    let mut s = StateVec::zero_state(circuit.num_qubits());
+                    plan.replay_input_into(circuit, &base, params, &valid.features[i], &mut s);
+                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+                })
+            }
+            SimBackend::Reference => parallel_map(samples, |&i| {
+                let s = run_with(
+                    circuit,
+                    params,
+                    &valid.features[i],
+                    ExecMode::Dynamic,
+                    SimBackend::Reference,
+                );
+                nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+            }),
+        }
+    }
+
     fn score_qml(
         &self,
         circuit: &Circuit,
@@ -226,28 +291,23 @@ impl Estimator {
         let samples: Vec<usize> = (0..n).collect();
         match self.kind {
             EstimatorKind::Noiseless => {
-                let losses = self.timed_sim(|| {
-                    parallel_map(&samples, |&i| {
-                        let s = run(circuit, params, &valid.features[i], ExecMode::Static);
-                        nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
-                    })
-                });
+                let losses =
+                    self.timed_sim(|| self.qml_losses(circuit, params, valid, readout, &samples));
                 mean(&losses)
             }
             EstimatorKind::SuccessRate => {
                 let t = self.compile(circuit, layout);
                 let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
-                let losses = self.timed_sim(|| {
-                    parallel_map(&samples, |&i| {
-                        let s = run(circuit, params, &valid.features[i], ExecMode::Static);
-                        nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
-                    })
-                });
+                let losses =
+                    self.timed_sim(|| self.qml_losses(circuit, params, valid, readout, &samples));
                 qns_noise::augmented_loss(mean(&losses), rate.max(1e-6))
             }
             EstimatorKind::NoisySim(cfg) => {
                 let t = self.compile(circuit, layout);
-                let exec = TrajectoryExecutor::new(self.device.clone(), cfg);
+                // Samples already fan out below; trajectories stay
+                // sequential inside each sample.
+                let exec =
+                    TrajectoryExecutor::new(self.device.clone(), cfg).with_backend(self.backend);
                 let losses = self.timed_sim(|| {
                     parallel_map(&samples, |&i| {
                         let noisy =
@@ -293,13 +353,15 @@ impl Estimator {
     ) -> f64 {
         match self.kind {
             EstimatorKind::Noiseless => {
-                let s = self.timed_sim(|| run(circuit, params, &[], ExecMode::Static));
+                let s = self
+                    .timed_sim(|| run_with(circuit, params, &[], ExecMode::Static, self.backend));
                 hamiltonian.expectation(&s)
             }
             EstimatorKind::SuccessRate => {
                 let t = self.compile(circuit, layout);
                 let rate = circuit_success_rate(&t.circuit, &self.device, &t.phys_of, true);
-                let s = self.timed_sim(|| run(circuit, params, &[], ExecMode::Static));
+                let s = self
+                    .timed_sim(|| run_with(circuit, params, &[], ExecMode::Static, self.backend));
                 let e = hamiltonian.expectation(&s);
                 // Depolarization drives <H> toward the identity component,
                 // so the estimated measured energy interpolates with the
@@ -361,7 +423,11 @@ impl Estimator {
         cfg: TrajectoryConfig,
     ) -> f64 {
         let (offset, groups) = qwc_groups(hamiltonian);
-        let exec = TrajectoryExecutor::new(self.device.clone(), cfg);
+        // One candidate at a time here, so its trajectories fan out over
+        // the runtime engine (bit-identical for any worker count).
+        let exec = TrajectoryExecutor::new(self.device.clone(), cfg)
+            .with_workers(self.traj_workers)
+            .with_backend(self.backend);
         let mut energy = offset;
         for group in &groups {
             let mut logical = circuit.clone();
@@ -411,7 +477,7 @@ impl Estimator {
         };
         let test = splits.test.subsample(n_test, 0x7E57);
         let t = self.compile(circuit, layout);
-        let exec = TrajectoryExecutor::new(self.device.clone(), traj);
+        let exec = TrajectoryExecutor::new(self.device.clone(), traj).with_backend(self.backend);
         let logits: Vec<Vec<f64>> = parallel_map(&test.features, |input| {
             let noisy = exec.expect_z(&t.circuit, params, input, &t.phys_of);
             let logical: Vec<f64> = t
@@ -626,6 +692,46 @@ mod tests {
         est.score(&circuit, &params, &task, &layout);
         assert_eq!(metrics.counter(counters::TRANSPILE_MISSES), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reference_backend_matches_fast_scores() {
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        for kind in [EstimatorKind::Noiseless, EstimatorKind::SuccessRate] {
+            let fast = Estimator::new(Device::yorktown(), kind, 1)
+                .with_valid_cap(4)
+                .score(&circuit, &params, &task, &layout);
+            let oracle = Estimator::new(Device::yorktown(), kind, 1)
+                .with_valid_cap(4)
+                .with_backend(qns_sim::SimBackend::Reference)
+                .score(&circuit, &params, &task, &layout);
+            assert!(
+                (fast - oracle).abs() < 1e-9,
+                "{kind:?}: fast {fast} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_trajectory_vqe_is_bit_identical() {
+        let mol = Molecule::h2();
+        let task = Task::vqe(&mol);
+        let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 2, 1);
+        let circuit = sc.build(&sc.max_config(), None);
+        let params = vec![0.25; circuit.num_train_params()];
+        let layout = Layout::trivial(2);
+        let cfg = TrajectoryConfig {
+            trajectories: 12,
+            seed: 4,
+            readout: true,
+        };
+        let seq = Estimator::new(Device::belem(), EstimatorKind::NoisySim(cfg), 1)
+            .score(&circuit, &params, &task, &layout);
+        let par = Estimator::new(Device::belem(), EstimatorKind::NoisySim(cfg), 1)
+            .with_trajectory_workers(Workers::Fixed(4))
+            .score(&circuit, &params, &task, &layout);
+        assert_eq!(seq, par, "worker count changed the VQE energy");
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::{Readout, Sampler, SamplerConfig, SubConfig, SuperCircuit, Task};
 use qns_circuit::Circuit;
 use qns_data::Dataset;
 use qns_ml::{accuracy, cross_entropy_grad, nll_loss, Adam, AdamConfig, CosineSchedule};
-use qns_sim::{adjoint_gradient, parallel_map, run, DiagObservable, ExecMode, Observable};
+use qns_sim::{
+    adjoint_gradient, parallel_map, run, DiagObservable, ExecMode, Observable, SimPlan, StateVec,
+    DEFAULT_FUSION_LEVEL,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -71,14 +74,18 @@ pub(crate) fn qml_eval(
     data: &Dataset,
     readout: &Readout,
 ) -> (f64, f64) {
-    let results: Vec<(Vec<f64>, f64)> = parallel_map(&data.features, |input| {
-        let state = run(circuit, params, input, ExecMode::Static);
-        let logits = readout.logits(&state.expect_z_all());
-        (logits, 0.0)
-    })
-    .into_iter()
-    .collect();
-    let logits: Vec<Vec<f64>> = results.into_iter().map(|(l, _)| l).collect();
+    if data.features.is_empty() {
+        return (0.0, accuracy(&[], &data.labels));
+    }
+    // Compile the fusion plan once; each sample only re-materializes the
+    // input-encoding blocks before replay.
+    let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
+    let base = plan.materialize(circuit, params, &data.features[0]);
+    let logits: Vec<Vec<f64>> = parallel_map(&data.features, |input| {
+        let mut state = StateVec::zero_state(circuit.num_qubits());
+        plan.replay_input_into(circuit, &base, params, input, &mut state);
+        readout.logits(&state.expect_z_all())
+    });
     let loss: f64 = logits
         .iter()
         .zip(&data.labels)
@@ -97,10 +104,27 @@ fn qml_batch_grad(
     batch: &[usize],
     readout: &Readout,
 ) -> (f64, Vec<f64>) {
+    if batch.is_empty() {
+        return (0.0, vec![0.0; circuit.num_train_params()]);
+    }
+    // One plan for the whole batch: the forward pass of each sample replays
+    // the shared base blocks with only its input-encoding steps redone. The
+    // adjoint backward pass still runs per sample (it needs per-gate states).
+    let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
+    let base = plan.materialize(circuit, params, &data.features[batch[0]]);
     let per_sample: Vec<(f64, Vec<f64>)> = parallel_map(batch, |&i| {
-        qml_sample_grad(circuit, params, &data.features[i], data.labels[i], readout)
+        let input = &data.features[i];
+        let mut state = StateVec::zero_state(circuit.num_qubits());
+        plan.replay_input_into(circuit, &base, params, input, &mut state);
+        let logits = readout.logits(&state.expect_z_all());
+        let loss = nll_loss(&logits, data.labels[i]);
+        let dlogits = cross_entropy_grad(&logits, data.labels[i]);
+        let weights = readout.weights_from_logit_grad(&dlogits);
+        let obs = DiagObservable::new(weights);
+        let (_, grad) = adjoint_gradient(circuit, params, input, &obs);
+        (loss, grad)
     });
-    let n = batch.len().max(1) as f64;
+    let n = batch.len() as f64;
     let mut grad = vec![0.0; circuit.num_train_params()];
     let mut loss = 0.0;
     for (l, g) in per_sample {

@@ -1,8 +1,17 @@
 //! Monte-Carlo trajectory execution of circuits under device noise.
+//!
+//! Trajectories for one candidate are independent, so they fan out over the
+//! qns-runtime work-stealing engine when the executor is given more than one
+//! worker. Per-trajectory RNG seeds are derived deterministically from a
+//! structural digest of the candidate (circuit + resolved parameters +
+//! layout + base seed), so results are a pure function of the candidate and
+//! bit-identical for any worker count: the engine returns per-trajectory
+//! results in input order and the fold over them is sequential.
 
 use crate::{Device, KrausChannel};
 use qns_circuit::{Circuit, GateMatrix};
-use qns_sim::StateVec;
+use qns_runtime::{EvalEngine, StructuralHasher, Workers};
+use qns_sim::{SimBackend, StateVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,13 +78,35 @@ pub struct NoisyResult {
 pub struct TrajectoryExecutor {
     device: Device,
     config: TrajectoryConfig,
+    workers: Workers,
+    backend: SimBackend,
 }
 
 impl TrajectoryExecutor {
-    /// Creates an executor for a device.
+    /// Creates an executor for a device. Trajectories run sequentially and
+    /// on the fast kernels by default; see [`TrajectoryExecutor::with_workers`]
+    /// and [`TrajectoryExecutor::with_backend`].
     pub fn new(device: Device, config: TrajectoryConfig) -> Self {
         assert!(config.trajectories > 0, "need at least one trajectory");
-        TrajectoryExecutor { device, config }
+        TrajectoryExecutor {
+            device,
+            config,
+            workers: Workers::Fixed(1),
+            backend: SimBackend::Fast,
+        }
+    }
+
+    /// Sets the worker policy for fanning trajectories over the runtime
+    /// engine. Results are bit-identical for any worker count.
+    pub fn with_workers(mut self, workers: Workers) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the simulation backend for the unitary part of each trajectory.
+    pub fn with_backend(mut self, backend: SimBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The wrapped device.
@@ -86,6 +117,48 @@ impl TrajectoryExecutor {
     /// The configuration.
     pub fn config(&self) -> &TrajectoryConfig {
         &self.config
+    }
+
+    /// Structural digest of one candidate evaluation: circuit shape,
+    /// resolved parameters, layout, and the base seed. Seeds every
+    /// trajectory, so equal candidates share noise streams and different
+    /// candidates (or parameter sets) decorrelate.
+    fn candidate_digest(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+    ) -> u64 {
+        let mut h = StructuralHasher::new();
+        h.write_u64(self.config.seed);
+        h.write_usize(circuit.num_qubits());
+        for op in circuit.iter() {
+            h.write_str(op.kind.name());
+            h.write_usize(op.qubits[0]);
+            h.write_usize(op.qubits[1]);
+            for p in op.resolve_params(train, input) {
+                h.write_f64(p);
+            }
+        }
+        for &p in phys_of {
+            h.write_usize(p);
+        }
+        let key = h.finish();
+        key.lo ^ key.hi
+    }
+
+    /// Seeds for each trajectory index: a splitmix64 finalizer over the
+    /// candidate digest and the index.
+    fn trajectory_seeds(&self, digest: u64) -> Vec<u64> {
+        (0..self.config.trajectories as u64)
+            .map(|t| {
+                let mut z = digest ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
     }
 
     /// Runs one noisy trajectory of `circuit` and returns the final state.
@@ -103,12 +176,18 @@ impl TrajectoryExecutor {
             match op.kind.matrix(&params) {
                 GateMatrix::One(m) => {
                     let q = op.qubits[0];
-                    state.apply_1q(&m, q);
+                    match self.backend {
+                        SimBackend::Fast => state.apply_1q(&m, q),
+                        SimBackend::Reference => state.apply_1q_reference(&m, q),
+                    }
                     self.apply_gate_noise(&mut state, q, phys_of, false, rng);
                 }
                 GateMatrix::Two(m) => {
                     let (a, b) = (op.qubits[0], op.qubits[1]);
-                    state.apply_2q(&m, a, b);
+                    match self.backend {
+                        SimBackend::Fast => state.apply_2q(&m, a, b),
+                        SimBackend::Reference => state.apply_2q_reference(&m, a, b),
+                    }
                     let e2 = self.device.err_2q(phys_of[a], phys_of[b]);
                     for &q in &[a, b] {
                         let ch = KrausChannel::depolarizing(e2.min(1.0));
@@ -162,11 +241,23 @@ impl TrajectoryExecutor {
     ) -> NoisyResult {
         self.validate(circuit, phys_of);
         let n = circuit.num_qubits();
+        let digest = self.candidate_digest(circuit, train, input, phys_of);
+        let seeds = self.trajectory_seeds(digest);
+        let engine = EvalEngine::new(self.workers);
+        // Per-trajectory results come back in input order; the fold below is
+        // sequential, so the average is bit-identical for any worker count.
+        let per_traj = engine.run(
+            &seeds,
+            |&s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                self.run_one(circuit, train, input, phys_of, &mut rng)
+                    .expect_z_all()
+            },
+            vec![f64::NAN; n],
+        );
         let mut acc = vec![0.0; n];
-        for t in 0..self.config.trajectories {
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
-            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
-            for (a, e) in acc.iter_mut().zip(state.expect_z_all()) {
+        for v in &per_traj {
+            for (a, e) in acc.iter_mut().zip(v) {
                 *a += e;
             }
         }
@@ -206,12 +297,25 @@ impl TrajectoryExecutor {
         for &m in masks {
             assert!(m >> n == 0, "mask addresses qubits beyond circuit width");
         }
+        let digest = self.candidate_digest(circuit, train, input, phys_of);
+        let seeds = self.trajectory_seeds(digest);
+        let engine = EvalEngine::new(self.workers);
+        let per_traj = engine.run(
+            &seeds,
+            |&s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+                masks
+                    .iter()
+                    .map(|&mask| expect_parity(&state, mask))
+                    .collect::<Vec<f64>>()
+            },
+            vec![f64::NAN; masks.len()],
+        );
         let mut acc = vec![0.0; masks.len()];
-        for t in 0..self.config.trajectories {
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
-            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
-            for (a, &mask) in acc.iter_mut().zip(masks) {
-                *a += expect_parity(&state, mask);
+        for v in &per_traj {
+            for (a, e) in acc.iter_mut().zip(v) {
+                *a += e;
             }
         }
         let mut out: Vec<f64> = acc
@@ -246,35 +350,55 @@ impl TrajectoryExecutor {
     ) -> Vec<(usize, u32)> {
         self.validate(circuit, phys_of);
         let per_traj = shots.div_ceil(self.config.trajectories);
-        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        let digest = self.candidate_digest(circuit, train, input, phys_of);
+        let seeds = self.trajectory_seeds(digest);
+        let mut items: Vec<(u64, usize)> = Vec::new();
         let mut remaining = shots;
-        for t in 0..self.config.trajectories {
+        for &seed in &seeds {
             if remaining == 0 {
                 break;
             }
             let take = per_traj.min(remaining);
             remaining -= take;
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (t as u64).wrapping_mul(0x9E37));
-            let state = self.run_one(circuit, train, input, phys_of, &mut rng);
-            for (idx, c) in state.sample_counts(take, &mut rng) {
-                for _ in 0..c {
-                    let mut read = idx;
-                    if self.config.readout {
-                        for (q, &phys) in phys_of.iter().enumerate() {
-                            let cal = self.device.qubit(phys);
-                            let bit = read & (1 << q) != 0;
-                            let flip_p = if bit {
-                                cal.readout_p10
-                            } else {
-                                cal.readout_p01
-                            };
-                            if rng.gen::<f64>() < flip_p {
-                                read ^= 1 << q;
+            items.push((seed, take));
+        }
+        let engine = EvalEngine::new(self.workers);
+        // Each trajectory returns its readout-flipped shot outcomes; merging
+        // happens sequentially in input order below.
+        let per_shot = engine.run(
+            &items,
+            |&(seed, take)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+                let mut outcomes: Vec<usize> = Vec::with_capacity(take);
+                for (idx, c) in state.sample_counts(take, &mut rng) {
+                    for _ in 0..c {
+                        let mut read = idx;
+                        if self.config.readout {
+                            for (q, &phys) in phys_of.iter().enumerate() {
+                                let cal = self.device.qubit(phys);
+                                let bit = read & (1 << q) != 0;
+                                let flip_p = if bit {
+                                    cal.readout_p10
+                                } else {
+                                    cal.readout_p01
+                                };
+                                if rng.gen::<f64>() < flip_p {
+                                    read ^= 1 << q;
+                                }
                             }
                         }
+                        outcomes.push(read);
                     }
-                    *counts.entry(read).or_insert(0) += 1;
                 }
+                outcomes
+            },
+            Vec::new(),
+        );
+        let mut counts: std::collections::BTreeMap<usize, u32> = std::collections::BTreeMap::new();
+        for outcomes in per_shot {
+            for read in outcomes {
+                *counts.entry(read).or_insert(0) += 1;
             }
         }
         counts.into_iter().collect()
@@ -458,5 +582,47 @@ mod tests {
     fn invalid_mapping_panics() {
         let exec = TrajectoryExecutor::new(Device::belem(), TrajectoryConfig::default());
         let _ = exec.expect_z(&bell(), &[], &[], &[0, 99]);
+    }
+
+    #[test]
+    fn parallel_trajectories_bit_identical_to_sequential() {
+        let cfg = TrajectoryConfig {
+            trajectories: 16,
+            seed: 5,
+            readout: true,
+        };
+        let c = bell();
+        let seq = TrajectoryExecutor::new(Device::belem(), cfg).expect_z(&c, &[], &[], &[0, 1]);
+        let par = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_workers(Workers::Fixed(4))
+            .expect_z(&c, &[], &[], &[0, 1]);
+        assert_eq!(seq.expect_z, par.expect_z, "worker count changed results");
+        let seq_counts =
+            TrajectoryExecutor::new(Device::belem(), cfg).sample_counts(&c, &[], &[], &[0, 1], 300);
+        let par_counts = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_workers(Workers::Auto)
+            .sample_counts(&c, &[], &[], &[0, 1], 300);
+        assert_eq!(seq_counts, par_counts);
+    }
+
+    #[test]
+    fn seeds_are_a_function_of_the_candidate() {
+        // Different parameter values must decorrelate the noise streams:
+        // digest-derived seeds differ, so the trajectories differ.
+        let cfg = TrajectoryConfig {
+            trajectories: 2,
+            seed: 9,
+            readout: false,
+        };
+        let exec = TrajectoryExecutor::new(Device::belem(), cfg);
+        let mut c = Circuit::new(1);
+        c.push(GateKind::RX, &[0], &[qns_circuit::Param::Train(0)]);
+        let d1 = exec.candidate_digest(&c, &[0.3], &[], &[0]);
+        let d2 = exec.candidate_digest(&c, &[0.4], &[], &[0]);
+        assert_ne!(d1, d2, "parameter change must change the digest");
+        // Same candidate twice: identical results (pure function).
+        let a = exec.expect_z(&c, &[0.3], &[], &[0]);
+        let b = exec.expect_z(&c, &[0.3], &[], &[0]);
+        assert_eq!(a.expect_z, b.expect_z);
     }
 }

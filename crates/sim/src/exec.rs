@@ -1,5 +1,6 @@
 //! Circuit execution: dynamic (gate-at-a-time) and static (fused) modes.
 
+use crate::plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 use crate::StateVec;
 use qns_circuit::{Circuit, GateMatrix};
 use qns_tensor::{Mat2, Mat4};
@@ -17,6 +18,21 @@ pub enum ExecMode {
     Dynamic,
     /// Fuse adjacent gates into 2×2/4×4 blocks first.
     Static,
+}
+
+/// Which kernel family executes the circuit.
+///
+/// `Fast` is the production path: structure-specialized, cache-blocked
+/// kernels plus fusion v2 in static mode. `Reference` replays the original
+/// naive per-gate kernels with no fusion — slower, but trivially auditable,
+/// and the oracle the differential test battery checks `Fast` against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Naive per-gate kernels, no fusion: the differential-test oracle.
+    Reference,
+    /// Fused, cache-blocked, structure-specialized kernels.
+    #[default]
+    Fast,
 }
 
 /// One fused unitary block ready to apply.
@@ -51,57 +67,26 @@ pub struct FusedProgram {
 }
 
 impl FusedProgram {
-    /// Resolves parameters and greedily fuses adjacent gates.
+    /// Resolves parameters and fuses gates at [`DEFAULT_FUSION_LEVEL`].
     ///
-    /// Fusion rules:
+    /// Fusion rules (see [`crate::SimPlan`] for the level ladder):
     /// - consecutive one-qubit gates on the same qubit multiply into one 2×2,
     /// - a pending 2×2 on either operand of a two-qubit gate folds into its
     ///   4×4,
-    /// - consecutive two-qubit gates on the same qubit pair multiply into one
-    ///   4×4 (handling swapped operand order).
+    /// - two-qubit gates on the same qubit pair multiply into one 4×4
+    ///   (handling swapped operand order), merging across intervening blocks
+    ///   on disjoint qubits,
+    /// - trailing one-qubit gates fold into the last block on their qubit.
     pub fn compile(circuit: &Circuit, train: &[f64], input: &[f64]) -> Self {
-        let n = circuit.num_qubits();
-        let mut pending: Vec<Option<Mat2>> = vec![None; n];
-        let mut blocks: Vec<FusedOp> = Vec::new();
+        Self::compile_with_level(circuit, train, input, DEFAULT_FUSION_LEVEL)
+    }
 
-        for op in circuit.iter() {
-            let params = op.resolve_params(train, input);
-            match op.kind.matrix(&params) {
-                GateMatrix::One(m) => {
-                    let q = op.qubits[0];
-                    pending[q] = Some(match pending[q] {
-                        Some(prev) => m.mul_mat(&prev),
-                        None => m,
-                    });
-                }
-                GateMatrix::Two(m) => {
-                    let (a, b) = (op.qubits[0], op.qubits[1]);
-                    // Fold pending 1q gates into the 4x4: U * (Pa ⊗ Pb).
-                    let pa = pending[a].take().unwrap_or_else(Mat2::identity);
-                    let pb = pending[b].take().unwrap_or_else(Mat2::identity);
-                    let mut m4 = m.mul_mat(&pa.kron(&pb));
-                    // Merge with a previous 2q block on the same pair.
-                    if let Some(FusedOp::Two(pa2, pb2, prev)) = blocks.last() {
-                        if (*pa2, *pb2) == (a, b) {
-                            m4 = m4.mul_mat(prev);
-                            blocks.pop();
-                        } else if (*pa2, *pb2) == (b, a) {
-                            m4 = m4.mul_mat(&prev.swap_qubits());
-                            blocks.pop();
-                        }
-                    }
-                    blocks.push(FusedOp::Two(a, b, m4));
-                }
-            }
-        }
-        for (q, p) in pending.into_iter().enumerate() {
-            if let Some(m) = p {
-                blocks.push(FusedOp::One(q, m));
-            }
-        }
+    /// Like [`FusedProgram::compile`] with an explicit fusion level 0..=3.
+    pub fn compile_with_level(circuit: &Circuit, train: &[f64], input: &[f64], level: u8) -> Self {
+        let plan = SimPlan::compile(circuit, level);
         FusedProgram {
-            n_qubits: n,
-            blocks,
+            n_qubits: circuit.num_qubits(),
+            blocks: plan.materialize(circuit, train, input),
         }
     }
 
@@ -146,8 +131,19 @@ impl FusedProgram {
 /// assert!((s.probability(1) - 1.0).abs() < 1e-12);
 /// ```
 pub fn run(circuit: &Circuit, train: &[f64], input: &[f64], mode: ExecMode) -> StateVec {
+    run_with(circuit, train, input, mode, SimBackend::default())
+}
+
+/// Runs `circuit` from `|0...0>` on an explicit backend.
+pub fn run_with(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    mode: ExecMode,
+    backend: SimBackend,
+) -> StateVec {
     let mut state = StateVec::zero_state(circuit.num_qubits());
-    run_into(circuit, train, input, mode, &mut state);
+    run_into_with(circuit, train, input, mode, backend, &mut state);
     state
 }
 
@@ -167,21 +163,53 @@ pub fn run_into(
     mode: ExecMode,
     state: &mut StateVec,
 ) {
+    run_into_with(circuit, train, input, mode, SimBackend::default(), state);
+}
+
+/// [`run_into`] with an explicit backend. `Reference` always executes gate
+/// at a time with the naive kernels (fusion would defeat its purpose as an
+/// oracle); `Fast` honors `mode`.
+///
+/// # Panics
+///
+/// Panics if `state` has a different width than `circuit`, or if a
+/// referenced parameter index is out of bounds.
+pub fn run_into_with(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    mode: ExecMode,
+    backend: SimBackend,
+    state: &mut StateVec,
+) {
     assert_eq!(state.num_qubits(), circuit.num_qubits(), "width mismatch");
-    state.reset();
-    match mode {
-        ExecMode::Dynamic => {
+    match backend {
+        SimBackend::Reference => {
+            state.reset();
             for op in circuit.iter() {
                 let params = op.resolve_params(train, input);
                 match op.kind.matrix(&params) {
-                    GateMatrix::One(m) => state.apply_1q(&m, op.qubits[0]),
-                    GateMatrix::Two(m) => state.apply_2q(&m, op.qubits[0], op.qubits[1]),
+                    GateMatrix::One(m) => state.apply_1q_reference(&m, op.qubits[0]),
+                    GateMatrix::Two(m) => state.apply_2q_reference(&m, op.qubits[0], op.qubits[1]),
                 }
             }
         }
-        ExecMode::Static => {
-            FusedProgram::compile(circuit, train, input).apply(state);
-        }
+        SimBackend::Fast => match mode {
+            ExecMode::Dynamic => {
+                state.reset();
+                for op in circuit.iter() {
+                    let params = op.resolve_params(train, input);
+                    match op.kind.matrix(&params) {
+                        GateMatrix::One(m) => state.apply_1q(&m, op.qubits[0]),
+                        GateMatrix::Two(m) => state.apply_2q(&m, op.qubits[0], op.qubits[1]),
+                    }
+                }
+            }
+            ExecMode::Static => {
+                SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL)
+                    .execute_into(circuit, train, input, state);
+            }
+        },
     }
 }
 
@@ -272,6 +300,28 @@ mod tests {
         let a = run(&c, &[], &[], ExecMode::Dynamic);
         let b = run(&c, &[], &[], ExecMode::Static);
         assert!((a.inner(&b).abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reference_backend_matches_fast_amplitudes() {
+        for seed in 0..6 {
+            let (c, train) = random_circuit(4, 30, seed);
+            let oracle = run_with(&c, &train, &[], ExecMode::Dynamic, SimBackend::Reference);
+            for mode in [ExecMode::Dynamic, ExecMode::Static] {
+                let fast = run_with(&c, &train, &[], mode, SimBackend::Fast);
+                for (i, (a, b)) in oracle
+                    .amplitudes()
+                    .iter()
+                    .zip(fast.amplitudes())
+                    .enumerate()
+                {
+                    assert!(
+                        (*a - *b).norm_sqr().sqrt() < 1e-10,
+                        "seed {seed} {mode:?}: amp {i} differs"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

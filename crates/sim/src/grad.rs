@@ -1,7 +1,8 @@
 //! Gradients of expectation values: adjoint differentiation and the
 //! parameter-shift rule.
 
-use crate::{run, ExecMode, StateVec};
+use crate::plan::DEFAULT_FUSION_LEVEL;
+use crate::{run, ExecMode, SimPlan, StateVec};
 use qns_circuit::{Circuit, GateMatrix};
 use qns_tensor::{Mat2, Mat4, C64};
 
@@ -227,32 +228,74 @@ pub fn parameter_shift_gradient(
             }
         }
     }
-    let eval = |params: &[f64]| -> f64 {
-        let s = run(circuit, params, input, ExecMode::Static);
-        obs.expect(&s)
-    };
+    // Batch all 2n shifted evaluations through one compiled plan.
+    let h = 1e-5;
+    let mut shifts = Vec::with_capacity(2 * n);
+    for (i, &ok) in shiftable.iter().enumerate() {
+        let s = if ok { std::f64::consts::FRAC_PI_2 } else { h };
+        shifts.push((i, s));
+        shifts.push((i, -s));
+    }
+    let evals = shifted_expectations(circuit, train, input, obs, &shifts);
     let mut grad = vec![0.0; n];
-    let mut work = train.to_vec();
-    for i in 0..n {
-        let original = work[i];
-        if shiftable[i] {
-            let s = std::f64::consts::FRAC_PI_2;
-            work[i] = original + s;
-            let plus = eval(&work);
-            work[i] = original - s;
-            let minus = eval(&work);
-            grad[i] = (plus - minus) / 2.0;
+    for (i, g) in grad.iter_mut().enumerate() {
+        let (plus, minus) = (evals[2 * i], evals[2 * i + 1]);
+        *g = if shiftable[i] {
+            (plus - minus) / 2.0
         } else {
-            let h = 1e-5;
-            work[i] = original + h;
-            let plus = eval(&work);
-            work[i] = original - h;
-            let minus = eval(&work);
-            grad[i] = (plus - minus) / (2.0 * h);
-        }
-        work[i] = original;
+            (plus - minus) / (2.0 * h)
+        };
     }
     grad
+}
+
+/// Evaluates `<O>` for a batch of single-parameter shifts of `train`,
+/// replaying one compiled fusion plan instead of recompiling per shift.
+///
+/// Each entry of `shifts` is `(train_index, delta)`: the circuit is
+/// evaluated with `train[train_index] += delta` (all other parameters at
+/// their base values). Only fused blocks containing the shifted parameter
+/// are re-materialized per evaluation; every other block is reused from the
+/// base materialization, so the result is bit-identical to compiling each
+/// shifted parameter vector from scratch at the same fusion level.
+///
+/// # Panics
+///
+/// Panics if a shift index is out of bounds for `train`.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind, Param};
+/// use qns_sim::{shifted_expectations, DiagObservable};
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+/// let obs = DiagObservable::new(vec![1.0]);
+/// let e = shifted_expectations(&c, &[0.3], &[], &obs, &[(0, 0.0), (0, 0.2)]);
+/// assert!((e[0] - 0.3f64.cos()).abs() < 1e-12);
+/// assert!((e[1] - 0.5f64.cos()).abs() < 1e-12);
+/// ```
+pub fn shifted_expectations(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    obs: &impl Observable,
+    shifts: &[(usize, f64)],
+) -> Vec<f64> {
+    let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
+    let base = plan.materialize(circuit, train, input);
+    let mut state = StateVec::zero_state(circuit.num_qubits());
+    let mut work = train.to_vec();
+    let mut out = Vec::with_capacity(shifts.len());
+    for &(i, delta) in shifts {
+        let original = work[i];
+        work[i] = original + delta;
+        plan.replay_train_into(circuit, &base, &work, input, i, &mut state);
+        work[i] = original;
+        out.push(obs.expect(&state));
+    }
+    out
 }
 
 /// Central-finite-difference gradient, for testing the analytic engines.

@@ -5,9 +5,16 @@
 //!
 //! - **dynamic mode** — every gate is applied to the state vector one at a
 //!   time (easy to debug, exact per-gate states), and
-//! - **static mode** — adjacent gates are fused into 2×2 / 4×4 blocks before
-//!   being applied, cutting the number of state-vector sweeps (the paper
-//!   reports ~2× from this; see the `engine_speed` bench),
+//! - **static mode** — gates are fused into 2×2 / 4×4 blocks before being
+//!   applied (fusion v2: commuting-window merging + trailing absorption),
+//!   cutting the number of state-vector sweeps (the paper reports ~2× from
+//!   this; see the `engine_speed` and `sim_kernels` benches),
+//! - **two backends** — [`SimBackend::Fast`] (structure-specialized,
+//!   cache-blocked kernels; the default) and [`SimBackend::Reference`] (the
+//!   original naive per-gate kernels, kept as the differential-test oracle),
+//! - **plan replay** — [`SimPlan`] compiles the fusion structure once and
+//!   re-materializes only dirty blocks across shifted parameter sets or new
+//!   encoded inputs,
 //! - **batched execution** over many encoded inputs with thread parallelism,
 //! - **exact gradients** via reverse-mode *adjoint differentiation* (one
 //!   forward + one backward sweep for all parameters) and the
@@ -31,11 +38,16 @@
 mod batch;
 mod exec;
 mod grad;
+mod plan;
 mod state;
 
 pub use batch::{parallel_map, sequential_scope};
-pub use exec::{run, run_into, ExecMode, FusedOp, FusedProgram};
-pub use grad::{
-    adjoint_gradient, numeric_gradient, parameter_shift_gradient, DiagObservable, Observable,
+pub use exec::{
+    run, run_into, run_into_with, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
 };
+pub use grad::{
+    adjoint_gradient, numeric_gradient, parameter_shift_gradient, shifted_expectations,
+    DiagObservable, Observable,
+};
+pub use plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 pub use state::{counts_to_expect_z, StateVec};

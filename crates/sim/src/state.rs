@@ -125,12 +125,78 @@ impl StateVec {
         self.amps[index].norm_sqr()
     }
 
-    /// Applies a one-qubit unitary to qubit `q`.
+    /// Applies a one-qubit unitary to qubit `q` via the fast kernels:
+    /// structure-specialized paths for diagonal and anti-diagonal matrices,
+    /// and a cache-blocked general path otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        assert!(q < self.n_qubits, "qubit {} out of range", q);
+        let [m00, m01, m10, m11] = m.m;
+        if m01 == C64::ZERO && m10 == C64::ZERO {
+            if m00 == C64::ONE && m11 == C64::ONE {
+                return; // identity
+            }
+            self.apply_1q_diag(m00, m11, q);
+        } else if m00 == C64::ZERO && m11 == C64::ZERO {
+            self.apply_1q_antidiag(m01, m10, q);
+        } else {
+            self.apply_1q_general(m, q);
+        }
+    }
+
+    /// Diagonal 1q path: each amplitude is only scaled, one pass, no pairing.
+    fn apply_1q_diag(&mut self, d0: C64, d1: C64, q: usize) {
+        let stride = 1usize << q;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for a in lo {
+                *a = d0 * *a;
+            }
+            for a in hi {
+                *a = d1 * *a;
+            }
+        }
+    }
+
+    /// Anti-diagonal 1q path (X-like): swap halves with a scale.
+    fn apply_1q_antidiag(&mut self, a01: C64, a10: C64, q: usize) {
+        let stride = 1usize << q;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                *a0 = a01 * *a1;
+                *a1 = a10 * x0;
+            }
+        }
+    }
+
+    /// General 1q path: blocked over `2*stride` chunks; the split borrow
+    /// removes aliasing so the inner zip autovectorizes.
+    fn apply_1q_general(&mut self, m: &Mat2, q: usize) {
+        let stride = 1usize << q;
+        let [m00, m01, m10, m11] = m.m;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = m00 * x0 + m01 * x1;
+                *a1 = m10 * x0 + m11 * x1;
+            }
+        }
+    }
+
+    /// Reference 1q kernel: the original naive pair loop, kept verbatim as
+    /// the oracle for differential tests (`SimBackend::Reference`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q_reference(&mut self, m: &Mat2, q: usize) {
         assert!(q < self.n_qubits, "qubit {} out of range", q);
         let stride = 1usize << q;
         let [m00, m01, m10, m11] = m.m;
@@ -149,12 +215,86 @@ impl StateVec {
 
     /// Applies a two-qubit unitary; `qa` is the *high* bit of the 4-dim
     /// basis `|qa qb>` (matching [`Mat4`]'s convention, where controlled
-    /// gates put the control first).
+    /// gates put the control first). Dispatches to structure-specialized
+    /// kernels: diagonal, controlled-form, or blocked general.
     ///
     /// # Panics
     ///
     /// Panics if the qubits coincide or are out of range.
     pub fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        assert!(
+            qa < self.n_qubits && qb < self.n_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+        if mat4_is_diagonal(m) {
+            self.apply_2q_diag(m, qa, qb);
+        } else if mat4_is_controlled(m) {
+            let sub = Mat2::new([m.m[10], m.m[11], m.m[14], m.m[15]]);
+            self.apply_2q_controlled(&sub, qa, qb);
+        } else {
+            self.apply_2q_general(m, qa, qb);
+        }
+    }
+
+    /// Diagonal 2q path: scale each of the four index classes in place.
+    fn apply_2q_diag(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        let (d00, d01, d10, d11) = (m.m[0], m.m[5], m.m[10], m.m[15]);
+        if d00 == C64::ONE && d01 == C64::ONE && d10 == C64::ONE && d11 == C64::ONE {
+            return; // identity
+        }
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        for_each_2q_base(self.amps.len(), ba, bb, |i| {
+            self.amps[i] = d00 * self.amps[i];
+            self.amps[i | bb] = d01 * self.amps[i | bb];
+            self.amps[i | ba] = d10 * self.amps[i | ba];
+            self.amps[i | ba | bb] = d11 * self.amps[i | ba | bb];
+        });
+    }
+
+    /// Controlled-form 2q path: the top-left block is identity, so only the
+    /// half of the state with the control bit (`qa`) set is touched.
+    fn apply_2q_controlled(&mut self, sub: &Mat2, qa: usize, qb: usize) {
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let [s00, s01, s10, s11] = sub.m;
+        for_each_2q_base(self.amps.len(), ba, bb, |i| {
+            let x0 = self.amps[i | ba];
+            let x1 = self.amps[i | ba | bb];
+            self.amps[i | ba] = s00 * x0 + s01 * x1;
+            self.amps[i | ba | bb] = s10 * x0 + s11 * x1;
+        });
+    }
+
+    /// General 2q path: blocked triple loop visiting exactly `len/4` base
+    /// indices (the reference kernel scans all `len` and skips 3/4).
+    fn apply_2q_general(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let w = &m.m;
+        for_each_2q_base(self.amps.len(), ba, bb, |i| {
+            let i01 = i | bb;
+            let i10 = i | ba;
+            let i11 = i | ba | bb;
+            let v0 = self.amps[i];
+            let v1 = self.amps[i01];
+            let v2 = self.amps[i10];
+            let v3 = self.amps[i11];
+            self.amps[i] = w[0] * v0 + w[1] * v1 + w[2] * v2 + w[3] * v3;
+            self.amps[i01] = w[4] * v0 + w[5] * v1 + w[6] * v2 + w[7] * v3;
+            self.amps[i10] = w[8] * v0 + w[9] * v1 + w[10] * v2 + w[11] * v3;
+            self.amps[i11] = w[12] * v0 + w[13] * v1 + w[14] * v2 + w[15] * v3;
+        });
+    }
+
+    /// Reference 2q kernel: the original full-scan-and-skip loop, kept
+    /// verbatim as the oracle for differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_2q_reference(&mut self, m: &Mat4, qa: usize, qb: usize) {
         assert!(
             qa < self.n_qubits && qb < self.n_qubits,
             "qubit out of range"
@@ -291,6 +431,43 @@ impl StateVec {
         let counts = self.sample_counts(shots, rng);
         counts_to_expect_z(&counts, self.n_qubits, shots)
     }
+}
+
+/// Visits every base index with both `ba` and `bb` bits clear, in ascending
+/// order, via a blocked triple loop — exactly `len / 4` callback invocations
+/// with unit-stride inner runs of `min(ba, bb)` indices.
+#[inline]
+fn for_each_2q_base(len: usize, ba: usize, bb: usize, mut f: impl FnMut(usize)) {
+    let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+    let mut base = 0;
+    while base < len {
+        let mut mid = base;
+        while mid < base + hi {
+            for i in mid..mid + lo {
+                f(i);
+            }
+            mid += lo << 1;
+        }
+        base += hi << 1;
+    }
+}
+
+/// True when all off-diagonal entries are exactly zero.
+#[inline]
+fn mat4_is_diagonal(m: &Mat4) -> bool {
+    (0..4).all(|r| (0..4).all(|c| r == c || m.m[r * 4 + c] == C64::ZERO))
+}
+
+/// True when the matrix has controlled form: identity on the top-left 2×2
+/// block and zeros everywhere outside the two diagonal blocks, i.e. it acts
+/// only on the subspace where the high qubit is `|1>`.
+#[inline]
+fn mat4_is_controlled(m: &Mat4) -> bool {
+    m.m[0] == C64::ONE
+        && m.m[5] == C64::ONE
+        && [1, 2, 3, 4, 6, 7, 8, 9, 12, 13]
+            .iter()
+            .all(|&k| m.m[k] == C64::ZERO)
 }
 
 /// Converts basis-state counts into per-qubit `<Z>` estimates.
@@ -449,5 +626,70 @@ mod tests {
     fn apply_2q_same_qubit_panics() {
         let mut s = StateVec::zero_state(2);
         s.apply_2q(&Mat4::identity(), 1, 1);
+    }
+
+    /// A fixed non-trivial state to exercise kernels on.
+    fn scrambled_state(n: usize, seed: u64) -> StateVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut amps: Vec<C64> = (0..1usize << n)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = a.scale(1.0 / norm);
+        }
+        StateVec::from_amplitudes(amps)
+    }
+
+    fn assert_states_close(a: &StateVec, b: &StateVec, tol: f64, label: &str) {
+        for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+            assert!(
+                (*x - *y).norm_sqr().sqrt() < tol,
+                "{label}: amp {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_1q_kernels_match_reference_for_all_structures() {
+        // Diagonal (S), anti-diagonal (X), general (H) matrices, every qubit.
+        let mats = [
+            Mat2::pauli_x(),
+            Mat2::pauli_z(),
+            Mat2::hadamard(),
+            Mat2::new([C64::ONE, C64::ZERO, C64::ZERO, C64::new(0.0, 1.0)]),
+        ];
+        for (mi, m) in mats.iter().enumerate() {
+            for q in 0..4 {
+                let mut fast = scrambled_state(4, 7 + mi as u64);
+                let mut refr = fast.clone();
+                fast.apply_1q(m, q);
+                refr.apply_1q_reference(m, q);
+                assert_states_close(&fast, &refr, 1e-14, "1q kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_2q_kernels_match_reference_for_all_structures() {
+        // Controlled (CX), diagonal (CZ-like), general (CX sandwiched in H⊗H).
+        let h2 = Mat2::hadamard().kron(&Mat2::hadamard());
+        let cx = Mat4::controlled(&Mat2::pauli_x());
+        let cz = Mat4::controlled(&Mat2::pauli_z());
+        let general = h2.mul_mat(&cx).mul_mat(&h2);
+        for (mi, m) in [cx, cz, general].iter().enumerate() {
+            for qa in 0..4 {
+                for qb in 0..4 {
+                    if qa == qb {
+                        continue;
+                    }
+                    let mut fast = scrambled_state(4, 31 + mi as u64);
+                    let mut refr = fast.clone();
+                    fast.apply_2q(m, qa, qb);
+                    refr.apply_2q_reference(m, qa, qb);
+                    assert_states_close(&fast, &refr, 1e-14, "2q kernel");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,144 @@
+//! Batched multi-state engine vs per-sample `parallel_map`: one QML
+//! minibatch (forward replay + adjoint gradient) across qubit counts
+//! {6, 10} and batch sizes {8, 32, 128}.
+//!
+//! The per-sample arm is the pre-batching training shape — one
+//! `StateVec` replay plus one `adjoint_gradient` per sample under
+//! `parallel_map`; the batched arm sweeps all lanes per base index with
+//! `replay_batch_into` and `adjoint_gradient_batch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{
+    adjoint_gradient, adjoint_gradient_batch, parallel_map, DiagObservable, SimPlan, StateBatch,
+    StateVec, DEFAULT_BATCH_LANES, DEFAULT_FUSION_LEVEL,
+};
+
+/// Input-encoded QML candidate: RY(Input) encoder plus U3 + CU3-ring
+/// trainable layers.
+fn qml_circuit(n: usize, layers: usize) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(GateKind::RY, &[q], &[Param::Input(q)]);
+    }
+    let mut t = 0;
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push(
+                GateKind::U3,
+                &[q],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+        for q in 0..n {
+            c.push(
+                GateKind::CU3,
+                &[q, (q + 1) % n],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+    }
+    let params = (0..t).map(|i| 0.1 * (i as f64 % 7.0) - 0.3).collect();
+    (c, params)
+}
+
+fn samples(n_samples: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n_samples)
+        .map(|s| {
+            (0..dim)
+                .map(|q| 0.3 * ((s * dim + q) as f64 % 11.0) - 1.2)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_forward");
+    group.sample_size(10);
+    for &n in &[6usize, 10] {
+        let (circuit, params) = qml_circuit(n, 2);
+        let plan = SimPlan::compile(&circuit, DEFAULT_FUSION_LEVEL);
+        let features = samples(128, n);
+        let base = plan.materialize(&circuit, &params, &features[0]);
+        for &bs in &[8usize, 32, 128] {
+            let batch_features = &features[..bs];
+            let label = format!("q{n}/b{bs}");
+            group.bench_with_input(
+                BenchmarkId::new("per_sample", &label),
+                batch_features,
+                |b, feats| {
+                    b.iter(|| {
+                        parallel_map(feats, |input| {
+                            let mut state = StateVec::zero_state(n);
+                            plan.replay_input_into(&circuit, &base, &params, input, &mut state);
+                            state.expect_z_all()
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("batched", &label),
+                batch_features,
+                |b, feats| {
+                    b.iter(|| {
+                        let chunks: Vec<&[Vec<f64>]> = feats.chunks(DEFAULT_BATCH_LANES).collect();
+                        parallel_map(&chunks, |chunk| {
+                            let inputs: Vec<&[f64]> = chunk.iter().map(|s| s.as_slice()).collect();
+                            let mut batch = StateBatch::zero_state(n, inputs.len());
+                            plan.replay_batch_into(&circuit, &base, &params, &inputs, &mut batch);
+                            batch.expect_z_all_lanes()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_gradient");
+    group.sample_size(10);
+    for &n in &[6usize, 10] {
+        let (circuit, params) = qml_circuit(n, 2);
+        let features = samples(128, n);
+        let weights: Vec<f64> = (0..n).map(|q| 0.4 * (q as f64) - 0.7).collect();
+        for &bs in &[8usize, 32, 128] {
+            let batch_features = &features[..bs];
+            let label = format!("q{n}/b{bs}");
+            group.bench_with_input(
+                BenchmarkId::new("per_sample", &label),
+                batch_features,
+                |b, feats| {
+                    b.iter(|| {
+                        let obs = DiagObservable::new(weights.clone());
+                        parallel_map(feats, |input| {
+                            adjoint_gradient(&circuit, &params, input, &obs)
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("batched", &label),
+                batch_features,
+                |b, feats| {
+                    b.iter(|| {
+                        let chunks: Vec<&[Vec<f64>]> = feats.chunks(DEFAULT_BATCH_LANES).collect();
+                        parallel_map(&chunks, |chunk| {
+                            let inputs: Vec<&[f64]> = chunk.iter().map(|s| s.as_slice()).collect();
+                            adjoint_gradient_batch(&circuit, &params, &inputs, |_, ez| {
+                                (ez.iter().sum::<f64>(), weights.clone())
+                            })
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_gradient);
+criterion_main!(benches);

@@ -9,7 +9,8 @@ use qns_ml::{accuracy, nll_loss};
 use qns_noise::{circuit_success_rate, Device, TrajectoryConfig, TrajectoryExecutor};
 use qns_runtime::{counters, timers, Metrics, ShardedCache, Workers};
 use qns_sim::{
-    parallel_map, run, run_with, ExecMode, SimBackend, SimPlan, StateVec, DEFAULT_FUSION_LEVEL,
+    parallel_map, run, run_with, ExecMode, SimBackend, SimPlan, StateBatch, DEFAULT_BATCH_LANES,
+    DEFAULT_FUSION_LEVEL,
 };
 use qns_transpile::{transpile_with, Layout, TranspileOptions, Transpiled};
 use qns_verify::{VerifyLevel, PANIC_MARKER};
@@ -243,10 +244,11 @@ impl Estimator {
         }
     }
 
-    /// Per-sample validation losses via the plan-replay fast path: the
-    /// fusion plan is compiled once, the blocks are materialized once, and
-    /// each sample replays only the input-dependent blocks. The reference
-    /// backend re-runs the naive per-gate oracle instead.
+    /// Per-sample validation losses via the batched fast path: the fusion
+    /// plan is compiled once, the blocks are materialized once, and the
+    /// samples replay in lane-batches — shared blocks sweep every lane at
+    /// once, only input-encoding blocks re-materialize per lane. The
+    /// reference backend re-runs the naive per-gate oracle instead.
     fn qml_losses(
         &self,
         circuit: &Circuit,
@@ -259,11 +261,22 @@ impl Estimator {
             SimBackend::Fast => {
                 let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
                 let base = plan.materialize(circuit, params, &valid.features[samples[0]]);
-                parallel_map(samples, |&i| {
-                    let mut s = StateVec::zero_state(circuit.num_qubits());
-                    plan.replay_input_into(circuit, &base, params, &valid.features[i], &mut s);
-                    nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
-                })
+                let chunks: Vec<&[usize]> = samples.chunks(DEFAULT_BATCH_LANES).collect();
+                let per_chunk: Vec<Vec<f64>> = parallel_map(&chunks, |chunk| {
+                    let inputs: Vec<&[f64]> = chunk
+                        .iter()
+                        .map(|&i| valid.features[i].as_slice())
+                        .collect();
+                    let mut batch = StateBatch::zero_state(circuit.num_qubits(), inputs.len());
+                    plan.replay_batch_into(circuit, &base, params, &inputs, &mut batch);
+                    batch
+                        .expect_z_all_lanes()
+                        .iter()
+                        .zip(chunk.iter())
+                        .map(|(ez, &i)| nll_loss(&readout.logits(ez), valid.labels[i]))
+                        .collect()
+                });
+                per_chunk.into_iter().flatten().collect()
             }
             SimBackend::Reference => parallel_map(samples, |&i| {
                 let s = run_with(

@@ -6,8 +6,8 @@ use qns_circuit::Circuit;
 use qns_data::Dataset;
 use qns_ml::{accuracy, cross_entropy_grad, nll_loss, Adam, AdamConfig, CosineSchedule};
 use qns_sim::{
-    adjoint_gradient, parallel_map, run, DiagObservable, ExecMode, Observable, SimPlan, StateVec,
-    DEFAULT_FUSION_LEVEL,
+    adjoint_gradient, adjoint_gradient_batch, parallel_map, run, DiagObservable, ExecMode,
+    Observable, SimPlan, StateBatch, DEFAULT_BATCH_LANES, DEFAULT_FUSION_LEVEL,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -77,15 +77,23 @@ pub(crate) fn qml_eval(
     if data.features.is_empty() {
         return (0.0, accuracy(&[], &data.labels));
     }
-    // Compile the fusion plan once; each sample only re-materializes the
-    // input-encoding blocks before replay.
+    // Compile the fusion plan once, then replay whole lane-batches of
+    // samples at a time: shared blocks sweep all lanes in one pass and only
+    // the input-encoding steps re-materialize per lane.
     let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
     let base = plan.materialize(circuit, params, &data.features[0]);
-    let logits: Vec<Vec<f64>> = parallel_map(&data.features, |input| {
-        let mut state = StateVec::zero_state(circuit.num_qubits());
-        plan.replay_input_into(circuit, &base, params, input, &mut state);
-        readout.logits(&state.expect_z_all())
+    let chunks: Vec<&[Vec<f64>]> = data.features.chunks(DEFAULT_BATCH_LANES).collect();
+    let chunk_logits: Vec<Vec<Vec<f64>>> = parallel_map(&chunks, |chunk| {
+        let inputs: Vec<&[f64]> = chunk.iter().map(|s| s.as_slice()).collect();
+        let mut batch = StateBatch::zero_state(circuit.num_qubits(), inputs.len());
+        plan.replay_batch_into(circuit, &base, params, &inputs, &mut batch);
+        batch
+            .expect_z_all_lanes()
+            .iter()
+            .map(|ez| readout.logits(ez))
+            .collect()
     });
+    let logits: Vec<Vec<f64>> = chunk_logits.into_iter().flatten().collect();
     let loss: f64 = logits
         .iter()
         .zip(&data.labels)
@@ -107,28 +115,26 @@ fn qml_batch_grad(
     if batch.is_empty() {
         return (0.0, vec![0.0; circuit.num_train_params()]);
     }
-    // One plan for the whole batch: the forward pass of each sample replays
-    // the shared base blocks with only its input-encoding steps redone. The
-    // adjoint backward pass still runs per sample (it needs per-gate states).
-    let plan = SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL);
-    let base = plan.materialize(circuit, params, &data.features[batch[0]]);
-    let per_sample: Vec<(f64, Vec<f64>)> = parallel_map(batch, |&i| {
-        let input = &data.features[i];
-        let mut state = StateVec::zero_state(circuit.num_qubits());
-        plan.replay_input_into(circuit, &base, params, input, &mut state);
-        let logits = readout.logits(&state.expect_z_all());
-        let loss = nll_loss(&logits, data.labels[i]);
-        let dlogits = cross_entropy_grad(&logits, data.labels[i]);
-        let weights = readout.weights_from_logit_grad(&dlogits);
-        let obs = DiagObservable::new(weights);
-        let (_, grad) = adjoint_gradient(circuit, params, input, &obs);
-        (loss, grad)
+    // The whole minibatch runs in lane-batches: one batched forward sweep
+    // produces every lane's expectations (and thus loss), and one batched
+    // adjoint backward sweep accumulates the summed gradient — each gate is
+    // applied to all lanes at once instead of once per sample.
+    let chunks: Vec<&[usize]> = batch.chunks(DEFAULT_BATCH_LANES).collect();
+    let per_chunk: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&chunks, |chunk| {
+        let inputs: Vec<&[f64]> = chunk.iter().map(|&i| data.features[i].as_slice()).collect();
+        adjoint_gradient_batch(circuit, params, &inputs, |lane, ez| {
+            let label = data.labels[chunk[lane]];
+            let logits = readout.logits(ez);
+            let loss = nll_loss(&logits, label);
+            let dlogits = cross_entropy_grad(&logits, label);
+            (loss, readout.weights_from_logit_grad(&dlogits))
+        })
     });
     let n = batch.len() as f64;
     let mut grad = vec![0.0; circuit.num_train_params()];
     let mut loss = 0.0;
-    for (l, g) in per_sample {
-        loss += l;
+    for (losses, g) in per_chunk {
+        loss += losses.iter().sum::<f64>();
         for (acc, gi) in grad.iter_mut().zip(g) {
             *acc += gi;
         }
@@ -382,13 +388,16 @@ mod tests {
         let params = init_params(circuit.num_train_params(), 5);
         let (_, grad) = qml_sample_grad(&circuit, &params, &input, label, readout);
         let h = 1e-5;
+        // Perturb one parameter in place and restore it, instead of cloning
+        // the whole parameter vector twice per probe.
+        let mut work = params.clone();
         for i in [0usize, 7, 13] {
-            let mut plus = params.clone();
-            plus[i] += h;
-            let mut minus = params.clone();
-            minus[i] -= h;
-            let (lp, _) = qml_sample_grad(&circuit, &plus, &input, label, readout);
-            let (lm, _) = qml_sample_grad(&circuit, &minus, &input, label, readout);
+            let original = work[i];
+            work[i] = original + h;
+            let (lp, _) = qml_sample_grad(&circuit, &work, &input, label, readout);
+            work[i] = original - h;
+            let (lm, _) = qml_sample_grad(&circuit, &work, &input, label, readout);
+            work[i] = original;
             let fd = (lp - lm) / (2.0 * h);
             assert!(
                 (grad[i] - fd).abs() < 1e-5,

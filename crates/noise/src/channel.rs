@@ -1,6 +1,6 @@
 //! Kraus error channels with stochastic trajectory unraveling.
 
-use qns_sim::StateVec;
+use qns_sim::{StateBatch, StateVec};
 use qns_tensor::{Mat2, C64};
 use rand::Rng;
 
@@ -164,6 +164,62 @@ impl KrausChannel {
             }
         }
     }
+
+    /// [`KrausChannel::apply_trajectory`] for one lane of a [`StateBatch`]:
+    /// the RNG draw, Born-probability CDF walk, Kraus selection, and
+    /// renormalization are bit-identical to the single-state path, so a
+    /// trajectory run in a batch lane reproduces the standalone trajectory
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `lane` is out of range for `batch`.
+    pub fn apply_trajectory_lane<R: Rng + ?Sized>(
+        &self,
+        batch: &mut StateBatch,
+        lane: usize,
+        q: usize,
+        rng: &mut R,
+    ) {
+        if self.ops.len() == 1 {
+            batch.lane_apply_1q(lane, &self.ops[0], q);
+            batch.lane_normalize(lane);
+            return;
+        }
+        let u: f64 = rng.gen();
+        let mut cdf = 0.0;
+        for (i, k) in self.ops.iter().enumerate() {
+            let p = kraus_prob_lane(batch, lane, k, q);
+            cdf += p;
+            if u <= cdf || i == self.ops.len() - 1 {
+                batch.lane_apply_1q(lane, k, q);
+                batch.lane_normalize(lane);
+                return;
+            }
+        }
+    }
+}
+
+/// [`kraus_prob`] for one lane of a batch: the same base-loop accumulation
+/// order over that lane's amplitudes.
+fn kraus_prob_lane(batch: &StateBatch, lane: usize, k: &Mat2, q: usize) -> f64 {
+    let l = batch.lanes();
+    let stride = 1usize << q;
+    let len = 1usize << batch.num_qubits();
+    let amps = batch.amplitudes();
+    let [m00, m01, m10, m11] = k.m;
+    let mut acc = 0.0;
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let a0 = amps[i * l + lane];
+            let a1 = amps[(i + stride) * l + lane];
+            acc += (m00 * a0 + m01 * a1).norm_sqr();
+            acc += (m10 * a0 + m11 * a1).norm_sqr();
+        }
+        base += stride << 1;
+    }
+    acc
 }
 
 /// `|| K |ψ> ||²` for a one-qubit operator on qubit `q`.
@@ -276,6 +332,29 @@ mod tests {
     #[should_panic(expected = "T2 must be <= 2*T1")]
     fn unphysical_t2_panics() {
         let _ = KrausChannel::thermal_relaxation(100.0, 300.0, 10.0);
+    }
+
+    #[test]
+    fn lane_trajectory_is_bit_identical_to_single_state() {
+        // Same seed stream: applying a channel to a batch lane must make
+        // exactly the same draws and produce exactly the same amplitudes as
+        // the standalone single-state trajectory.
+        for ch in [
+            KrausChannel::depolarizing(0.3),
+            KrausChannel::thermal_relaxation(50_000.0, 70_000.0, 300.0),
+            KrausChannel::new(vec![Mat2::pauli_x()]), // single-op fast path
+        ] {
+            let mut batch = StateBatch::zero_state(2, 3);
+            batch.apply_1q(&Mat2::hadamard(), 0);
+            let mut single = batch.lane_state(1);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let mut rng_s = StdRng::seed_from_u64(42);
+            for _ in 0..20 {
+                ch.apply_trajectory_lane(&mut batch, 1, 0, &mut rng_b);
+                ch.apply_trajectory(&mut single, 0, &mut rng_s);
+            }
+            assert_eq!(batch.lane_state(1).amplitudes(), single.amplitudes());
+        }
     }
 
     #[test]

@@ -11,9 +11,16 @@
 use crate::{Device, KrausChannel};
 use qns_circuit::{Circuit, GateMatrix};
 use qns_runtime::{EvalEngine, StructuralHasher, Workers};
-use qns_sim::{SimBackend, StateVec};
+use qns_sim::{SimBackend, StateBatch, StateVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Trajectories per [`StateBatch`] on the fast path. A **fixed** constant
+/// (never derived from the worker count): the chunk layout determines which
+/// trajectories share a batched sweep, so it must be identical for any
+/// `Workers` policy to keep results bitwise-stable. 16 lanes bound the
+/// batch buffer (16 × 2ⁿ amplitudes) while amortizing gate dispatch.
+const LANE_CHUNK: usize = 16;
 
 /// Configuration for the trajectory executor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -200,6 +207,141 @@ impl TrajectoryExecutor {
         state
     }
 
+    /// Runs one chunk of trajectories as lanes of a [`StateBatch`]: the
+    /// shared unitary gates sweep every lane at once, while the stochastic
+    /// Kraus draws run per lane against that lane's own RNG stream.
+    ///
+    /// Lane `l` is bit-identical to [`TrajectoryExecutor::run_one`] with
+    /// `rngs[l]`: per lane the gate/noise application order, every Born
+    /// probability, and every RNG draw are the same, and channel
+    /// construction (hoisted out of the lane loop) is deterministic.
+    fn run_chunk(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        rngs: &mut [StdRng],
+    ) -> StateBatch {
+        let mut batch = StateBatch::zero_state(circuit.num_qubits(), rngs.len());
+        for op in circuit.iter() {
+            let params = op.resolve_params(train, input);
+            match op.kind.matrix(&params) {
+                GateMatrix::One(m) => {
+                    let q = op.qubits[0];
+                    batch.apply_1q(&m, q);
+                    let calib = self.device.qubit(phys_of[q]);
+                    let depol = KrausChannel::depolarizing(calib.err_1q.min(1.0));
+                    let relax = KrausChannel::thermal_relaxation(
+                        calib.t1_ns,
+                        calib.t2_ns,
+                        self.device.dur_1q_ns(),
+                    );
+                    for (lane, rng) in rngs.iter_mut().enumerate() {
+                        depol.apply_trajectory_lane(&mut batch, lane, q, rng);
+                        relax.apply_trajectory_lane(&mut batch, lane, q, rng);
+                    }
+                }
+                GateMatrix::Two(m) => {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    batch.apply_2q(&m, a, b);
+                    let e2 = self.device.err_2q(phys_of[a], phys_of[b]);
+                    let depol = KrausChannel::depolarizing(e2.min(1.0));
+                    let relax: Vec<KrausChannel> = [a, b]
+                        .iter()
+                        .map(|&q| {
+                            let calib = self.device.qubit(phys_of[q]);
+                            KrausChannel::thermal_relaxation(
+                                calib.t1_ns,
+                                calib.t2_ns,
+                                self.device.dur_2q_ns(),
+                            )
+                        })
+                        .collect();
+                    for (lane, rng) in rngs.iter_mut().enumerate() {
+                        for (qi, &q) in [a, b].iter().enumerate() {
+                            depol.apply_trajectory_lane(&mut batch, lane, q, rng);
+                            relax[qi].apply_trajectory_lane(&mut batch, lane, q, rng);
+                        }
+                    }
+                }
+            }
+        }
+        batch
+    }
+
+    /// Runs every seeded trajectory and extracts one result per trajectory,
+    /// in seed order.
+    ///
+    /// Fast backend: trajectories run as lanes of [`StateBatch`] chunks of
+    /// [`LANE_CHUNK`]; the chunks (not individual trajectories) fan out over
+    /// the runtime engine. Reference backend: the original per-trajectory
+    /// oracle path. `extract` receives the trajectory index, its final
+    /// state, and its RNG (positioned exactly after the circuit's noise
+    /// draws, for shot sampling).
+    #[allow(clippy::too_many_arguments)]
+    fn run_trajectories<U: Send + Clone + Sync>(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        seeds: &[u64],
+        extract: impl Fn(usize, &StateVec, &mut StdRng) -> U + Sync,
+        default: U,
+    ) -> Vec<U> {
+        let engine = EvalEngine::new(self.workers);
+        match self.backend {
+            SimBackend::Reference => {
+                let items: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+                engine.run(
+                    &items,
+                    |&(idx, s)| {
+                        let mut rng = StdRng::seed_from_u64(s);
+                        let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+                        extract(idx, &state, &mut rng)
+                    },
+                    default,
+                )
+            }
+            SimBackend::Fast => {
+                let chunks: Vec<(usize, &[u64])> = seeds
+                    .chunks(LANE_CHUNK)
+                    .enumerate()
+                    .map(|(ci, c)| (ci * LANE_CHUNK, c))
+                    .collect();
+                let per_chunk = engine.run(
+                    &chunks,
+                    |&(start, chunk_seeds)| {
+                        let mut rngs: Vec<StdRng> = chunk_seeds
+                            .iter()
+                            .map(|&s| StdRng::seed_from_u64(s))
+                            .collect();
+                        let batch = self.run_chunk(circuit, train, input, phys_of, &mut rngs);
+                        (0..chunk_seeds.len())
+                            .map(|lane| {
+                                let state = batch.lane_state(lane);
+                                extract(start + lane, &state, &mut rngs[lane])
+                            })
+                            .collect::<Vec<U>>()
+                    },
+                    Vec::new(),
+                );
+                // Flatten in chunk order; a panicked chunk comes back as the
+                // empty on-panic default and is backfilled per trajectory.
+                let mut out = Vec::with_capacity(seeds.len());
+                for (res, (_, chunk_seeds)) in per_chunk.into_iter().zip(&chunks) {
+                    if res.len() == chunk_seeds.len() {
+                        out.extend(res);
+                    } else {
+                        out.extend((0..chunk_seeds.len()).map(|_| default.clone()));
+                    }
+                }
+                out
+            }
+        }
+    }
+
     /// Thermal relaxation (always) plus depolarizing for 1-qubit gates.
     fn apply_gate_noise(
         &self,
@@ -243,16 +385,15 @@ impl TrajectoryExecutor {
         let n = circuit.num_qubits();
         let digest = self.candidate_digest(circuit, train, input, phys_of);
         let seeds = self.trajectory_seeds(digest);
-        let engine = EvalEngine::new(self.workers);
         // Per-trajectory results come back in input order; the fold below is
         // sequential, so the average is bit-identical for any worker count.
-        let per_traj = engine.run(
+        let per_traj = self.run_trajectories(
+            circuit,
+            train,
+            input,
+            phys_of,
             &seeds,
-            |&s| {
-                let mut rng = StdRng::seed_from_u64(s);
-                self.run_one(circuit, train, input, phys_of, &mut rng)
-                    .expect_z_all()
-            },
+            |_, state, _| state.expect_z_all(),
             vec![f64::NAN; n],
         );
         let mut acc = vec![0.0; n];
@@ -299,15 +440,16 @@ impl TrajectoryExecutor {
         }
         let digest = self.candidate_digest(circuit, train, input, phys_of);
         let seeds = self.trajectory_seeds(digest);
-        let engine = EvalEngine::new(self.workers);
-        let per_traj = engine.run(
+        let per_traj = self.run_trajectories(
+            circuit,
+            train,
+            input,
+            phys_of,
             &seeds,
-            |&s| {
-                let mut rng = StdRng::seed_from_u64(s);
-                let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+            |_, state, _| {
                 masks
                     .iter()
-                    .map(|&mask| expect_parity(&state, mask))
+                    .map(|&mask| expect_parity(state, mask))
                     .collect::<Vec<f64>>()
             },
             vec![f64::NAN; masks.len()],
@@ -351,27 +493,33 @@ impl TrajectoryExecutor {
         self.validate(circuit, phys_of);
         let per_traj = shots.div_ceil(self.config.trajectories);
         let digest = self.candidate_digest(circuit, train, input, phys_of);
-        let seeds = self.trajectory_seeds(digest);
-        let mut items: Vec<(u64, usize)> = Vec::new();
+        let mut seeds = self.trajectory_seeds(digest);
+        // Shot allotment per trajectory; trajectories with nothing to draw
+        // are dropped entirely, exactly as before batching.
+        let mut takes: Vec<usize> = Vec::with_capacity(seeds.len());
         let mut remaining = shots;
-        for &seed in &seeds {
+        for _ in &seeds {
             if remaining == 0 {
                 break;
             }
             let take = per_traj.min(remaining);
             remaining -= take;
-            items.push((seed, take));
+            takes.push(take);
         }
-        let engine = EvalEngine::new(self.workers);
-        // Each trajectory returns its readout-flipped shot outcomes; merging
-        // happens sequentially in input order below.
-        let per_shot = engine.run(
-            &items,
-            |&(seed, take)| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+        seeds.truncate(takes.len());
+        // Each trajectory returns its readout-flipped shot outcomes,
+        // sampled from the RNG stream it used for its circuit noise;
+        // merging happens sequentially in input order below.
+        let per_shot = self.run_trajectories(
+            circuit,
+            train,
+            input,
+            phys_of,
+            &seeds,
+            |traj, state, rng| {
+                let take = takes[traj];
                 let mut outcomes: Vec<usize> = Vec::with_capacity(take);
-                for (idx, c) in state.sample_counts(take, &mut rng) {
+                for (idx, c) in state.sample_counts(take, rng) {
                     for _ in 0..c {
                         let mut read = idx;
                         if self.config.readout {
@@ -603,6 +751,53 @@ mod tests {
             .with_workers(Workers::Auto)
             .sample_counts(&c, &[], &[], &[0, 1], 300);
         assert_eq!(seq_counts, par_counts);
+    }
+
+    #[test]
+    fn batched_chunk_lanes_are_bit_identical_to_run_one() {
+        // Each lane of a batched trajectory chunk must reproduce the
+        // standalone per-trajectory run exactly (amplitudes and RNG
+        // position), for circuits mixing 1q and 2q gates.
+        let mut c = Circuit::new(3);
+        c.push(GateKind::H, &[0], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RX, &[2], &[qns_circuit::Param::Train(0)]);
+        c.push(GateKind::CZ, &[1, 2], &[]);
+        let exec = TrajectoryExecutor::new(Device::belem(), TrajectoryConfig::default());
+        let seeds = [3u64, 99, 1234, 77, 5];
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        let batch = exec.run_chunk(&c, &[0.7], &[], &[0, 1, 2], &mut rngs);
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let single = exec.run_one(&c, &[0.7], &[], &[0, 1, 2], &mut rng);
+            assert_eq!(
+                batch.lane_state(lane).amplitudes(),
+                single.amplitudes(),
+                "lane {lane}"
+            );
+            // RNG streams must be at the same position afterwards.
+            assert_eq!(rngs[lane].gen::<u64>(), rng.gen::<u64>(), "lane {lane} rng");
+        }
+    }
+
+    #[test]
+    fn fast_batched_results_match_reference_oracle() {
+        // The batched fast path must agree with the per-trajectory
+        // reference oracle to simulator tolerance (both average the same
+        // seeded trajectories; kernels differ).
+        let cfg = TrajectoryConfig {
+            trajectories: 24,
+            seed: 8,
+            readout: true,
+        };
+        let c = bell();
+        let fast = TrajectoryExecutor::new(Device::belem(), cfg).expect_z(&c, &[], &[], &[0, 1]);
+        let oracle = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_backend(SimBackend::Reference)
+            .expect_z(&c, &[], &[], &[0, 1]);
+        for (q, (f, r)) in fast.expect_z.iter().zip(&oracle.expect_z).enumerate() {
+            assert!((f - r).abs() < 1e-10, "qubit {q}: {f} vs {r}");
+        }
     }
 
     #[test]

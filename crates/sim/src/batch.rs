@@ -2,9 +2,22 @@
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 thread_local! {
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Queries `available_parallelism` once per process: the core count does
+/// not change under us, and the syscall is not free on the per-minibatch
+/// hot path.
+fn cached_parallelism() -> usize {
+    static PARALLELISM: OnceLock<usize> = OnceLock::new();
+    *PARALLELISM.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f` with [`parallel_map`] forced sequential on this thread.
@@ -47,30 +60,33 @@ where
     let threads = if FORCE_SEQUENTIAL.with(Cell::get) {
         1
     } else {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(items.len().max(1))
+        cached_parallelism().min(items.len().max(1))
     };
     if threads <= 1 || items.len() < 4 {
         return items.iter().map(&f).collect();
     }
 
-    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    // Each worker produces its chunk's results as an ordinary Vec; joining
+    // in spawn order and appending keeps input order without an
+    // Option-per-slot buffer or any uninitialized memory.
     let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
-        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|item_chunk| {
+                let f = &f;
+                scope.spawn(move || item_chunk.iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mut part) => out.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    out.into_iter()
-        .map(|o| o.expect("all slots are filled by workers"))
-        .collect()
+    out
 }
 
 #[cfg(test)]

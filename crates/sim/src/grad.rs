@@ -2,8 +2,8 @@
 //! parameter-shift rule.
 
 use crate::plan::DEFAULT_FUSION_LEVEL;
-use crate::{run, ExecMode, SimPlan, StateVec};
-use qns_circuit::{Circuit, GateMatrix};
+use crate::{run, ExecMode, SimPlan, StateBatch, StateVec};
+use qns_circuit::{Circuit, GateMatrix, Op};
 use qns_tensor::{Mat2, Mat4, C64};
 
 /// An observable the gradient engines can differentiate through.
@@ -193,6 +193,424 @@ pub fn adjoint_gradient(
         }
     }
     (expectation, grad)
+}
+
+/// True when any parameter slot of `op` reads the per-sample input vector.
+#[inline]
+fn op_uses_input(op: &Op) -> bool {
+    op.params.iter().any(|p| p.input_index().is_some())
+}
+
+/// Applies (or un-applies, with `adjoint`) one circuit op to a batch:
+/// input-encoding ops resolve and apply per lane, every other op applies
+/// its shared matrix to all lanes in one batched sweep.
+fn apply_op_batch(
+    batch: &mut StateBatch,
+    op: &Op,
+    train: &[f64],
+    inputs: &[&[f64]],
+    adjoint: bool,
+) {
+    if op_uses_input(op) {
+        for (lane, input) in inputs.iter().enumerate() {
+            let params = op.resolve_params(train, input);
+            match op.kind.matrix(&params) {
+                GateMatrix::One(m) => {
+                    let m = if adjoint { m.adjoint() } else { m };
+                    batch.lane_apply_1q(lane, &m, op.qubits[0]);
+                }
+                GateMatrix::Two(m) => {
+                    let m = if adjoint { m.adjoint() } else { m };
+                    batch.lane_apply_2q(lane, &m, op.qubits[0], op.qubits[1]);
+                }
+            }
+        }
+    } else {
+        let params = op.resolve_params(train, &[]);
+        match op.kind.matrix(&params) {
+            GateMatrix::One(m) => {
+                let m = if adjoint { m.adjoint() } else { m };
+                batch.apply_1q(&m, op.qubits[0]);
+            }
+            GateMatrix::Two(m) => {
+                let m = if adjoint { m.adjoint() } else { m };
+                batch.apply_2q(&m, op.qubits[0], op.qubits[1]);
+            }
+        }
+    }
+}
+
+/// Per-lane `<bra| M_s |ket>` restricted to qubit `q` for SEVERAL
+/// derivative matrices in one amplitude sweep. The bracket is linear in
+/// the matrix, so the sweep accumulates the per-lane transfer matrix
+/// `T_jk = Σ_i bra_j(i)* ket_k(i)` once, and every slot's bracket is the
+/// O(1) projection `Σ_jk m_jk T_jk` afterwards — multi-parameter gates
+/// (U3, CU3) pay one sweep instead of one per trainable slot. `acc` is
+/// slot-major: `acc[s * lanes + lane]`. The projection reassociates the
+/// floating-point sum relative to [`bracket_1q`], changing results only
+/// at the ~1e-15 level.
+fn bracket_1q_lanes_multi(
+    bra: &StateBatch,
+    ket: &StateBatch,
+    mats: &[Mat2],
+    q: usize,
+    acc: &mut [C64],
+) {
+    let l = bra.lanes();
+    let stride = 1usize << q;
+    let len = 1usize << bra.num_qubits();
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let mut t = vec![C64::ZERO; 4 * l];
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let e0 = i * l;
+            let e1 = (i + stride) * l;
+            for (lane, tl) in t.chunks_exact_mut(4).enumerate() {
+                let k0 = k[e0 + lane];
+                let k1 = k[e1 + lane];
+                let b0 = b[e0 + lane].conj();
+                let b1 = b[e1 + lane].conj();
+                tl[0] += b0 * k0;
+                tl[1] += b0 * k1;
+                tl[2] += b1 * k0;
+                tl[3] += b1 * k1;
+            }
+        }
+        base += stride << 1;
+    }
+    for (s, m) in mats.iter().enumerate() {
+        let [m00, m01, m10, m11] = m.m;
+        for (lane, tl) in t.chunks_exact(4).enumerate() {
+            acc[s * l + lane] = m00 * tl[0] + m01 * tl[1] + m10 * tl[2] + m11 * tl[3];
+        }
+    }
+}
+
+/// Two-qubit sibling of [`bracket_1q_lanes_multi`] (`qa` = high bit):
+/// one sweep accumulates the per-lane 4×4 transfer matrix, then each
+/// slot projects its derivative matrix against it.
+fn bracket_2q_lanes_multi(
+    bra: &StateBatch,
+    ket: &StateBatch,
+    mats: &[Mat4],
+    qa: usize,
+    qb: usize,
+    acc: &mut [C64],
+) {
+    let l = bra.lanes();
+    let ba = 1usize << qa;
+    let bb = 1usize << qb;
+    let mask = ba | bb;
+    let len = 1usize << bra.num_qubits();
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let mut t = vec![C64::ZERO; 16 * l];
+    for i in 0..len {
+        if i & mask != 0 {
+            continue;
+        }
+        let idx = [i, i | bb, i | ba, i | mask];
+        for (lane, tl) in t.chunks_exact_mut(16).enumerate() {
+            let v = [
+                k[idx[0] * l + lane],
+                k[idx[1] * l + lane],
+                k[idx[2] * l + lane],
+                k[idx[3] * l + lane],
+            ];
+            let bc = [
+                b[idx[0] * l + lane].conj(),
+                b[idx[1] * l + lane].conj(),
+                b[idx[2] * l + lane].conj(),
+                b[idx[3] * l + lane].conj(),
+            ];
+            for j in 0..4 {
+                for (kk, &vk) in v.iter().enumerate() {
+                    tl[j * 4 + kk] += bc[j] * vk;
+                }
+            }
+        }
+    }
+    for (s, m) in mats.iter().enumerate() {
+        for (lane, tl) in t.chunks_exact(16).enumerate() {
+            let mut br = C64::ZERO;
+            for (jk, &tjk) in tl.iter().enumerate() {
+                br += m.m[jk] * tjk;
+            }
+            acc[s * l + lane] = br;
+        }
+    }
+}
+
+/// Single-lane variant of [`bracket_1q_lanes_multi`], for per-lane
+/// derivative matrices (input-encoding ops): `acc[s]` is slot `s`'s
+/// bracket on `lane`.
+fn bracket_1q_lane_multi(
+    bra: &StateBatch,
+    ket: &StateBatch,
+    lane: usize,
+    mats: &[Mat2],
+    q: usize,
+    acc: &mut [C64],
+) {
+    let l = bra.lanes();
+    let stride = 1usize << q;
+    let len = 1usize << bra.num_qubits();
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let mut t = [C64::ZERO; 4];
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let e0 = i * l + lane;
+            let e1 = (i + stride) * l + lane;
+            let k0 = k[e0];
+            let k1 = k[e1];
+            let b0 = b[e0].conj();
+            let b1 = b[e1].conj();
+            t[0] += b0 * k0;
+            t[1] += b0 * k1;
+            t[2] += b1 * k0;
+            t[3] += b1 * k1;
+        }
+        base += stride << 1;
+    }
+    for (s, m) in mats.iter().enumerate() {
+        let [m00, m01, m10, m11] = m.m;
+        acc[s] = m00 * t[0] + m01 * t[1] + m10 * t[2] + m11 * t[3];
+    }
+}
+
+/// Single-lane variant of [`bracket_2q_lanes_multi`].
+fn bracket_2q_lane_multi(
+    bra: &StateBatch,
+    ket: &StateBatch,
+    lane: usize,
+    mats: &[Mat4],
+    qa: usize,
+    qb: usize,
+    acc: &mut [C64],
+) {
+    let l = bra.lanes();
+    let ba = 1usize << qa;
+    let bb = 1usize << qb;
+    let mask = ba | bb;
+    let len = 1usize << bra.num_qubits();
+    let b = bra.amplitudes();
+    let k = ket.amplitudes();
+    let mut t = [C64::ZERO; 16];
+    for i in 0..len {
+        if i & mask != 0 {
+            continue;
+        }
+        let idx = [i, i | bb, i | ba, i | mask];
+        let v = [
+            k[idx[0] * l + lane],
+            k[idx[1] * l + lane],
+            k[idx[2] * l + lane],
+            k[idx[3] * l + lane],
+        ];
+        let bc = [
+            b[idx[0] * l + lane].conj(),
+            b[idx[1] * l + lane].conj(),
+            b[idx[2] * l + lane].conj(),
+            b[idx[3] * l + lane].conj(),
+        ];
+        for j in 0..4 {
+            for (kk, &vk) in v.iter().enumerate() {
+                t[j * 4 + kk] += bc[j] * vk;
+            }
+        }
+    }
+    for (s, m) in mats.iter().enumerate() {
+        let mut br = C64::ZERO;
+        for (jk, &tjk) in t.iter().enumerate() {
+            br += m.m[jk] * tjk;
+        }
+        acc[s] = br;
+    }
+}
+
+/// Derivative matrices of one op for each listed trainable slot — all
+/// slots of an op share the gate's arity, so they collect into one list.
+enum DMats {
+    One(Vec<Mat2>),
+    Two(Vec<Mat4>),
+}
+
+fn dmatrices(op: &Op, params: &[f64], slots: &[(usize, usize, f64)]) -> DMats {
+    match op.kind.dmatrix(params, slots[0].0) {
+        GateMatrix::One(first) => {
+            let mut mats = vec![first];
+            mats.extend(slots[1..].iter().filter_map(|&(which, _, _)| {
+                match op.kind.dmatrix(params, which) {
+                    GateMatrix::One(d) => Some(d),
+                    GateMatrix::Two(_) => None, // arity is fixed per gate kind
+                }
+            }));
+            debug_assert_eq!(mats.len(), slots.len());
+            DMats::One(mats)
+        }
+        GateMatrix::Two(first) => {
+            let mut mats = vec![first];
+            mats.extend(slots[1..].iter().filter_map(|&(which, _, _)| {
+                match op.kind.dmatrix(params, which) {
+                    GateMatrix::Two(d) => Some(d),
+                    GateMatrix::One(_) => None, // arity is fixed per gate kind
+                }
+            }));
+            debug_assert_eq!(mats.len(), slots.len());
+            DMats::Two(mats)
+        }
+    }
+}
+
+/// Batched adjoint differentiation: per-sample losses and the *summed*
+/// parameter gradient for a whole minibatch in one forward + one backward
+/// sweep over the circuit.
+///
+/// Lane `l` simulates the circuit with input vector `inputs[l]`; shared
+/// trainable gates are applied to every lane in one batched kernel sweep
+/// while input-encoding gates apply per lane. After the forward pass,
+/// `loss_and_weights(lane, expect_z)` maps each lane's per-qubit Pauli-Z
+/// expectations to that lane's scalar loss and the per-qubit weights
+/// `w_q = ∂loss/∂<Z_q>` of its readout observable (the lane-local
+/// [`DiagObservable`]); the backward sweep then accumulates every lane's
+/// gradient simultaneously.
+///
+/// Returns `(losses, grad)` where `losses.len() == inputs.len()` and
+/// `grad` is the element-wise sum over lanes (lane-ascending order) of the
+/// per-sample gradients. Losses are bit-identical to per-sample runs (the
+/// forward kernels sweep each lane with the exact single-state
+/// arithmetic); the gradient matches running [`adjoint_gradient`] per
+/// sample and summing in sample order to better than 1e-12 — the bracket
+/// sweeps accumulate through a per-lane transfer matrix, which
+/// reassociates the floating-point reduction.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, a referenced parameter index is out of
+/// bounds, or the callback returns a weight vector whose length differs
+/// from the qubit count.
+///
+/// # Examples
+///
+/// ```
+/// use qns_circuit::{Circuit, GateKind, Param};
+/// use qns_sim::adjoint_gradient_batch;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(GateKind::RX, &[0], &[Param::Input(0)]);
+/// c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+/// let xs: Vec<&[f64]> = vec![&[0.2], &[1.1]];
+/// let (losses, grad) =
+///     adjoint_gradient_batch(&c, &[0.3], &xs, |_, ez| (ez[0], vec![1.0]));
+/// assert_eq!(losses.len(), 2);
+/// assert_eq!(grad.len(), 1);
+/// ```
+pub fn adjoint_gradient_batch(
+    circuit: &Circuit,
+    train: &[f64],
+    inputs: &[&[f64]],
+    mut loss_and_weights: impl FnMut(usize, &[f64]) -> (f64, Vec<f64>),
+) -> (Vec<f64>, Vec<f64>) {
+    let n = circuit.num_qubits();
+    let lanes = inputs.len();
+    let mut cur = StateBatch::zero_state(n, lanes);
+    for op in circuit.iter() {
+        apply_op_batch(&mut cur, op, train, inputs, false);
+    }
+
+    let ez = cur.expect_z_all_lanes();
+    let mut losses = Vec::with_capacity(lanes);
+    let mut weights = Vec::with_capacity(lanes);
+    for (lane, e) in ez.iter().enumerate() {
+        let (loss, w) = loss_and_weights(lane, e);
+        assert_eq!(w.len(), n, "one observable weight per qubit");
+        losses.push(loss);
+        weights.push(w);
+    }
+    let mut lam = cur.clone();
+    lam.apply_diag_weights(&weights);
+
+    let n_params = circuit.num_train_params();
+    let mut grad_lanes = vec![vec![0.0; n_params]; lanes];
+    let mut acc: Vec<C64> = Vec::new();
+    for op in circuit.iter().rev() {
+        // Un-apply the gate on every lane: cur becomes the pre-op batch.
+        apply_op_batch(&mut cur, op, train, inputs, true);
+        // All trainable slots of the op bracket against the same pair of
+        // states, so their derivative matrices share one amplitude sweep.
+        let slots: Vec<(usize, usize, f64)> = op
+            .params
+            .iter()
+            .enumerate()
+            .filter_map(|(which, slot)| slot.train_component().map(|(ti, s)| (which, ti, s)))
+            .collect();
+        if !slots.is_empty() {
+            if op_uses_input(op) {
+                // Mixed op (trainable + input slots): the derivative
+                // matrices themselves depend on the lane's input.
+                acc.clear();
+                acc.resize(slots.len(), C64::ZERO);
+                for (lane, input) in inputs.iter().enumerate() {
+                    let params = op.resolve_params(train, input);
+                    match dmatrices(op, &params, &slots) {
+                        DMats::One(mats) => {
+                            bracket_1q_lane_multi(&lam, &cur, lane, &mats, op.qubits[0], &mut acc);
+                        }
+                        DMats::Two(mats) => bracket_2q_lane_multi(
+                            &lam,
+                            &cur,
+                            lane,
+                            &mats,
+                            op.qubits[0],
+                            op.qubits[1],
+                            &mut acc,
+                        ),
+                    }
+                    for (s, &(_, ti, scale)) in slots.iter().enumerate() {
+                        grad_lanes[lane][ti] += 2.0 * scale * acc[s].re;
+                    }
+                }
+            } else {
+                let params = op.resolve_params(train, &[]);
+                acc.clear();
+                acc.resize(slots.len() * lanes, C64::ZERO);
+                match dmatrices(op, &params, &slots) {
+                    DMats::One(mats) => {
+                        bracket_1q_lanes_multi(&lam, &cur, &mats, op.qubits[0], &mut acc);
+                    }
+                    DMats::Two(mats) => bracket_2q_lanes_multi(
+                        &lam,
+                        &cur,
+                        &mats,
+                        op.qubits[0],
+                        op.qubits[1],
+                        &mut acc,
+                    ),
+                }
+                for (s, &(_, ti, scale)) in slots.iter().enumerate() {
+                    for lane in 0..lanes {
+                        grad_lanes[lane][ti] += 2.0 * scale * acc[s * lanes + lane].re;
+                    }
+                }
+            }
+        }
+        // Move the bra batch back as well.
+        apply_op_batch(&mut lam, op, train, inputs, true);
+    }
+
+    // Sum per-lane gradients in lane order: identical FP order to summing
+    // sequential per-sample gradients in sample order.
+    let mut grad = vec![0.0; n_params];
+    for gl in &grad_lanes {
+        for (g, x) in grad.iter_mut().zip(gl) {
+            *g += x;
+        }
+    }
+    (losses, grad)
 }
 
 /// Computes the gradient with the parameter-shift rule where it applies
@@ -433,6 +851,51 @@ mod tests {
         let obs = DiagObservable::new(vec![0.3, -0.9]);
         let via_apply = s.inner(&obs.apply(&s)).re;
         assert!((via_apply - obs.expect(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_adjoint_matches_sequential_per_sample() {
+        // Input-encoded circuit with shared trainables plus a mixed-slot
+        // gate (U3 with one Input angle among Train angles).
+        let mut c = Circuit::new(2);
+        c.push(GateKind::RX, &[0], &[Param::Input(0)]);
+        c.push(GateKind::RY, &[1], &[Param::Input(1)]);
+        c.push(GateKind::RY, &[0], &[Param::Train(0)]);
+        c.push(GateKind::CRY, &[0, 1], &[Param::Train(1)]);
+        c.push(
+            GateKind::U3,
+            &[1],
+            &[Param::Train(2), Param::Input(0), Param::Train(3)],
+        );
+        c.push(GateKind::RZZ, &[0, 1], &[Param::Train(4)]);
+        let train = [0.3, -0.8, 1.2, 0.5, -0.4];
+        let samples: Vec<Vec<f64>> = vec![vec![0.2, 1.4], vec![-0.9, 0.1], vec![2.2, -1.7]];
+        let inputs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
+        let lane_weights = [vec![0.7, -0.2], vec![-1.1, 0.4], vec![0.3, 0.9]];
+
+        let (losses, grad) = adjoint_gradient_batch(&c, &train, &inputs, |lane, ez| {
+            (ez[0] + ez[1], lane_weights[lane].clone())
+        });
+
+        let mut expected_grad = vec![0.0; train.len()];
+        for (lane, input) in inputs.iter().enumerate() {
+            let obs = DiagObservable::new(lane_weights[lane].clone());
+            let (_, g) = adjoint_gradient(&c, &train, input, &obs);
+            for (eg, x) in expected_grad.iter_mut().zip(&g) {
+                *eg += x;
+            }
+            let s = run(&c, &train, input, ExecMode::Dynamic);
+            let ez = s.expect_z_all();
+            assert_eq!(losses[lane], ez[0] + ez[1], "lane {lane} loss");
+        }
+        // The transfer-matrix bracket reassociates the reduction, so the
+        // match is to solver precision rather than bitwise.
+        for (ti, (a, b)) in grad.iter().zip(&expected_grad).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "grad[{ti}]: batched {a} vs sequential {b}"
+            );
+        }
     }
 
     #[test]

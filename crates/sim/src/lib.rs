@@ -15,7 +15,12 @@
 //! - **plan replay** — [`SimPlan`] compiles the fusion structure once and
 //!   re-materializes only dirty blocks across shifted parameter sets or new
 //!   encoded inputs,
-//! - **batched execution** over many encoded inputs with thread parallelism,
+//! - **batched multi-state execution** — [`StateBatch`] packs B state
+//!   vectors structure-of-arrays (amplitude-major, batch-contiguous lanes)
+//!   so every shared gate is applied once across the whole minibatch, with
+//!   per-lane kernels for input-encoder steps and per-trajectory noise;
+//!   [`SimPlan::replay_batch_into`] and [`adjoint_gradient_batch`] run a
+//!   whole minibatch's forward pass and adjoint gradient in one sweep,
 //! - **exact gradients** via reverse-mode *adjoint differentiation* (one
 //!   forward + one backward sweep for all parameters) and the
 //!   *parameter-shift* rule (the paper's hardware-compatible alternative),
@@ -40,14 +45,16 @@ mod exec;
 mod grad;
 mod plan;
 mod state;
+mod state_batch;
 
 pub use batch::{parallel_map, sequential_scope};
 pub use exec::{
     run, run_into, run_into_with, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
 };
 pub use grad::{
-    adjoint_gradient, numeric_gradient, parameter_shift_gradient, shifted_expectations,
-    DiagObservable, Observable,
+    adjoint_gradient, adjoint_gradient_batch, numeric_gradient, parameter_shift_gradient,
+    shifted_expectations, DiagObservable, Observable,
 };
 pub use plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 pub use state::{counts_to_expect_z, StateVec};
+pub use state_batch::{StateBatch, DEFAULT_BATCH_LANES};

@@ -22,7 +22,7 @@
 //!   of being emitted as extra blocks.
 
 use crate::exec::FusedOp;
-use crate::StateVec;
+use crate::{StateBatch, StateVec};
 use qns_circuit::{Circuit, GateMatrix, Op};
 use qns_tensor::{Mat2, Mat4};
 
@@ -371,6 +371,47 @@ impl SimPlan {
         self.replay_into(circuit, base, train, input, &dirty, state);
     }
 
+    /// Replays the plan over a whole minibatch at once: shared-parameter
+    /// steps are applied from `base` to every lane in one batched sweep,
+    /// while input-dependent steps are re-materialized per lane from that
+    /// lane's input vector.
+    ///
+    /// Lane `l` of the result is bit-identical to
+    /// [`SimPlan::replay_input_into`] with `inputs[l]` on a standalone
+    /// [`StateVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` has the wrong length, widths mismatch, or the lane
+    /// count differs from `inputs.len()`.
+    pub fn replay_batch_into(
+        &self,
+        circuit: &Circuit,
+        base: &[FusedOp],
+        train: &[f64],
+        inputs: &[&[f64]],
+        batch: &mut StateBatch,
+    ) {
+        assert_eq!(batch.num_qubits(), self.n_qubits, "width mismatch");
+        assert_eq!(base.len(), self.steps.len(), "base/plan mismatch");
+        assert_eq!(batch.lanes(), inputs.len(), "one input vector per lane");
+        batch.reset();
+        let mut next_dirty = self.input_steps.iter().peekable();
+        for (si, (step, blk)) in self.steps.iter().zip(base).enumerate() {
+            if next_dirty.peek() == Some(&&si) {
+                next_dirty.next();
+                for (lane, input) in inputs.iter().enumerate() {
+                    match self.step_matrix(step, circuit, train, input) {
+                        FusedOp::One(q, m) => batch.lane_apply_1q(lane, &m, q),
+                        FusedOp::Two(a, b, m) => batch.lane_apply_2q(lane, &m, a, b),
+                    }
+                }
+            } else {
+                apply_block_batch(blk, batch);
+            }
+        }
+    }
+
     /// Shared replay core: `dirty` is a sorted list of step indices to
     /// re-materialize.
     fn replay_into(
@@ -403,6 +444,15 @@ pub(crate) fn apply_block(b: &FusedOp, state: &mut StateVec) {
     match b {
         FusedOp::One(q, m) => state.apply_1q(m, *q),
         FusedOp::Two(a, b2, m) => state.apply_2q(m, *a, *b2),
+    }
+}
+
+/// Applies one fused block to every lane of a batch.
+#[inline]
+pub(crate) fn apply_block_batch(b: &FusedOp, batch: &mut StateBatch) {
+    match b {
+        FusedOp::One(q, m) => batch.apply_1q(m, *q),
+        FusedOp::Two(a, b2, m) => batch.apply_2q(m, *a, *b2),
     }
 }
 

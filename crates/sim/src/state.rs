@@ -437,7 +437,7 @@ impl StateVec {
 /// order, via a blocked triple loop — exactly `len / 4` callback invocations
 /// with unit-stride inner runs of `min(ba, bb)` indices.
 #[inline]
-fn for_each_2q_base(len: usize, ba: usize, bb: usize, mut f: impl FnMut(usize)) {
+pub(crate) fn for_each_2q_base(len: usize, ba: usize, bb: usize, mut f: impl FnMut(usize)) {
     let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
     let mut base = 0;
     while base < len {
@@ -454,7 +454,7 @@ fn for_each_2q_base(len: usize, ba: usize, bb: usize, mut f: impl FnMut(usize)) 
 
 /// True when all off-diagonal entries are exactly zero.
 #[inline]
-fn mat4_is_diagonal(m: &Mat4) -> bool {
+pub(crate) fn mat4_is_diagonal(m: &Mat4) -> bool {
     (0..4).all(|r| (0..4).all(|c| r == c || m.m[r * 4 + c] == C64::ZERO))
 }
 
@@ -462,7 +462,7 @@ fn mat4_is_diagonal(m: &Mat4) -> bool {
 /// block and zeros everywhere outside the two diagonal blocks, i.e. it acts
 /// only on the subspace where the high qubit is `|1>`.
 #[inline]
-fn mat4_is_controlled(m: &Mat4) -> bool {
+pub(crate) fn mat4_is_controlled(m: &Mat4) -> bool {
     m.m[0] == C64::ONE
         && m.m[5] == C64::ONE
         && [1, 2, 3, 4, 6, 7, 8, 9, 12, 13]

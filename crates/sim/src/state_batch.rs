@@ -1,0 +1,634 @@
+//! Batched multi-state simulation: `B` state vectors in one
+//! structure-of-arrays buffer, swept together by every kernel.
+//!
+//! QML training and candidate scoring evaluate the *same* circuit over a
+//! minibatch of encoded samples; noisy scoring averages many trajectories
+//! of the same circuit. Simulating those states one at a time repeats the
+//! plan traversal, gate dispatch, and matrix materialization per state and
+//! walks the amplitudes in short strided runs. [`StateBatch`] instead
+//! stores the batch amplitude-major with batch-contiguous lanes —
+//! `amps[amp_index * lanes + lane]` — so a shared gate is applied once and
+//! the inner loops run over `lanes` contiguous complex numbers per
+//! amplitude pair, which vectorizes even for low-order qubits where a
+//! single state offers only stride-1 pairs.
+//!
+//! Per-lane kernels ([`StateBatch::lane_apply_1q`] /
+//! [`StateBatch::lane_apply_2q`]) cover the steps whose matrices differ
+//! across the batch: input-encoder gates whose angles come from per-sample
+//! features, and stochastic Kraus operators drawn per trajectory.
+//!
+//! Every kernel mirrors the structure-specialized dispatch and per-pair
+//! arithmetic of [`StateVec`] exactly, so each lane of a batched run is
+//! **bit-identical** to the corresponding single-state run — the
+//! differential battery in `tests/sim_batch.rs` holds batched execution to
+//! the sequential results at ≤1e-12 and the trajectory lanes to bitwise
+//! equality.
+
+use crate::state::{for_each_2q_base, mat4_is_controlled, mat4_is_diagonal};
+use crate::StateVec;
+use qns_tensor::{Mat2, Mat4, C64};
+
+/// Default lane count consumers chunk minibatches into.
+///
+/// Large enough to amortize per-gate dispatch and fill vector registers,
+/// small enough that a 12-qubit batch (`4096 × 32 × 16` bytes = 2 MiB)
+/// stays cache-friendly and large sample sets chunk with bounded memory.
+pub const DEFAULT_BATCH_LANES: usize = 32;
+
+/// `lanes` independent `n`-qubit pure states stored structure-of-arrays.
+///
+/// Element `amp_index * lanes + lane` holds amplitude `amp_index` of state
+/// `lane`; the bit convention per amplitude index matches [`StateVec`]
+/// (qubit `q` is bit `q`, little-endian).
+///
+/// # Examples
+///
+/// ```
+/// use qns_sim::StateBatch;
+/// use qns_tensor::Mat2;
+///
+/// let mut batch = StateBatch::zero_state(2, 3);
+/// batch.apply_1q(&Mat2::hadamard(), 0); // all three lanes at once
+/// let s = batch.lane_state(1);
+/// assert!((s.probability(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateBatch {
+    n_qubits: usize,
+    lanes: usize,
+    amps: Vec<C64>,
+}
+
+impl StateBatch {
+    /// Creates `lanes` copies of `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is outside `1..=30` or `lanes` is zero.
+    pub fn zero_state(n_qubits: usize, lanes: usize) -> Self {
+        assert!((1..=30).contains(&n_qubits), "1..=30 qubits supported");
+        assert!(lanes > 0, "need at least one lane");
+        let mut amps = vec![C64::ZERO; (1usize << n_qubits) * lanes];
+        for a in &mut amps[..lanes] {
+            *a = C64::ONE;
+        }
+        StateBatch {
+            n_qubits,
+            lanes,
+            amps,
+        }
+    }
+
+    /// Number of qubits per lane.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of lanes (states) in the batch.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Borrow of the SoA amplitude buffer
+    /// (`amp_index * lanes() + lane` layout).
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Resets every lane to `|0...0>` without reallocating.
+    pub fn reset(&mut self) {
+        for a in &mut self.amps {
+            *a = C64::ZERO;
+        }
+        for a in &mut self.amps[..self.lanes] {
+            *a = C64::ONE;
+        }
+    }
+
+    /// Copies one lane out into a standalone [`StateVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_state(&self, lane: usize) -> StateVec {
+        assert!(lane < self.lanes, "lane out of range");
+        let mut s = StateVec::zero_state(self.n_qubits);
+        for (i, a) in s.amplitudes_mut().iter_mut().enumerate() {
+            *a = self.amps[i * self.lanes + lane];
+        }
+        s
+    }
+
+    /// Applies a one-qubit unitary to qubit `q` of **every** lane,
+    /// dispatching to the same structure-specialized paths as
+    /// [`StateVec::apply_1q`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        assert!(q < self.n_qubits, "qubit {} out of range", q);
+        let [m00, m01, m10, m11] = m.m;
+        if m01 == C64::ZERO && m10 == C64::ZERO {
+            if m00 == C64::ONE && m11 == C64::ONE {
+                return; // identity
+            }
+            self.apply_1q_diag(m00, m11, q);
+        } else if m00 == C64::ZERO && m11 == C64::ZERO {
+            self.apply_1q_antidiag(m01, m10, q);
+        } else {
+            self.apply_1q_general(m, q);
+        }
+    }
+
+    /// Diagonal 1q path: each element is only scaled; the stride scales by
+    /// the lane count so each half is one contiguous run.
+    fn apply_1q_diag(&mut self, d0: C64, d1: C64, q: usize) {
+        let stride = (1usize << q) * self.lanes;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for a in lo {
+                *a = d0 * *a;
+            }
+            for a in hi {
+                *a = d1 * *a;
+            }
+        }
+    }
+
+    /// Anti-diagonal 1q path (X-like): swap halves with a scale.
+    fn apply_1q_antidiag(&mut self, a01: C64, a10: C64, q: usize) {
+        let stride = (1usize << q) * self.lanes;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                *a0 = a01 * *a1;
+                *a1 = a10 * x0;
+            }
+        }
+    }
+
+    /// General 1q path: the split-borrow zip of [`StateVec`] with the pair
+    /// stride scaled by the lane count — inner runs are `≥ lanes` contiguous
+    /// elements, so the loop autovectorizes even for qubit 0.
+    fn apply_1q_general(&mut self, m: &Mat2, q: usize) {
+        let stride = (1usize << q) * self.lanes;
+        let [m00, m01, m10, m11] = m.m;
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = m00 * x0 + m01 * x1;
+                *a1 = m10 * x0 + m11 * x1;
+            }
+        }
+    }
+
+    /// Applies a two-qubit unitary to every lane; `qa` is the high bit as in
+    /// [`Mat4`]. Same structure dispatch as [`StateVec::apply_2q`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or are out of range.
+    pub fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        assert!(
+            qa < self.n_qubits && qb < self.n_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+        if mat4_is_diagonal(m) {
+            self.apply_2q_diag(m, qa, qb);
+        } else if mat4_is_controlled(m) {
+            let sub = Mat2::new([m.m[10], m.m[11], m.m[14], m.m[15]]);
+            self.apply_2q_controlled(&sub, qa, qb);
+        } else {
+            self.apply_2q_general(m, qa, qb);
+        }
+    }
+
+    /// Diagonal 2q path. The base-index walk runs in *element* space: every
+    /// argument of the blocked loop scales by the lane count, which
+    /// enumerates exactly the elements `amp_base * lanes + lane`; offsets
+    /// add (not OR) because scaled bit offsets need carry-free addition.
+    fn apply_2q_diag(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        let (d00, d01, d10, d11) = (m.m[0], m.m[5], m.m[10], m.m[15]);
+        if d00 == C64::ONE && d01 == C64::ONE && d10 == C64::ONE && d11 == C64::ONE {
+            return; // identity
+        }
+        let ba = (1usize << qa) * self.lanes;
+        let bb = (1usize << qb) * self.lanes;
+        for_each_2q_base(self.amps.len(), ba, bb, |e| {
+            self.amps[e] = d00 * self.amps[e];
+            self.amps[e + bb] = d01 * self.amps[e + bb];
+            self.amps[e + ba] = d10 * self.amps[e + ba];
+            self.amps[e + ba + bb] = d11 * self.amps[e + ba + bb];
+        });
+    }
+
+    /// Controlled-form 2q path: only the control-set half is touched.
+    fn apply_2q_controlled(&mut self, sub: &Mat2, qa: usize, qb: usize) {
+        let ba = (1usize << qa) * self.lanes;
+        let bb = (1usize << qb) * self.lanes;
+        let [s00, s01, s10, s11] = sub.m;
+        for_each_2q_base(self.amps.len(), ba, bb, |e| {
+            let x0 = self.amps[e + ba];
+            let x1 = self.amps[e + ba + bb];
+            self.amps[e + ba] = s00 * x0 + s01 * x1;
+            self.amps[e + ba + bb] = s10 * x0 + s11 * x1;
+        });
+    }
+
+    /// General 2q path: blocked quadruple update per element base.
+    fn apply_2q_general(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        let ba = (1usize << qa) * self.lanes;
+        let bb = (1usize << qb) * self.lanes;
+        let w = &m.m;
+        for_each_2q_base(self.amps.len(), ba, bb, |e| {
+            let e01 = e + bb;
+            let e10 = e + ba;
+            let e11 = e + ba + bb;
+            let v0 = self.amps[e];
+            let v1 = self.amps[e01];
+            let v2 = self.amps[e10];
+            let v3 = self.amps[e11];
+            self.amps[e] = w[0] * v0 + w[1] * v1 + w[2] * v2 + w[3] * v3;
+            self.amps[e01] = w[4] * v0 + w[5] * v1 + w[6] * v2 + w[7] * v3;
+            self.amps[e10] = w[8] * v0 + w[9] * v1 + w[10] * v2 + w[11] * v3;
+            self.amps[e11] = w[12] * v0 + w[13] * v1 + w[14] * v2 + w[15] * v3;
+        });
+    }
+
+    /// Applies a one-qubit unitary to qubit `q` of **one** lane, leaving
+    /// every other lane untouched. Used for per-sample input-encoding
+    /// blocks and per-trajectory Kraus operators. Same structure dispatch
+    /// and per-pair arithmetic as [`StateVec::apply_1q`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `lane` is out of range.
+    pub fn lane_apply_1q(&mut self, lane: usize, m: &Mat2, q: usize) {
+        assert!(q < self.n_qubits, "qubit {} out of range", q);
+        assert!(lane < self.lanes, "lane out of range");
+        let [m00, m01, m10, m11] = m.m;
+        if m01 == C64::ZERO && m10 == C64::ZERO {
+            if m00 == C64::ONE && m11 == C64::ONE {
+                return; // identity
+            }
+            self.lane_1q_pairs(lane, q, |a0, a1| {
+                *a0 = m00 * *a0;
+                *a1 = m11 * *a1;
+            });
+        } else if m00 == C64::ZERO && m11 == C64::ZERO {
+            self.lane_1q_pairs(lane, q, |a0, a1| {
+                let x0 = *a0;
+                *a0 = m01 * *a1;
+                *a1 = m10 * x0;
+            });
+        } else {
+            self.lane_1q_pairs(lane, q, |a0, a1| {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = m00 * x0 + m01 * x1;
+                *a1 = m10 * x0 + m11 * x1;
+            });
+        }
+    }
+
+    /// Visits every `(i, i + 2^q)` amplitude pair of one lane in ascending
+    /// base order.
+    #[inline]
+    fn lane_1q_pairs(&mut self, lane: usize, q: usize, mut f: impl FnMut(&mut C64, &mut C64)) {
+        let l = self.lanes;
+        let stride = 1usize << q;
+        let len = 1usize << self.n_qubits;
+        let mut base = 0;
+        while base < len {
+            for i in base..base + stride {
+                let e0 = i * l + lane;
+                let e1 = (i + stride) * l + lane;
+                // Split at e1 so both elements borrow disjointly.
+                let (lo, hi) = self.amps.split_at_mut(e1);
+                f(&mut lo[e0], &mut hi[0]);
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a two-qubit unitary to one lane (`qa` = high bit), with the
+    /// same dispatch as [`StateVec::apply_2q`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits coincide or anything is out of range.
+    pub fn lane_apply_2q(&mut self, lane: usize, m: &Mat4, qa: usize, qb: usize) {
+        assert!(
+            qa < self.n_qubits && qb < self.n_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+        assert!(lane < self.lanes, "lane out of range");
+        let l = self.lanes;
+        let ba = 1usize << qa;
+        let bb = 1usize << qb;
+        let len = 1usize << self.n_qubits;
+        if mat4_is_diagonal(m) {
+            let (d00, d01, d10, d11) = (m.m[0], m.m[5], m.m[10], m.m[15]);
+            if d00 == C64::ONE && d01 == C64::ONE && d10 == C64::ONE && d11 == C64::ONE {
+                return; // identity
+            }
+            for_each_2q_base(len, ba, bb, |i| {
+                let e00 = i * l + lane;
+                let e01 = (i | bb) * l + lane;
+                let e10 = (i | ba) * l + lane;
+                let e11 = (i | ba | bb) * l + lane;
+                self.amps[e00] = d00 * self.amps[e00];
+                self.amps[e01] = d01 * self.amps[e01];
+                self.amps[e10] = d10 * self.amps[e10];
+                self.amps[e11] = d11 * self.amps[e11];
+            });
+        } else if mat4_is_controlled(m) {
+            let [s00, s01, s10, s11] = [m.m[10], m.m[11], m.m[14], m.m[15]];
+            for_each_2q_base(len, ba, bb, |i| {
+                let e10 = (i | ba) * l + lane;
+                let e11 = (i | ba | bb) * l + lane;
+                let x0 = self.amps[e10];
+                let x1 = self.amps[e11];
+                self.amps[e10] = s00 * x0 + s01 * x1;
+                self.amps[e11] = s10 * x0 + s11 * x1;
+            });
+        } else {
+            let w = &m.m;
+            for_each_2q_base(len, ba, bb, |i| {
+                let e00 = i * l + lane;
+                let e01 = (i | bb) * l + lane;
+                let e10 = (i | ba) * l + lane;
+                let e11 = (i | ba | bb) * l + lane;
+                let v0 = self.amps[e00];
+                let v1 = self.amps[e01];
+                let v2 = self.amps[e10];
+                let v3 = self.amps[e11];
+                self.amps[e00] = w[0] * v0 + w[1] * v1 + w[2] * v2 + w[3] * v3;
+                self.amps[e01] = w[4] * v0 + w[5] * v1 + w[6] * v2 + w[7] * v3;
+                self.amps[e10] = w[8] * v0 + w[9] * v1 + w[10] * v2 + w[11] * v3;
+                self.amps[e11] = w[12] * v0 + w[13] * v1 + w[14] * v2 + w[15] * v3;
+            });
+        }
+    }
+
+    /// Per-lane Pauli-Z expectations: `out[lane][q]`, each lane matching
+    /// [`StateVec::expect_z_all`] bit-for-bit.
+    pub fn expect_z_all_lanes(&self) -> Vec<Vec<f64>> {
+        let n = self.n_qubits;
+        let l = self.lanes;
+        let mut out = vec![vec![0.0; n]; l];
+        for i in 0..(1usize << n) {
+            let row = &self.amps[i * l..(i + 1) * l];
+            for (lane, a) in row.iter().enumerate() {
+                let p = a.norm_sqr();
+                for (q, eq) in out[lane].iter_mut().enumerate() {
+                    if i & (1 << q) == 0 {
+                        *eq += p;
+                    } else {
+                        *eq -= p;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared norm of one lane (amplitude-ascending sum, matching
+    /// [`StateVec::norm_sqr`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_norm_sqr(&self, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "lane out of range");
+        let l = self.lanes;
+        (0..1usize << self.n_qubits)
+            .map(|i| self.amps[i * l + lane].norm_sqr())
+            .sum()
+    }
+
+    /// Renormalizes one lane in place; returns the pre-normalization norm.
+    /// Mirrors [`StateVec::normalize`].
+    pub fn lane_normalize(&mut self, lane: usize) -> f64 {
+        let norm = self.lane_norm_sqr(lane).sqrt();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            let l = self.lanes;
+            for i in 0..1usize << self.n_qubits {
+                let e = i * l + lane;
+                self.amps[e] = self.amps[e].scale(inv);
+            }
+        }
+        norm
+    }
+
+    /// Scales every amplitude of lane `lane` by the diagonal of the
+    /// weighted-Z observable with `weights[lane]` — the batched analogue of
+    /// `DiagObservable::apply`, evaluated per basis index in the same
+    /// ascending-qubit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not hold one weight vector of length
+    /// `num_qubits()` per lane.
+    pub fn apply_diag_weights(&mut self, weights: &[Vec<f64>]) {
+        assert_eq!(weights.len(), self.lanes, "one weight vector per lane");
+        for w in weights {
+            assert_eq!(w.len(), self.n_qubits, "one weight per qubit");
+        }
+        let l = self.lanes;
+        for i in 0..1usize << self.n_qubits {
+            for (lane, w) in weights.iter().enumerate() {
+                let mut d = 0.0;
+                for (q, wq) in w.iter().enumerate() {
+                    if i & (1 << q) == 0 {
+                        d += wq;
+                    } else {
+                        d -= wq;
+                    }
+                }
+                let e = i * l + lane;
+                self.amps[e] = self.amps[e].scale(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fixed scrambled per-lane states loaded into a batch plus standalone
+    /// copies, for differential checks.
+    fn scrambled(n: usize, lanes: usize, seed: u64) -> (StateBatch, Vec<StateVec>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut batch = StateBatch::zero_state(n, lanes);
+        let mut singles = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let mut amps: Vec<C64> = (0..1usize << n)
+                .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+            for a in &mut amps {
+                *a = a.scale(1.0 / norm);
+            }
+            for (i, a) in amps.iter().enumerate() {
+                batch.amps[i * lanes + lane] = *a;
+            }
+            singles.push(StateVec::from_amplitudes(amps));
+        }
+        (batch, singles)
+    }
+
+    fn assert_lanes_match(batch: &StateBatch, singles: &[StateVec], label: &str) {
+        for (lane, s) in singles.iter().enumerate() {
+            let got = batch.lane_state(lane);
+            assert_eq!(
+                got.amplitudes(),
+                s.amplitudes(),
+                "{label}: lane {lane} diverged from its single-state run"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_state_layout() {
+        let b = StateBatch::zero_state(2, 3);
+        assert_eq!(b.lanes(), 3);
+        for lane in 0..3 {
+            let s = b.lane_state(lane);
+            assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_1q_kernels_are_bit_identical_per_lane() {
+        let mats = [
+            Mat2::pauli_x(),
+            Mat2::pauli_z(),
+            Mat2::hadamard(),
+            Mat2::new([C64::ONE, C64::ZERO, C64::ZERO, C64::new(0.0, 1.0)]),
+        ];
+        for lanes in [1, 3, 8] {
+            for (mi, m) in mats.iter().enumerate() {
+                for q in 0..3 {
+                    let (mut batch, mut singles) = scrambled(3, lanes, 7 + mi as u64);
+                    batch.apply_1q(m, q);
+                    for s in &mut singles {
+                        s.apply_1q(m, q);
+                    }
+                    assert_lanes_match(&batch, &singles, "shared 1q");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_2q_kernels_are_bit_identical_per_lane() {
+        let h2 = Mat2::hadamard().kron(&Mat2::hadamard());
+        let cx = Mat4::controlled(&Mat2::pauli_x());
+        let cz = Mat4::controlled(&Mat2::pauli_z());
+        let general = h2.mul_mat(&cx).mul_mat(&h2);
+        for lanes in [1, 3, 8] {
+            for (mi, m) in [cx, cz, general].iter().enumerate() {
+                for qa in 0..3 {
+                    for qb in 0..3 {
+                        if qa == qb {
+                            continue;
+                        }
+                        let (mut batch, mut singles) = scrambled(3, lanes, 31 + mi as u64);
+                        batch.apply_2q(m, qa, qb);
+                        for s in &mut singles {
+                            s.apply_2q(m, qa, qb);
+                        }
+                        assert_lanes_match(&batch, &singles, "shared 2q");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernels_touch_only_their_lane() {
+        let (mut batch, mut singles) = scrambled(3, 5, 99);
+        batch.lane_apply_1q(2, &Mat2::hadamard(), 1);
+        singles[2].apply_1q(&Mat2::hadamard(), 1);
+        batch.lane_apply_2q(4, &Mat4::controlled(&Mat2::pauli_x()), 0, 2);
+        singles[4].apply_2q(&Mat4::controlled(&Mat2::pauli_x()), 0, 2);
+        assert_lanes_match(&batch, &singles, "lane kernels");
+    }
+
+    #[test]
+    fn lane_2q_structures_match_single_state() {
+        let h2 = Mat2::hadamard().kron(&Mat2::hadamard());
+        let cx = Mat4::controlled(&Mat2::pauli_x());
+        let cz = Mat4::controlled(&Mat2::pauli_z());
+        let general = h2.mul_mat(&cx).mul_mat(&h2);
+        for m in [cx, cz, general] {
+            let (mut batch, mut singles) = scrambled(4, 3, 5);
+            batch.lane_apply_2q(1, &m, 3, 1);
+            singles[1].apply_2q(&m, 3, 1);
+            assert_lanes_match(&batch, &singles, "lane 2q structure");
+        }
+    }
+
+    #[test]
+    fn expect_z_all_lanes_matches_single_state() {
+        let (mut batch, mut singles) = scrambled(3, 4, 12);
+        batch.apply_1q(&Mat2::hadamard(), 0);
+        for s in &mut singles {
+            s.apply_1q(&Mat2::hadamard(), 0);
+        }
+        let ez = batch.expect_z_all_lanes();
+        for (lane, s) in singles.iter().enumerate() {
+            assert_eq!(ez[lane], s.expect_z_all(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn lane_normalize_matches_single_state() {
+        let (mut batch, mut singles) = scrambled(2, 3, 21);
+        // Break norms on one lane only.
+        batch.lane_apply_1q(1, &Mat2::hadamard().scale(C64::real(2.0)), 0);
+        singles[1].apply_1q(&Mat2::hadamard().scale(C64::real(2.0)), 0);
+        let pre_batch = batch.lane_normalize(1);
+        let pre_single = singles[1].normalize();
+        assert_eq!(pre_batch.to_bits(), pre_single.to_bits());
+        assert_lanes_match(&batch, &singles, "normalize");
+    }
+
+    #[test]
+    fn apply_diag_weights_matches_diag_observable() {
+        use crate::{DiagObservable, Observable as _};
+        let (mut batch, singles) = scrambled(3, 2, 4);
+        let weights = vec![vec![0.3, -0.9, 1.1], vec![-0.5, 0.2, 0.7]];
+        batch.apply_diag_weights(&weights);
+        for (lane, s) in singles.iter().enumerate() {
+            let obs = DiagObservable::new(weights[lane].clone());
+            let expected = obs.apply(s);
+            assert_eq!(
+                batch.lane_state(lane).amplitudes(),
+                expected.amplitudes(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn lane_out_of_range_panics() {
+        let mut b = StateBatch::zero_state(1, 2);
+        b.lane_apply_1q(2, &Mat2::pauli_x(), 0);
+    }
+}

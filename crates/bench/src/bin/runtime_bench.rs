@@ -92,7 +92,7 @@ fn main() {
         },
         ..base
     };
-    let rt = SearchRuntime::new(cached.runtime);
+    let rt = SearchRuntime::new(cached.runtime.clone());
     let (row, _) = search_once("workers=1 cache cold", &cached, &rt);
     rows.push(row);
     let (row, warm_summary) = search_once("workers=1 cache warm", &cached, &rt);
@@ -108,7 +108,7 @@ fn main() {
         },
         ..base
     };
-    let rt = SearchRuntime::new(uncached.runtime);
+    let rt = SearchRuntime::new(uncached.runtime.clone());
     let (row, _) = search_once("workers=1 no cache", &uncached, &rt);
     rows.push(row);
 
@@ -122,7 +122,7 @@ fn main() {
             },
             ..base
         };
-        let rt = SearchRuntime::new(cfg.runtime);
+        let rt = SearchRuntime::new(cfg.runtime.clone());
         let (row, summary) = search_once(&format!("workers={workers} cache cold"), &cfg, &rt);
         rows.push(row);
         if workers == 4 {

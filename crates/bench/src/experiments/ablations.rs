@@ -39,7 +39,7 @@ pub fn tab6(scale: &Scale) {
                 EstimatorKind::SuccessRate
             };
             let est = Estimator::new(device.clone(), kind, opt_level).with_valid_cap(12);
-            let mut evo = scale.evo;
+            let mut evo = scale.evo.clone();
             evo.seed = 43;
             let s1 = evolutionary_search(&sc, &shared, &task, &est, &evo);
 
@@ -51,7 +51,7 @@ pub fn tab6(scale: &Scale) {
             for iter in 0..evo.iterations {
                 let snapshot = drift.at(iter as f64 / 3.0);
                 let mut iter_est = Estimator::new(snapshot, kind, opt_level).with_valid_cap(12);
-                let mut one = evo;
+                let mut one = evo.clone();
                 one.iterations = 1;
                 one.seed = 43 + iter as u64;
                 let r = evolutionary_search(&sc, &shared, &task, &iter_est, &one);
@@ -138,7 +138,7 @@ pub fn fig18(scale: &Scale) {
                 )
                 .measured;
             }
-            let mut evo = scale.evo;
+            let mut evo = scale.evo.clone();
             evo.seed = seed;
             evo.search_arch = search_arch;
             evo.search_layout = search_layout;
@@ -226,7 +226,7 @@ pub fn fig19(scale: &Scale) {
             let cfg = SuperTrainConfig { sampler, ..st };
             let (shared, _) = train_supercircuit(&sc, &task, &cfg);
             let estimator = noisy_estimator(&device, scale);
-            let mut evo = scale.evo;
+            let mut evo = scale.evo.clone();
             evo.seed = seed ^ 29;
             let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
             let circuit = build(&sc, &search.best.config, &task);
@@ -274,7 +274,7 @@ pub fn fig20(scale: &Scale) {
     );
     for device in Device::all_5q() {
         let estimator = noisy_estimator(&device, scale);
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 37;
         let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
         let circuit = build(&sc, &search.best.config, &task);
@@ -328,7 +328,7 @@ pub fn fig21_22(scale: &Scale) {
     let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, scale.blocks);
     let (shared, _) = train_supercircuit(&sc, &task, &scale.super_train(33));
     let estimator = noisy_estimator(&device, scale);
-    let mut evo = scale.evo;
+    let mut evo = scale.evo.clone();
     evo.seed = 47;
     let e = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
     let r = random_search(&sc, &shared, &task, &estimator, &evo);
@@ -349,7 +349,7 @@ pub fn fig21_22(scale: &Scale) {
     let mut evo_acc = 0.0;
     let mut rnd_acc = 0.0;
     for rep in 0..reps {
-        let mut cfg = scale.evo;
+        let mut cfg = scale.evo.clone();
         cfg.seed = 47 + 13 * rep as u64;
         let e = evolutionary_search(&sc, &shared, &task, &estimator, &cfg);
         let r = random_search(&sc, &shared, &task, &estimator, &cfg);
@@ -378,7 +378,7 @@ pub fn fig23(scale: &Scale) {
         let sc = SuperCircuit::new(DesignSpace::new(space), 4, scale.blocks);
         let (shared, _) = train_supercircuit(&sc, &task, &scale.super_train(39));
         let estimator = noisy_estimator(&device, scale);
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 53;
         let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
         let circuit = build(&sc, &search.best.config, &task);

@@ -96,7 +96,7 @@ pub fn fig3(scale: &Scale) {
         );
         // QuantumNAS constrained to the same budget, seeded with the human
         // design so the budgeted search starts from a feasible gene.
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.max_params = Some(budget);
         evo.seed = budget as u64;
         let seed_gene = quantumnas::Gene {
@@ -274,7 +274,7 @@ pub fn fig14(scale: &Scale) {
     let amp = if scale.full { 1.0 } else { 2.5 };
     for device in Device::all_5q().into_iter().map(|d| d.scaled_errors(amp)) {
         let estimator = noisy_estimator(&device, scale);
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 23;
         let search = evolutionary_search(&sc, &shared, &task, &estimator, &evo);
         let nas_circuit = build(&sc, &search.best.config, &task);
@@ -337,7 +337,7 @@ pub fn tab5(scale: &Scale) {
             2,
         )
         .with_valid_cap(12);
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 31 + i as u64;
         let human_seed = quantumnas::Gene {
             config: human_design(&sc, sc.num_params() / 2),
@@ -395,7 +395,7 @@ pub fn tab7(scale: &Scale) {
             let small_sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 1);
             let (small_shared, _) = train_supercircuit(&small_sc, &task, &scale.super_train(2));
             let estimator = noisy_estimator(device, scale);
-            let mut evo = scale.evo;
+            let mut evo = scale.evo.clone();
             evo.seed = 41;
             let s_search = evolutionary_search(&small_sc, &small_shared, &task, &estimator, &evo);
             let s_circuit = build(&small_sc, &s_search.best.config, &task);

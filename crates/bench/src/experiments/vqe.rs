@@ -89,7 +89,7 @@ pub fn fig16(scale: &Scale) {
             }),
             2,
         );
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 3;
         let human_seed = quantumnas::Gene {
             config: human_design(&sc, sc.num_params() / 2),
@@ -202,7 +202,7 @@ pub fn fig17(scale: &Scale) {
         }
         let (shared, _) = train_supercircuit(&sc, &task, &st);
         let estimator = Estimator::new(device.clone(), EstimatorKind::SuccessRate, 2);
-        let mut evo = scale.evo;
+        let mut evo = scale.evo.clone();
         evo.seed = 9;
         if n > 6 {
             evo.iterations = evo.iterations.min(4);

@@ -17,7 +17,7 @@ use quantumnas::{
 
 /// Experiment scale: `quick` (default) finishes each experiment in
 /// seconds-to-minutes; `full` approaches the paper's settings.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scale {
     /// Paper-scale mode.
     pub full: bool,
@@ -222,7 +222,7 @@ pub fn prepare(
     let sc = SuperCircuit::new(DesignSpace::new(space), task.num_qubits(), scale.blocks);
     let (shared, _) = train_supercircuit(&sc, task, &scale.super_train(seed));
     let estimator = noisy_estimator(device, scale);
-    let mut evo = scale.evo;
+    let mut evo = scale.evo.clone();
     evo.seed = seed ^ 0xE5;
     // Seed the population with a mid-size human design so the search
     // explores around a known-capable architecture.
@@ -305,7 +305,7 @@ pub fn run_method(
         Method::NoiseUnaware => {
             let estimator =
                 Estimator::new(device.clone(), EstimatorKind::Noiseless, 2).with_valid_cap(16);
-            let mut evo = scale.evo;
+            let mut evo = scale.evo.clone();
             evo.seed = seed ^ 0x17;
             let search = evolutionary_search(sc, &prepared.shared, task, &estimator, &evo);
             (search.best.config.clone(), search.best.layout())

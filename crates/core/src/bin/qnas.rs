@@ -8,10 +8,23 @@
 //!   --space   u3cu3|zzry|rxyz|zxxx|rxyzu1cu3|ibmq
 //!   --device  yorktown|belem|...       (see `qnas devices`)
 //!   --seed    <u64>
+//!   --preset  fast|smoke               pipeline scale (smoke finishes in
+//!                                      seconds; used by the CI fault drill)
+//!   --samples <n>                      QML dataset samples (default 150)
 //!   --workers <n>                      evaluation workers (0 = one per core)
 //!   --no-cache                         disable transpile cache + score memo
 //!   --verify [off|contracts|full]      per-stage transpiler verification
 //!                                      (bare --verify = full)
+//!   --checkpoint-dir <path>            snapshot train/search/prune state
+//!   --checkpoint-every <n>             snapshot every n loop units (default 1)
+//!   --resume                           continue from the latest valid
+//!                                      snapshot in --checkpoint-dir; the
+//!                                      resumed run's results are bitwise
+//!                                      identical to an uninterrupted run
+//!   --fault-eval <n>                   inject a panic into the nth candidate
+//!                                      evaluation (isolated + counted)
+//!   --fault-boundary <k>               crash the process at the kth loop
+//!                                      boundary (simulated kill)
 //!   --stats                            print the runtime telemetry summary
 //!   --qasm    <path>                   export the deployed circuit
 //! ```
@@ -21,23 +34,28 @@ use qns_circuit::to_qasm;
 use qns_noise::Device;
 use qns_transpile::transpile;
 use qns_verify::VerifyLevel;
-use quantumnas::{QuantumNas, QuantumNasConfig, RuntimeOptions, SpaceKind, Task};
+use quantumnas::{
+    CheckpointOptions, FaultPlan, QuantumNas, QuantumNasConfig, RuntimeOptions, SpaceKind, Task,
+};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
-         [--seed N] [--workers N] [--no-cache] [--verify [off|contracts|full]] \
+         [--seed N] [--preset fast|smoke] [--samples N] [--workers N] [--no-cache] \
+         [--verify [off|contracts|full]] [--checkpoint-dir PATH] \
+         [--checkpoint-every N] [--resume] [--fault-eval N] [--fault-boundary K] \
          [--stats] [--qasm PATH]"
     );
     std::process::exit(2);
 }
 
-fn parse_task(name: &str, seed: u64) -> Task {
+fn parse_task(name: &str, samples: usize, seed: u64) -> Task {
     match name {
-        "mnist2" => Task::qml_digits(&[3, 6], 150, 4, seed),
-        "mnist4" => Task::qml_digits(&[0, 1, 2, 3], 150, 4, seed),
-        "fashion2" => Task::qml_fashion(&[3, 6], 150, 4, seed),
-        "fashion4" => Task::qml_fashion(&[0, 1, 2, 3], 150, 4, seed),
+        "mnist2" => Task::qml_digits(&[3, 6], samples, 4, seed),
+        "mnist4" => Task::qml_digits(&[0, 1, 2, 3], samples, 4, seed),
+        "fashion2" => Task::qml_fashion(&[3, 6], samples, 4, seed),
+        "fashion4" => Task::qml_fashion(&[0, 1, 2, 3], samples, 4, seed),
         "vowel4" => Task::qml_vowel(seed),
         "vqe-h2" => Task::vqe(&Molecule::h2()),
         "vqe-lih" => Task::vqe(&Molecule::lih()),
@@ -61,6 +79,31 @@ fn parse_space(name: &str) -> SpaceKind {
             usage()
         }
     }
+}
+
+/// A pipeline scale that finishes in a few seconds: 12 training steps,
+/// 2 search generations, 1 pruning round, and the cheap success-rate
+/// estimator. Used by the CI fault-tolerance drill, where the pipeline is
+/// run twice (kill + resume) per check.
+fn smoke_config() -> QuantumNasConfig {
+    let mut config = QuantumNasConfig::fast();
+    config.super_train.steps = 12;
+    config.super_train.warmup_steps = 2;
+    config.evo.iterations = 2;
+    config.evo.population = 6;
+    config.evo.parents = 2;
+    config.evo.mutations = 2;
+    config.evo.crossovers = 2;
+    config.estimator = quantumnas::EstimatorKind::SuccessRate;
+    config.train.epochs = 3;
+    config.n_test = 10;
+    config.prune = Some(quantumnas::PruneConfig {
+        steps: 1,
+        finetune_epochs: 1,
+        ..Default::default()
+    });
+    config.measure.trajectories = 4;
+    config
 }
 
 fn cmd_devices() {
@@ -117,7 +160,8 @@ fn cmd_run(args: &[String]) {
             .unwrap_or_else(|| default.to_string())
     };
     let seed: u64 = get("--seed", "42").parse().unwrap_or_else(|_| usage());
-    let task = parse_task(&get("--task", "mnist2"), seed);
+    let samples: usize = get("--samples", "150").parse().unwrap_or_else(|_| usage());
+    let task = parse_task(&get("--task", "mnist2"), samples, seed);
     let space = parse_space(&get("--space", "u3cu3"));
     let device = Device::by_name(&get("--device", "yorktown")).unwrap_or_else(|| {
         eprintln!("unknown device (see `qnas devices`)");
@@ -143,11 +187,49 @@ fn cmd_run(args: &[String]) {
             _ => VerifyLevel::Full,
         },
     };
+    let workers: usize = get("--workers", "0").parse().unwrap_or_else(|_| usage());
+    // Per-sample simulation fan-out honors the same flag (it used to be
+    // latched at first use, ignoring later settings).
+    qns_sim::set_parallelism(workers);
+    let checkpoint = args
+        .iter()
+        .position(|a| a == "--checkpoint-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(|dir| CheckpointOptions {
+            dir: dir.into(),
+            every: get("--checkpoint-every", "1")
+                .parse()
+                .unwrap_or_else(|_| usage()),
+            resume: args.iter().any(|a| a == "--resume"),
+        });
+    if checkpoint.is_none() && args.iter().any(|a| a == "--resume") {
+        eprintln!("--resume requires --checkpoint-dir");
+        usage()
+    }
     let runtime = RuntimeOptions {
-        workers: get("--workers", "0").parse().unwrap_or_else(|_| usage()),
+        workers,
         cache: !args.iter().any(|a| a == "--no-cache"),
         verify: verify_level,
+        checkpoint: checkpoint.clone(),
     };
+    let mut faults = FaultPlan::new();
+    let mut have_faults = false;
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--fault-eval")
+        .and_then(|i| args.get(i + 1))
+    {
+        faults = faults.fail_eval(n.parse().unwrap_or_else(|_| usage()));
+        have_faults = true;
+    }
+    if let Some(k) = args
+        .iter()
+        .position(|a| a == "--fault-boundary")
+        .and_then(|i| args.get(i + 1))
+    {
+        faults = faults.crash_at_boundary(k.parse().unwrap_or_else(|_| usage()));
+        have_faults = true;
+    }
     let show_stats = args.iter().any(|a| a == "--stats");
 
     println!(
@@ -157,9 +239,27 @@ fn cmd_run(args: &[String]) {
         device.name(),
         seed
     );
+    if let Some(ck) = &checkpoint {
+        println!(
+            "checkpointing: dir {} | every {} | resume {}",
+            ck.dir.display(),
+            ck.every,
+            ck.resume
+        );
+    }
     let is_qml = task.is_qml();
-    let mut config = QuantumNasConfig::fast();
+    let mut config = match get("--preset", "fast").as_str() {
+        "fast" => QuantumNasConfig::fast(),
+        "smoke" => smoke_config(),
+        other => {
+            eprintln!("unknown preset '{other}' (fast|smoke)");
+            usage()
+        }
+    };
     config.runtime = runtime;
+    if have_faults {
+        config.faults = Some(Arc::new(faults));
+    }
     if !is_qml {
         // VQE needs longer, hotter optimization than the QML defaults.
         config.train = quantumnas::TrainConfig {

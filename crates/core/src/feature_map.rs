@@ -124,7 +124,7 @@ pub fn search_feature_map(
         let mut cfg = *super_cfg;
         cfg.seed = super_cfg.seed ^ (i as u64);
         let (shared, _) = train_supercircuit(sc, &variant_task, &cfg);
-        let mut evo_cfg = *evo;
+        let mut evo_cfg = evo.clone();
         evo_cfg.seed = evo.seed ^ (i as u64) << 4;
         let search = evolutionary_search(sc, &shared, &variant_task, estimator, &evo_cfg);
         all_scores.push((variant.name.clone(), search.best_score));

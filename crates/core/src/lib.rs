@@ -43,6 +43,7 @@
 
 mod analysis;
 mod baselines;
+mod checkpoint;
 mod cost;
 mod estimator;
 mod feature_map;
@@ -59,6 +60,7 @@ mod train;
 
 pub use analysis::{barren_plateau_scan, gradient_variance, plateau_relief, PlateauPoint};
 pub use baselines::{human_design, random_design};
+pub use checkpoint::{CheckpointOptions, PruneCheckpoint, SearchCheckpoint, TrainCheckpoint};
 pub use cost::{CircuitRunCounter, RunCost};
 pub use estimator::{Estimator, EstimatorKind};
 pub use feature_map::{
@@ -80,6 +82,10 @@ pub use space::{DesignSpace, LayerArrangement, LayerSpec, SpaceKind};
 pub use supercircuit::{SubConfig, SuperCircuit};
 pub use task::{Readout, Task};
 pub use train::{
-    eval_task, inherited_eval, qml_sample_grad, train_supercircuit, train_task, Split,
-    SuperTrainConfig, TrainConfig,
+    eval_task, inherited_eval, qml_sample_grad, train_supercircuit, train_supercircuit_rt,
+    train_task, Split, SuperTrainConfig, TrainConfig,
 };
+
+// The fault-injection surface, re-exported so tests and the CLI don't
+// need a direct qns-runtime dependency.
+pub use qns_runtime::{FaultPlan, FAULT_MARKER};

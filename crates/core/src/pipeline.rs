@@ -4,10 +4,12 @@ use crate::runtime::{RuntimeOptions, SearchRuntime};
 use crate::search::evolutionary_search_seeded_rt;
 use crate::train::{eval_task, Split};
 use crate::{
-    iterative_prune_rt, train_supercircuit, train_task, DesignSpace, Estimator, EstimatorKind,
+    iterative_prune_rt, train_supercircuit_rt, train_task, DesignSpace, Estimator, EstimatorKind,
     EvoConfig, Gene, PruneConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
 use qns_noise::{Device, TrajectoryConfig};
+use qns_runtime::FaultPlan;
+use std::sync::Arc;
 
 /// Knobs for one full QuantumNAS run. The paper-scale settings train for
 /// 200 epochs with 40 search iterations; [`QuantumNasConfig::fast`] scales
@@ -33,8 +35,13 @@ pub struct QuantumNasConfig {
     /// Test samples for the measured accuracy (the paper uses 300).
     pub n_test: usize,
     /// Evaluation-runtime knobs shared by every stage (worker count,
-    /// transpile cache + score memo). Overrides `evo.runtime`.
+    /// transpile cache + score memo, checkpointing). Overrides
+    /// `evo.runtime`.
     pub runtime: RuntimeOptions,
+    /// Deterministic fault-injection schedule shared by every stage
+    /// (`None` = no injected faults; used by the robustness test harness
+    /// and the CLI's `--fault-*` flags).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl QuantumNasConfig {
@@ -74,6 +81,7 @@ impl QuantumNasConfig {
             },
             n_test: 50,
             runtime: RuntimeOptions::default(),
+            faults: None,
         }
     }
 
@@ -100,6 +108,7 @@ impl QuantumNasConfig {
             measure: TrajectoryConfig::default(),
             n_test: 300,
             runtime: RuntimeOptions::default(),
+            faults: None,
         }
     }
 }
@@ -182,15 +191,20 @@ impl QuantumNas {
         );
         let sc = self.supercircuit();
 
+        // One runtime serves training, search, pruning, and deployment so
+        // the transpile cache, checkpoint store, fault plan, and telemetry
+        // span the whole run.
+        let mut rt = SearchRuntime::new(self.config.runtime.clone());
+        if let Some(faults) = &self.config.faults {
+            rt = rt.with_fault_plan(faults.clone());
+        }
+
         // Stage 1: SuperCircuit training.
         let mut super_cfg = self.config.super_train;
         super_cfg.seed = seed;
-        let (shared, _) = train_supercircuit(&sc, &self.task, &super_cfg);
+        let (shared, _) = train_supercircuit_rt(&sc, &self.task, &super_cfg, &rt);
 
-        // Stage 2: evolutionary co-search with noise feedback. One runtime
-        // serves search, pruning, and deployment so the transpile cache
-        // and telemetry span the whole run.
-        let rt = SearchRuntime::new(self.config.runtime);
+        // Stage 2: evolutionary co-search with noise feedback.
         let estimator = rt.instrument_estimator(
             &Estimator::new(
                 self.device.clone(),
@@ -199,9 +213,9 @@ impl QuantumNas {
             )
             .with_valid_cap(12),
         );
-        let mut evo = self.config.evo;
+        let mut evo = self.config.evo.clone();
         evo.seed = seed ^ 0x5EA7C;
-        evo.runtime = self.config.runtime;
+        evo.runtime = self.config.runtime.clone();
         let search =
             evolutionary_search_seeded_rt(&sc, &shared, &self.task, &estimator, &evo, &[], &rt);
 

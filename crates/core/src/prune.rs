@@ -1,10 +1,11 @@
 //! Iterative magnitude-based quantum pruning with finetuning.
 
-use crate::runtime::{RuntimeOptions, SearchRuntime};
+use crate::checkpoint::PruneCheckpoint;
+use crate::runtime::{hash_circuit, RuntimeOptions, SearchRuntime};
 use crate::train::{eval_task, Split};
 use crate::{train_task, Task, TrainConfig};
 use qns_circuit::{Circuit, Param};
-use qns_runtime::{timers, GenerationEvent};
+use qns_runtime::{timers, GenerationEvent, StructuralHasher};
 use std::time::Instant;
 
 /// Pruning hyperparameters (paper Section III-D / IV-A: polynomial decay
@@ -136,11 +137,48 @@ pub fn iterative_prune_rt(
         "parameter vector too short"
     );
     let referenced = circuit.referenced_train_indices();
+    // Hash the starting parameters before they are shadowed: they are part
+    // of the pruning trajectory's identity.
+    let resume_context = {
+        let mut h = StructuralHasher::new();
+        h.write_str("iterative-prune");
+        hash_circuit(&mut h, circuit);
+        h.write_str(task.name());
+        h.write_usize(task.num_qubits());
+        h.write_f64(config.final_ratio);
+        h.write_f64(config.initial_ratio);
+        h.write_usize(config.steps);
+        h.write_usize(config.finetune_epochs);
+        h.write_f64(config.lr);
+        h.write_u64(config.seed);
+        h.write_usize(params.len());
+        for &p in params {
+            h.write_f64(p);
+        }
+        h.finish()
+    };
     let mut params = params.to_vec();
     let mut mask = vec![true; params.len()];
     let mut final_loss = f64::NAN;
+    let mut start_step = 0usize;
 
-    for step in 0..config.steps {
+    if let Some(ck) = rt.load_checkpoint::<PruneCheckpoint>() {
+        let compatible = ck.context == resume_context
+            && ck.round <= config.steps
+            && ck.params.len() == params.len()
+            && ck.mask.len() == mask.len();
+        if compatible {
+            start_step = ck.round;
+            params = ck.params;
+            mask = ck.mask;
+            final_loss = ck.final_loss;
+            rt.note_resumed();
+        } else {
+            rt.note_checkpoint_rejected();
+        }
+    }
+
+    for step in start_step..config.steps {
         // lint:allow(wallclock) — round timing feeds progress logs, not results
         let round_start = Instant::now();
         let progress = (step + 1) as f64 / config.steps as f64;
@@ -188,6 +226,17 @@ pub fn iterative_prune_rt(
             memo_hits: 0,
             elapsed: round_start.elapsed(),
         });
+
+        if rt.should_checkpoint(step + 1, config.steps) {
+            rt.save_checkpoint(&PruneCheckpoint {
+                context: resume_context,
+                round: step + 1,
+                params: params.clone(),
+                mask: mask.clone(),
+                final_loss,
+            });
+        }
+        rt.fault_boundary();
     }
 
     let pruned = mask.iter().filter(|&&m| !m).count();

@@ -14,10 +14,12 @@
 //!   transpile/simulate wall-time histograms via the shared [`Metrics`]
 //!   registry.
 
+use crate::checkpoint::CheckpointOptions;
 use crate::{Estimator, EstimatorKind, Gene, SubConfig};
 use qns_noise::Device;
 use qns_runtime::{
-    counters, timers, CacheKey, EvalEngine, Metrics, ShardedCache, StructuralHasher, Workers,
+    counters, timers, CacheKey, CheckpointStore, Checkpointable, EvalEngine, FaultPlan, Metrics,
+    ShardedCache, StructuralHasher, Workers, FAULT_MARKER,
 };
 use qns_transpile::{Layout, Transpiled};
 use qns_verify::{VerifyLevel, PANIC_MARKER};
@@ -25,8 +27,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// User-facing runtime knobs (the CLI's `--workers` / `--no-cache` /
-/// `--verify`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// `--verify` / `--checkpoint-dir`).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuntimeOptions {
     /// Worker threads for candidate evaluation; `0` = one per core.
     pub workers: usize,
@@ -35,6 +37,9 @@ pub struct RuntimeOptions {
     /// Per-stage transpiler contract checking for every instrumented
     /// estimator ([`VerifyLevel::Off`] by default).
     pub verify: VerifyLevel,
+    /// Crash-safe snapshotting of the search/train/prune loops
+    /// (`None` = disabled, the default).
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 impl Default for RuntimeOptions {
@@ -43,6 +48,7 @@ impl Default for RuntimeOptions {
             workers: 0,
             cache: true,
             verify: VerifyLevel::Off,
+            checkpoint: None,
         }
     }
 }
@@ -55,6 +61,7 @@ impl RuntimeOptions {
             workers: 1,
             cache: false,
             verify: VerifyLevel::Off,
+            checkpoint: None,
         }
     }
 }
@@ -102,23 +109,38 @@ pub struct SearchRuntime {
     score_memo: Option<Arc<ShardedCache<f64>>>,
     transpile_cache: Option<Arc<ShardedCache<Transpiled>>>,
     metrics: Arc<Metrics>,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SearchRuntime {
     /// A runtime with the given options and a fresh metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a checkpoint directory is configured but cannot be
+    /// created — checkpointing that silently does nothing would defeat
+    /// its purpose.
     pub fn new(options: RuntimeOptions) -> Self {
+        let checkpoints = options.checkpoint.as_ref().map(|ck| {
+            let store = CheckpointStore::open(&ck.dir)
+                .unwrap_or_else(|e| panic!("cannot open checkpoint dir {}: {e}", ck.dir.display()));
+            Arc::new(store)
+        });
         SearchRuntime {
             engine: EvalEngine::new(Workers::from(options.workers)),
-            options,
             score_memo: options.cache.then(|| Arc::new(ShardedCache::new(32))),
             transpile_cache: options.cache.then(|| Arc::new(ShardedCache::new(32))),
             metrics: Arc::new(Metrics::new()),
+            checkpoints,
+            faults: None,
+            options,
         }
     }
 
     /// The options this runtime was built with.
-    pub fn options(&self) -> RuntimeOptions {
-        self.options
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.options
     }
 
     /// The shared metrics registry.
@@ -144,6 +166,106 @@ impl SearchRuntime {
         let mut est = estimator.clone().with_verify(self.options.verify);
         est.attach_runtime(self.transpile_cache.clone(), Some(self.metrics.clone()));
         est
+    }
+
+    /// Attaches a fault-injection schedule: evaluation faults fire inside
+    /// the engine's panic-isolation scope, boundary crashes fire at
+    /// [`SearchRuntime::fault_boundary`] call sites, torn writes corrupt
+    /// the scheduled snapshot save.
+    pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.engine = self.engine.with_fault_plan(faults.clone());
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Loop-boundary hook for the fault plan: a scheduled boundary crash
+    /// panics here, *outside* any isolation scope, simulating a process
+    /// kill between checkpoints. A no-op without a plan.
+    pub fn fault_boundary(&self) {
+        if let Some(plan) = &self.faults {
+            plan.at_boundary();
+        }
+    }
+
+    /// Whether a snapshot should be written after `completed` of `total`
+    /// loop units. Always saves the final boundary; otherwise every
+    /// [`CheckpointOptions::every`] units. `false` when checkpointing is
+    /// disabled.
+    pub fn should_checkpoint(&self, completed: usize, total: usize) -> bool {
+        match (&self.checkpoints, &self.options.checkpoint) {
+            (Some(_), Some(ck)) => completed == total || completed.is_multiple_of(ck.every.max(1)),
+            _ => false,
+        }
+    }
+
+    /// Writes a snapshot (counted in telemetry). An I/O failure is
+    /// counted and swallowed: losing one checkpoint must not kill a run
+    /// that would otherwise finish.
+    pub fn save_checkpoint<T: Checkpointable>(&self, state: &T) {
+        let Some(store) = &self.checkpoints else {
+            return;
+        };
+        match store.save(state, self.faults.as_deref()) {
+            Ok(_) => self.metrics.incr(counters::CHECKPOINT_WRITES, 1),
+            Err(e) => {
+                self.metrics.incr(counters::CHECKPOINT_IO_ERRORS, 1);
+                eprintln!("warning: checkpoint save failed: {e}");
+            }
+        }
+    }
+
+    /// Loads the latest valid snapshot when resuming is enabled. Corrupt
+    /// snapshots skipped on the way are counted in telemetry; the caller
+    /// must still validate the snapshot's context digest against the
+    /// current run and call [`SearchRuntime::note_resumed`] or
+    /// [`SearchRuntime::note_checkpoint_rejected`] accordingly.
+    pub fn load_checkpoint<T: Checkpointable>(&self) -> Option<T> {
+        let resume = self.options.checkpoint.as_ref().is_some_and(|ck| ck.resume);
+        if !resume {
+            return None;
+        }
+        let store = self.checkpoints.as_ref()?;
+        let (state, corrupt) = store.load_latest::<T>();
+        if corrupt > 0 {
+            self.metrics
+                .incr(counters::CHECKPOINT_CORRUPT, corrupt as u64);
+        }
+        state
+    }
+
+    /// Records a successful resume from a snapshot.
+    pub fn note_resumed(&self) {
+        self.metrics.incr(counters::CHECKPOINT_RESUMES, 1);
+    }
+
+    /// Records a snapshot rejected at resume (stale context: the run's
+    /// configuration no longer matches the one that wrote it).
+    pub fn note_checkpoint_rejected(&self) {
+        self.metrics.incr(counters::CHECKPOINT_REJECTED, 1);
+    }
+
+    /// A deterministic dump of the score memo (sorted by key), for
+    /// inclusion in search snapshots. Empty when caching is off.
+    pub fn memo_entries(&self) -> Vec<(CacheKey, f64)> {
+        self.score_memo
+            .as_ref()
+            .map(|memo| memo.entries())
+            .unwrap_or_default()
+    }
+
+    /// Re-seeds the score memo from a snapshot dump. A no-op when caching
+    /// is off (the resumed run simply re-evaluates).
+    pub fn restore_memo(&self, entries: &[(CacheKey, f64)]) {
+        if let Some(memo) = &self.score_memo {
+            for &(k, v) in entries {
+                memo.insert(k, v);
+            }
+        }
     }
 
     /// Scores a batch of genes through the engine, memoizing by
@@ -220,8 +342,13 @@ impl SearchRuntime {
                     .iter()
                     .map(|r| *r.as_ref().unwrap_or(&f64::INFINITY))
                     .collect();
-                for (&i, &s) in fresh.iter().zip(&fresh_scores) {
-                    memo.insert(keys[i], s);
+                // Only successful evaluations enter the memo: a poisoned
+                // +inf from a transient fault must not outlive the batch
+                // and mis-score the gene forever.
+                for (&i, r) in fresh.iter().zip(&fresh_results) {
+                    if let Ok(s) = r {
+                        memo.insert(keys[i], *s);
+                    }
                 }
                 let mut errors = Vec::new();
                 for i in 0..genes.len() {
@@ -249,18 +376,28 @@ impl SearchRuntime {
             }
         };
 
-        // Contract violations carry the verifier's marker; everything else
-        // is a generic worker panic. Both poison their slot to +inf, but
-        // they land in distinct telemetry counters.
+        // Contract violations carry the verifier's marker, injected
+        // faults the fault plan's; everything else is a generic worker
+        // panic. All poison their slot to +inf, but they land in distinct
+        // telemetry counters.
         let violations = outcome
             .errors
             .iter()
             .filter(|(_, msg)| msg.contains(PANIC_MARKER))
             .count();
-        let panics = outcome.errors.len() - violations;
+        let injected = outcome
+            .errors
+            .iter()
+            .filter(|(_, msg)| msg.contains(FAULT_MARKER))
+            .count();
+        let panics = outcome.errors.len() - violations - injected;
         if violations > 0 {
             self.metrics
                 .incr(counters::VERIFY_VIOLATIONS, violations as u64);
+        }
+        if injected > 0 {
+            self.metrics
+                .incr(counters::INJECTED_FAULTS, injected as u64);
         }
         if panics > 0 {
             self.metrics.incr(counters::PANICS, panics as u64);

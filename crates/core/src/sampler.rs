@@ -187,6 +187,20 @@ impl Sampler {
     pub fn step(&self) -> usize {
         self.step
     }
+
+    /// The sampler's full mutable state — previous sample, schedule
+    /// position, and RNG stream position — for checkpointing.
+    pub fn state(&self) -> (SubConfig, usize, [u64; 4]) {
+        (self.prev.clone(), self.step, self.rng.state())
+    }
+
+    /// Restores state captured with [`Sampler::state`]; the restored
+    /// sampler draws the exact sequence the original would have.
+    pub fn restore(&mut self, prev: SubConfig, step: usize, rng: [u64; 4]) {
+        self.prev = prev;
+        self.step = step;
+        self.rng = StdRng::from_state(rng);
+    }
 }
 
 #[cfg(test)]

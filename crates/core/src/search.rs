@@ -1,8 +1,9 @@
 //! Noise-adaptive evolutionary co-search of SubCircuit and qubit mapping.
 
+use crate::checkpoint::SearchCheckpoint;
 use crate::runtime::{gene_key, search_context_key, RuntimeOptions, SearchRuntime};
 use crate::{Estimator, SubConfig, SuperCircuit, Task};
-use qns_runtime::GenerationEvent;
+use qns_runtime::{GenerationEvent, StructuralHasher};
 use qns_transpile::Layout;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -27,7 +28,7 @@ impl Gene {
 
 /// Evolution hyperparameters. The paper uses 40 iterations, population 40,
 /// 10 parents, 20 mutations at probability 0.4, and 10 crossovers.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EvoConfig {
     /// Number of generations.
     pub iterations: usize,
@@ -284,7 +285,7 @@ pub fn evolutionary_search_seeded(
     config: &EvoConfig,
     seeds: &[Gene],
 ) -> SearchResult {
-    let rt = SearchRuntime::new(config.runtime);
+    let rt = SearchRuntime::new(config.runtime.clone());
     evolutionary_search_seeded_rt(sc, shared_params, task, estimator, config, seeds, &rt)
 }
 
@@ -364,8 +365,52 @@ pub fn evolutionary_search_seeded_rt(
     let mut evaluations = 0usize;
     let mut memo_hits = 0usize;
     let mut best: Option<(Gene, f64)> = None;
+    let mut start_generation = 0usize;
 
-    for generation in 0..config.iterations {
+    // Everything that shapes the evolution trajectory goes into the
+    // snapshot's context digest: the scoring context plus the evolution
+    // hyperparameters and the seed population. A snapshot written under
+    // any other configuration is rejected rather than resumed.
+    let resume_context = {
+        let mut h = StructuralHasher::new();
+        h.write_u64(context.lo);
+        h.write_u64(context.hi);
+        h.write_usize(config.iterations);
+        h.write_usize(config.population);
+        h.write_usize(config.parents);
+        h.write_usize(config.mutations);
+        h.write_f64(config.mutation_prob);
+        h.write_usize(config.crossovers);
+        h.write_u64(config.seed);
+        h.write_u64(config.search_arch as u64);
+        h.write_u64(config.search_layout as u64);
+        h.write_usize(seeds.len());
+        for seed in seeds {
+            h.write_u64(gene_key(seed).lo);
+            h.write_u64(gene_key(seed).hi);
+        }
+        h.finish()
+    };
+    if let Some(ck) = rt.load_checkpoint::<SearchCheckpoint>() {
+        let compatible = ck.context == resume_context
+            && ck.generation <= config.iterations
+            && ck.population.len() == config.population;
+        if compatible {
+            start_generation = ck.generation;
+            population = ck.population;
+            pool.rng = StdRng::from_state(ck.rng);
+            best = ck.best;
+            history = ck.history;
+            evaluations = ck.evaluations;
+            memo_hits = ck.memo_hits;
+            rt.restore_memo(&ck.memo);
+            rt.note_resumed();
+        } else {
+            rt.note_checkpoint_rejected();
+        }
+    }
+
+    for generation in start_generation..config.iterations {
         let outcome = rt.score_batch(context, &population, |g| {
             score_gene(sc, shared_params, task, &estimator, g, config.max_params)
         });
@@ -409,6 +454,24 @@ pub fn evolutionary_search_seeded_rt(
         }
         next.truncate(config.population);
         population = next;
+
+        // Snapshot the state *entering* generation + 1 at the boundary,
+        // then give the fault plan its chance to kill the process — the
+        // order mirrors a real crash landing between two generations.
+        if rt.should_checkpoint(generation + 1, config.iterations) {
+            rt.save_checkpoint(&SearchCheckpoint {
+                context: resume_context,
+                generation: generation + 1,
+                population: population.clone(),
+                rng: pool.rng.state(),
+                best: best.clone(),
+                history: history.clone(),
+                evaluations,
+                memo_hits,
+                memo: rt.memo_entries(),
+            });
+        }
+        rt.fault_boundary();
     }
 
     let (best, best_score) = best.expect("at least one iteration");
@@ -430,7 +493,7 @@ pub fn random_search(
     estimator: &Estimator,
     config: &EvoConfig,
 ) -> SearchResult {
-    let rt = SearchRuntime::new(config.runtime);
+    let rt = SearchRuntime::new(config.runtime.clone());
     random_search_rt(sc, shared_params, task, estimator, config, &rt)
 }
 
@@ -577,7 +640,7 @@ mod tests {
             iterations: 1,
             ..EvoConfig::fast(11)
         };
-        let rt = SearchRuntime::new(cfg.runtime);
+        let rt = SearchRuntime::new(cfg.runtime.clone());
         let res = evolutionary_search_seeded_rt(&sc, &params, &task, &est, &cfg, &seeds, &rt);
         // All 12 initial candidates were distinct, so none were memoized
         // within the first (only) generation.

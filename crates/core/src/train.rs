@@ -1,10 +1,12 @@
 //! Training loops: from-scratch SubCircuit training and gate-sharing
 //! SuperCircuit training.
 
+use crate::checkpoint::TrainCheckpoint;
 use crate::{Readout, Sampler, SamplerConfig, SubConfig, SuperCircuit, Task};
 use qns_circuit::Circuit;
 use qns_data::Dataset;
 use qns_ml::{accuracy, cross_entropy_grad, nll_loss, Adam, AdamConfig, CosineSchedule};
+use qns_runtime::StructuralHasher;
 use qns_sim::{
     adjoint_gradient, adjoint_gradient_batch, parallel_map, run, DiagObservable, ExecMode,
     Observable, SimPlan, StateBatch, DEFAULT_BATCH_LANES, DEFAULT_FUSION_LEVEL,
@@ -290,6 +292,22 @@ pub fn train_supercircuit(
     task: &Task,
     config: &SuperTrainConfig,
 ) -> (Vec<f64>, Vec<f64>) {
+    let rt = crate::SearchRuntime::new(crate::RuntimeOptions::default());
+    train_supercircuit_rt(supercircuit, task, config, &rt)
+}
+
+/// [`train_supercircuit`] on a caller-owned [`crate::SearchRuntime`],
+/// which adds crash safety: with checkpointing enabled the loop snapshots
+/// its full state (parameters, Adam moments, both RNG stream positions,
+/// sampler schedule) at step boundaries, and with `--resume` it continues
+/// from the latest valid snapshot bitwise — the resumed run's final
+/// parameters are exactly those of an uninterrupted run.
+pub fn train_supercircuit_rt(
+    supercircuit: &SuperCircuit,
+    task: &Task,
+    config: &SuperTrainConfig,
+    rt: &crate::SearchRuntime,
+) -> (Vec<f64>, Vec<f64>) {
     assert_eq!(
         supercircuit.num_qubits(),
         task.num_qubits(),
@@ -308,8 +326,53 @@ pub fn train_supercircuit(
     let mut sampler = Sampler::new(supercircuit, sampler_cfg);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FE);
     let mut history = Vec::with_capacity(config.steps);
+    let mut start_step = 0usize;
 
-    for step in 0..config.steps {
+    // Everything that shapes the training trajectory enters the context
+    // digest; a snapshot from any other configuration is rejected.
+    let resume_context = {
+        let mut h = StructuralHasher::new();
+        h.write_str("supercircuit-train");
+        h.write_u64(supercircuit.space().kind() as u64);
+        h.write_usize(supercircuit.num_qubits());
+        h.write_usize(supercircuit.num_blocks());
+        h.write_usize(n_params);
+        h.write_str(task.name());
+        h.write_usize(task.num_qubits());
+        h.write_usize(config.steps);
+        h.write_usize(config.batch_size);
+        h.write_f64(config.lr);
+        h.write_usize(config.warmup_steps);
+        h.write_u64(config.seed);
+        h.write_usize(sampler_cfg.min_blocks);
+        h.write_usize(sampler_cfg.shrink_start);
+        h.write_usize(sampler_cfg.shrink_end);
+        h.write_usize(sampler_cfg.max_layer_diff);
+        h.write_u64(sampler_cfg.progressive as u64);
+        h.write_u64(sampler_cfg.restricted as u64);
+        h.write_u64(sampler_cfg.seed);
+        h.finish()
+    };
+    if let Some(ck) = rt.load_checkpoint::<TrainCheckpoint>() {
+        let compatible = ck.context == resume_context
+            && ck.step <= config.steps
+            && ck.params.len() == n_params
+            && ck.opt_m.len() == n_params
+            && ck.opt_v.len() == n_params;
+        if compatible {
+            start_step = ck.step;
+            params = ck.params;
+            opt.restore(ck.opt_m, ck.opt_v, ck.opt_t);
+            history = ck.history;
+            rng = StdRng::from_state(ck.rng);
+            sampler.restore(ck.sampler_prev, ck.sampler_step, ck.sampler_rng);
+            rt.note_resumed();
+        } else {
+            rt.note_checkpoint_rejected();
+        }
+    }
+
+    for step in start_step..config.steps {
         let cfg = sampler.next_config();
         match task {
             Task::Qml {
@@ -336,6 +399,25 @@ pub fn train_supercircuit(
                 history.push(energy);
             }
         }
+
+        if rt.should_checkpoint(step + 1, config.steps) {
+            let (sampler_prev, sampler_step, sampler_rng) = sampler.state();
+            let (m, v, t) = opt.state();
+            rt.save_checkpoint(&TrainCheckpoint {
+                context: resume_context,
+                step: step + 1,
+                params: params.clone(),
+                opt_m: m.to_vec(),
+                opt_v: v.to_vec(),
+                opt_t: t,
+                history: history.clone(),
+                rng: rng.state(),
+                sampler_prev,
+                sampler_step,
+                sampler_rng,
+            });
+        }
+        rt.fault_boundary();
     }
     (params, history)
 }

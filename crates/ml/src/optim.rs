@@ -118,6 +118,27 @@ impl Adam {
         }
     }
 
+    /// The full mutable state — moment vectors and step count — for
+    /// checkpointing. The config is not included; it is part of the run
+    /// configuration, not the training trajectory.
+    pub fn state(&self) -> (&[f64], &[f64], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Restores state captured with [`Adam::state`]; the restored
+    /// optimizer continues the original update sequence bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors do not match the optimizer size.
+    pub fn restore(&mut self, m: Vec<f64>, v: Vec<f64>, t: u64) {
+        assert_eq!(m.len(), self.m.len(), "first-moment length mismatch");
+        assert_eq!(v.len(), self.v.len(), "second-moment length mismatch");
+        self.m = m;
+        self.v = v;
+        self.t = t;
+    }
+
     /// Resets optimizer state (moments and step count).
     pub fn reset(&mut self) {
         self.m.iter_mut().for_each(|x| *x = 0.0);

@@ -186,6 +186,21 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state — the generator's exact stream
+        /// position, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured with
+        /// [`StdRng::state`]; the restored generator produces the same
+        /// sequence the original would have from that point.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

@@ -247,6 +247,22 @@ impl<V> ShardedCache<V> {
         &self.stats
     }
 
+    /// A deterministic dump of every `(key, value)` pair, sorted by key —
+    /// the shape checkpoints need to persist and restore a score memo
+    /// bitwise regardless of shard layout or insertion order.
+    pub fn entries(&self) -> Vec<(CacheKey, V)>
+    where
+        V: Clone,
+    {
+        let mut out: Vec<(CacheKey, V)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(&k, v)| (k, (**v).clone())));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
     fn lock_shard(&self, key: CacheKey) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<V>>> {
         self.shards[key.shard(self.shards.len())]
             .lock()

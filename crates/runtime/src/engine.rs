@@ -1,9 +1,10 @@
 //! The candidate-evaluation engine: fans a batch of independent
 //! evaluations out over scoped worker threads.
 
+use crate::fault::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How many workers the engine uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,12 +64,24 @@ impl From<usize> for Workers {
 #[derive(Clone, Debug)]
 pub struct EvalEngine {
     workers: Workers,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EvalEngine {
     /// An engine with the given worker policy.
     pub fn new(workers: Workers) -> Self {
-        EvalEngine { workers }
+        EvalEngine {
+            workers,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault-injection schedule: [`FaultPlan::before_eval`]
+    /// fires inside each evaluation's panic-isolation scope, so an
+    /// injected failure poisons one slot exactly like an organic panic.
+    pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The resolved worker count.
@@ -103,7 +116,13 @@ impl EvalEngine {
     {
         let n_workers = self.workers().min(items.len().max(1));
         let guarded = |item: &T| {
-            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(p.as_ref()))
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &self.faults {
+                    plan.before_eval();
+                }
+                f(item)
+            }))
+            .map_err(|p| panic_message(p.as_ref()))
         };
         if n_workers <= 1 || items.len() <= 1 {
             return items.iter().map(guarded).collect();
@@ -224,6 +243,24 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(engine.run(&empty, |&x| x, 0).is_empty());
         assert_eq!(engine.run(&[9u32], |&x| x + 1, 0), vec![10]);
+    }
+
+    #[test]
+    fn injected_faults_poison_exactly_one_slot() {
+        let items: Vec<usize> = (0..12).collect();
+        let plan = Arc::new(FaultPlan::new().fail_eval(5));
+        let engine = EvalEngine::new(Workers::Fixed(1)).with_fault_plan(plan.clone());
+        let out = engine.try_run(&items, |&x| x);
+        let failed: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(failed, vec![4], "sequential mode fails the 5th eval");
+        let msg = out[4].as_ref().unwrap_err();
+        assert!(msg.starts_with(crate::FAULT_MARKER), "got {msg:?}");
+        assert_eq!(plan.evals_seen(), 12);
     }
 
     #[test]

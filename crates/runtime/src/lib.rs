@@ -20,6 +20,10 @@
 //!    structured per-generation event log, and a text [`Metrics::summary`]
 //!    report (evaluations, cache hit rates, transpile vs. simulate wall
 //!    time, evals/sec).
+//! 4. **Crash safety** — a versioned, crc-guarded snapshot format with
+//!    atomic write-rename ([`CheckpointStore`], [`Checkpointable`]) and a
+//!    deterministic fault-injection schedule ([`FaultPlan`]) so recovery
+//!    paths are testable, not just claimed.
 //!
 //! The crate is dependency-free and domain-agnostic: it works on hashes
 //! and closures. The `quantumnas` core crate layers gene hashing, the
@@ -52,9 +56,16 @@
 //! ```
 
 mod cache;
+mod checkpoint;
 mod engine;
+mod fault;
 mod telemetry;
 
 pub use cache::{CacheKey, CacheStats, ShardedCache, StructuralHasher};
+pub use checkpoint::{
+    crc32, decode_snapshot, encode_snapshot, ByteReader, ByteWriter, CheckpointError,
+    CheckpointStore, Checkpointable, EXTENSION, FORMAT_VERSION, MAGIC,
+};
 pub use engine::{EvalEngine, Workers};
+pub use fault::{FaultPlan, FAULT_MARKER};
 pub use telemetry::{counters, timers, GenerationEvent, Histogram, Metrics};

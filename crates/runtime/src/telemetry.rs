@@ -24,6 +24,19 @@ pub mod counters {
     /// Verification contract violations (each one is a real compiler bug or
     /// an illegal candidate, surfaced instead of silently mis-scored).
     pub const VERIFY_VIOLATIONS: &str = "verify_violations";
+    /// Snapshots written to the checkpoint directory.
+    pub const CHECKPOINT_WRITES: &str = "checkpoint_writes";
+    /// Runs that restored state from a snapshot via `--resume`.
+    pub const CHECKPOINT_RESUMES: &str = "checkpoint_resumes";
+    /// Snapshots found but rejected at resume (stale configuration: the
+    /// run's context digest no longer matches the snapshot's).
+    pub const CHECKPOINT_REJECTED: &str = "checkpoint_rejected";
+    /// Snapshots skipped as corrupt (torn write, bit rot) during load.
+    pub const CHECKPOINT_CORRUPT: &str = "checkpoint_corrupt";
+    /// Snapshot saves that failed with an I/O error (run continues).
+    pub const CHECKPOINT_IO_ERRORS: &str = "checkpoint_io_errors";
+    /// Evaluations failed on purpose by an active `FaultPlan`.
+    pub const INJECTED_FAULTS: &str = "injected_faults";
 }
 
 /// Well-known timer names.

@@ -2,15 +2,29 @@
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 thread_local! {
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Process-wide worker-count override for [`parallel_map`]; 0 means
+/// "auto" (use the detected core count). An `AtomicUsize`, not a
+/// `OnceLock`, so a `--workers` flag can change it at any point in the
+/// process — the original `OnceLock` latched the first value forever.
+static PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`parallel_map`] when no
+/// explicit count is passed. `0` restores auto-detection.
+pub fn set_parallelism(workers: usize) {
+    PARALLELISM_OVERRIDE.store(workers, Ordering::Relaxed);
+}
+
 /// Queries `available_parallelism` once per process: the core count does
 /// not change under us, and the syscall is not free on the per-minibatch
-/// hot path.
+/// hot path. (User-facing worker settings go through the override in
+/// [`set_parallelism`] instead, which stays mutable.)
 fn cached_parallelism() -> usize {
     static PARALLELISM: OnceLock<usize> = OnceLock::new();
     *PARALLELISM.get_or_init(|| {
@@ -57,10 +71,31 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    parallel_map_with(items, 0, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. `workers == 0` defers
+/// to the process-wide override from [`set_parallelism`], then to the
+/// detected core count. [`sequential_scope`] still wins over everything:
+/// a worker thread inside an outer engine must never fan out again.
+pub fn parallel_map_with<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let requested = if workers > 0 {
+        workers
+    } else {
+        match PARALLELISM_OVERRIDE.load(Ordering::Relaxed) {
+            0 => cached_parallelism(),
+            n => n,
+        }
+    };
     let threads = if FORCE_SEQUENTIAL.with(Cell::get) {
         1
     } else {
-        cached_parallelism().min(items.len().max(1))
+        requested.min(items.len().max(1))
     };
     if threads <= 1 || items.len() < 4 {
         return items.iter().map(&f).collect();
@@ -121,6 +156,47 @@ mod tests {
         // Restored even when the scope panics.
         let _ = std::panic::catch_unwind(|| sequential_scope(|| panic!("boom")));
         assert!(!super::FORCE_SEQUENTIAL.with(Cell::get));
+    }
+
+    #[test]
+    fn explicit_worker_count_controls_fanout() {
+        let items: Vec<usize> = (0..64).collect();
+        // workers = 1: everything runs on the calling thread.
+        let caller = std::thread::current().id();
+        let ids = parallel_map_with(&items, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+        // workers = 3: results still in order, multiple spawned threads.
+        let ids = parallel_map_with(&items, 3, |_| std::thread::current().id());
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(distinct.len() > 1, "3 workers must actually fan out");
+        assert_eq!(
+            parallel_map_with(&items, 3, |&x| x * 2),
+            items.iter().map(|&x| x * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn set_parallelism_takes_effect_mid_process() {
+        // Regression: the worker count used to be latched in a OnceLock at
+        // first use, so a later `--workers 1` silently kept the old value.
+        struct ResetOverride;
+        impl Drop for ResetOverride {
+            fn drop(&mut self) {
+                set_parallelism(0);
+            }
+        }
+        let _reset = ResetOverride;
+        let items: Vec<usize> = (0..64).collect();
+        let caller = std::thread::current().id();
+
+        set_parallelism(4);
+        let _warm = parallel_map(&items, |&x| x); // would latch a OnceLock
+        set_parallelism(1);
+        let ids = parallel_map(&items, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id == caller),
+            "override to 1 worker after first use must be honored"
+        );
     }
 
     #[test]

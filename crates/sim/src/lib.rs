@@ -47,7 +47,7 @@ mod plan;
 mod state;
 mod state_batch;
 
-pub use batch::{parallel_map, sequential_scope};
+pub use batch::{parallel_map, parallel_map_with, sequential_scope, set_parallelism};
 pub use exec::{
     run, run_into, run_into_with, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
 };

@@ -1,0 +1,182 @@
+//! Property tests for the snapshot wire format: encode→decode is the
+//! identity on arbitrary checkpoint states, and any single-byte
+//! corruption or truncation of a frame is detected with a typed error —
+//! never a panic, never a silently wrong state.
+
+use proptest::prelude::*;
+use qns_runtime::{decode_snapshot, encode_snapshot, CacheKey, CheckpointError, StructuralHasher};
+use quantumnas::{
+    DesignSpace, Gene, SearchCheckpoint, SpaceKind, SubConfig, SuperCircuit, TrainCheckpoint,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn key_from(lo: u64, hi: u64) -> CacheKey {
+    CacheKey { lo, hi }
+}
+
+/// Strategy: an arbitrary search snapshot over real genes of the U3+CU3
+/// space (layouts are rotations; widths are clamped to the legal range).
+fn arb_search_checkpoint() -> impl Strategy<Value = SearchCheckpoint> {
+    let gene = (0usize..4, prop::collection::vec(1usize..=4, 2..=6));
+    (
+        (0u64..u64::MAX, 0u64..u64::MAX),
+        (0usize..64, 0usize..10_000, 0usize..10_000),
+        prop::collection::vec(gene, 1..=6),
+        prop::collection::vec(0u64..u64::MAX, 4),
+        prop::collection::vec(-10.0..10.0f64, 0..8),
+        prop::collection::vec((0u64..1000, 0u64..1000, -5.0..5.0f64), 0..8),
+    )
+        .prop_map(
+            |(ctx, (generation, evaluations, memo_hits), genes, rng_words, history, memo)| {
+                let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+                let population: Vec<Gene> = genes
+                    .into_iter()
+                    .map(|(rot, widths)| {
+                        let mut config = sc.max_config();
+                        for (w, pick) in config
+                            .widths
+                            .iter_mut()
+                            .flat_map(|b| b.iter_mut())
+                            .zip(widths.iter().cycle())
+                        {
+                            *w = (*w).min(*pick);
+                        }
+                        Gene {
+                            config,
+                            layout: (0..4).map(|q| (q + rot) % 4).collect(),
+                        }
+                    })
+                    .collect();
+                let best = population
+                    .first()
+                    .map(|g| (g.clone(), history.first().copied().unwrap_or(0.5)));
+                SearchCheckpoint {
+                    context: key_from(ctx.0, ctx.1),
+                    generation,
+                    population,
+                    rng: [rng_words[0], rng_words[1], rng_words[2], rng_words[3]],
+                    best,
+                    history,
+                    evaluations,
+                    memo_hits,
+                    memo: memo
+                        .into_iter()
+                        .map(|(lo, hi, s)| (key_from(lo, hi), s))
+                        .collect(),
+                }
+            },
+        )
+}
+
+/// Strategy: an arbitrary training snapshot (vectors of various lengths,
+/// extreme floats included via bit patterns that stay finite).
+fn arb_train_checkpoint() -> impl Strategy<Value = TrainCheckpoint> {
+    (
+        (0u64..u64::MAX, 0u64..u64::MAX),
+        (0usize..512, 0usize..512),
+        prop::collection::vec(-1e12..1e12f64, 0..24),
+        prop::collection::vec(0u64..u64::MAX, 8),
+        prop::collection::vec(-100.0..100.0f64, 0..12),
+        (1usize..4, prop::collection::vec(1usize..=4, 4)),
+    )
+        .prop_map(
+            |(ctx, (step, sampler_step), params, words, history, (n_blocks, widths))| {
+                TrainCheckpoint {
+                    context: key_from(ctx.0, ctx.1),
+                    step,
+                    params: params.clone(),
+                    opt_m: params.iter().map(|p| p * 0.5).collect(),
+                    opt_v: params.iter().map(|p| p * p).collect(),
+                    opt_t: step as u64,
+                    history,
+                    rng: [words[0], words[1], words[2], words[3]],
+                    sampler_prev: SubConfig {
+                        n_blocks,
+                        widths: vec![widths.clone(); n_blocks],
+                    },
+                    sampler_step,
+                    sampler_rng: [words[4], words[5], words[6], words[7]],
+                }
+            },
+        )
+}
+
+/// Deterministic per-case byte picker (the shim has no independent index
+/// strategy that can depend on the frame's length).
+fn pick(seed: u64, bound: usize) -> usize {
+    let mut h = StructuralHasher::new();
+    h.write_u64(seed);
+    (h.finish().lo % bound as u64) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode→decode is the identity on arbitrary search snapshots.
+    #[test]
+    fn search_snapshot_round_trips(state in arb_search_checkpoint()) {
+        let frame = encode_snapshot(&state);
+        let back: SearchCheckpoint = decode_snapshot(&frame).expect("valid frame");
+        prop_assert_eq!(back, state);
+    }
+
+    /// encode→decode is the identity on arbitrary training snapshots,
+    /// with every float compared bitwise.
+    #[test]
+    fn train_snapshot_round_trips(state in arb_train_checkpoint()) {
+        let frame = encode_snapshot(&state);
+        let back: TrainCheckpoint = decode_snapshot(&frame).expect("valid frame");
+        for (a, b) in back.params.iter().zip(&state.params) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back, state);
+    }
+
+    /// Corrupting any single byte of a frame is always detected: decode
+    /// returns a typed error and never panics.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        state in arb_search_checkpoint(),
+        flip_at in 0u64..u64::MAX,
+        mask in 1u8..=255,
+    ) {
+        let mut frame = encode_snapshot(&state);
+        let i = pick(flip_at, frame.len());
+        frame[i] ^= mask;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            decode_snapshot::<SearchCheckpoint>(&frame)
+        }));
+        let decoded = outcome.expect("decode must never panic");
+        prop_assert!(
+            decoded.is_err(),
+            "flipping byte {} (mask {:#04x}) went undetected",
+            i,
+            mask
+        );
+    }
+
+    /// Truncating a frame at any point yields a typed error, never a
+    /// panic and never a partial state.
+    #[test]
+    fn truncation_is_always_detected(
+        state in arb_train_checkpoint(),
+        cut_at in 0u64..u64::MAX,
+    ) {
+        let frame = encode_snapshot(&state);
+        let cut = pick(cut_at, frame.len());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            decode_snapshot::<TrainCheckpoint>(&frame[..cut])
+        }));
+        let decoded = outcome.expect("decode must never panic");
+        match decoded {
+            Err(
+                CheckpointError::Truncated { .. }
+                | CheckpointError::BadMagic
+                | CheckpointError::CrcMismatch { .. }
+                | CheckpointError::Malformed(_),
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+            Ok(_) => prop_assert!(false, "truncation at {} went undetected", cut),
+        }
+    }
+}

@@ -163,6 +163,7 @@ fn verify_violations_are_classified_and_counted() {
         workers: 1,
         cache: false,
         verify: VerifyLevel::Contracts,
+        checkpoint: None,
     });
     let est = rt.instrument_estimator(&est);
     let genes = [

@@ -21,6 +21,12 @@
 //!                                      snapshot in --checkpoint-dir; the
 //!                                      resumed run's results are bitwise
 //!                                      identical to an uninterrupted run
+//!   --proxy [on|off]                   proxy prescreening of search offspring
+//!                                      (bare --proxy = on; off by default)
+//!   --proxy-keep <f>                   fraction of each generation escalated
+//!                                      to full scoring (default 0.25)
+//!   --proxy-warmup <n>                 leading generations scored in full
+//!                                      (default 2)
 //!   --fault-eval <n>                   inject a panic into the nth candidate
 //!                                      evaluation (isolated + counted)
 //!   --fault-boundary <k>               crash the process at the kth loop
@@ -44,7 +50,8 @@ fn usage() -> ! {
         "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
          [--seed N] [--preset fast|smoke] [--samples N] [--workers N] [--no-cache] \
          [--verify [off|contracts|full]] [--checkpoint-dir PATH] \
-         [--checkpoint-every N] [--resume] [--fault-eval N] [--fault-boundary K] \
+         [--checkpoint-every N] [--resume] [--proxy [on|off]] [--proxy-keep F] \
+         [--proxy-warmup N] [--fault-eval N] [--fault-boundary K] \
          [--stats] [--qasm PATH]"
     );
     std::process::exit(2);
@@ -187,6 +194,33 @@ fn cmd_run(args: &[String]) {
             _ => VerifyLevel::Full,
         },
     };
+    // `--proxy` alone switches prescreening on; an optional value makes the
+    // choice explicit so scripts can pass `--proxy off`.
+    let proxy_enabled = match args.iter().position(|a| a == "--proxy") {
+        None => false,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("off") => false,
+            Some("on") => true,
+            Some(v) if !v.starts_with("--") => {
+                eprintln!("unknown proxy mode '{v}' (on|off)");
+                usage()
+            }
+            _ => true,
+        },
+    };
+    let proxy = quantumnas::ProxyOptions {
+        enabled: proxy_enabled,
+        keep: get("--proxy-keep", "0.25")
+            .parse()
+            .unwrap_or_else(|_| usage()),
+        warmup: get("--proxy-warmup", "2")
+            .parse()
+            .unwrap_or_else(|_| usage()),
+    };
+    if proxy.enabled && !(proxy.keep > 0.0 && proxy.keep <= 1.0) {
+        eprintln!("--proxy-keep must be in (0, 1]");
+        usage()
+    }
     let workers: usize = get("--workers", "0").parse().unwrap_or_else(|_| usage());
     // Per-sample simulation fan-out honors the same flag (it used to be
     // latched at first use, ignoring later settings).
@@ -257,6 +291,7 @@ fn cmd_run(args: &[String]) {
         }
     };
     config.runtime = runtime;
+    config.evo.proxy = proxy;
     if have_faults {
         config.faults = Some(Arc::new(faults));
     }
@@ -295,6 +330,14 @@ fn cmd_run(args: &[String]) {
         "search evaluations: {} real + {} memoized",
         report.search_evaluations, report.search_memo_hits
     );
+    if proxy.enabled {
+        println!(
+            "proxy prescreening: {} features, {} escalated, {} duplicates skipped",
+            report.search_proxy_evals,
+            report.search_proxy_escalations,
+            report.search_proxy_dedup_hits
+        );
+    }
     if show_stats {
         println!("\n{}", report.runtime_summary);
     }

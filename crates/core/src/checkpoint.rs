@@ -13,6 +13,7 @@
 //! domain payloads.
 
 use crate::{Gene, SubConfig};
+use qns_proxy::PrescreenerState;
 use qns_runtime::{ByteReader, ByteWriter, CacheKey, CheckpointError, Checkpointable};
 use std::path::PathBuf;
 
@@ -157,6 +158,11 @@ pub struct SearchCheckpoint {
     pub memo_hits: usize,
     /// The score memo, sorted by key (deterministic dump).
     pub memo: Vec<(CacheKey, f64)>,
+    /// Prescreening state (fusion weights, feature cache, counters) when
+    /// the run searched with `--proxy on`; `None` for proxy-off runs. A
+    /// resume rejects snapshots whose presence disagrees with the current
+    /// run's proxy setting.
+    pub proxy: Option<PrescreenerState>,
 }
 
 impl Checkpointable for SearchCheckpoint {
@@ -187,6 +193,13 @@ impl Checkpointable for SearchCheckpoint {
             put_key(w, k);
             w.put_f64(v);
         }
+        match &self.proxy {
+            Some(state) => {
+                w.put_bool(true);
+                state.encode(w);
+            }
+            None => w.put_bool(false),
+        }
     }
 
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
@@ -213,6 +226,11 @@ impl Checkpointable for SearchCheckpoint {
             let k = get_key(r)?;
             memo.push((k, r.get_f64()?));
         }
+        let proxy = if r.get_bool()? {
+            Some(PrescreenerState::decode(r)?)
+        } else {
+            None
+        };
         Ok(SearchCheckpoint {
             context,
             generation,
@@ -223,6 +241,7 @@ impl Checkpointable for SearchCheckpoint {
             evaluations,
             memo_hits,
             memo,
+            proxy,
         })
     }
 }
@@ -368,6 +387,38 @@ mod tests {
                 (CacheKey { lo: 1, hi: 1 }, 0.25),
                 (CacheKey { lo: 2, hi: 2 }, f64::INFINITY),
             ],
+            proxy: None,
+        };
+        let bytes = encode_snapshot(&state);
+        assert_eq!(decode_snapshot::<SearchCheckpoint>(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn search_checkpoint_with_proxy_state_round_trips() {
+        use qns_proxy::{FusionModel, ProxyFeatures};
+        let mut fusion = FusionModel::new();
+        fusion.observe(&ProxyFeatures([1.0, 2.0, 3.0, 4.0, 5.0]), 0.5);
+        fusion.observe(&ProxyFeatures([2.0, 1.0, 0.0, -1.0, 3.0]), 0.9);
+        let state = SearchCheckpoint {
+            context: CacheKey { lo: 7, hi: 9 },
+            generation: 1,
+            population: (1..3).map(gene).collect(),
+            rng: [1, 2, 3, 4],
+            best: None,
+            history: vec![0.9],
+            evaluations: 8,
+            memo_hits: 0,
+            memo: vec![],
+            proxy: Some(qns_proxy::PrescreenerState {
+                fusion,
+                features: vec![(
+                    CacheKey { lo: 3, hi: 4 },
+                    ProxyFeatures([0.1, 0.2, 0.3, 0.4, 0.5]),
+                )],
+                proxy_evals: 8,
+                proxy_escalations: 8,
+                proxy_dedup_hits: 2,
+            }),
         };
         let bytes = encode_snapshot(&state);
         assert_eq!(decode_snapshot::<SearchCheckpoint>(&bytes).unwrap(), state);

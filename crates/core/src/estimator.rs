@@ -163,6 +163,24 @@ impl Estimator {
         self.valid_cap
     }
 
+    /// Bundles a candidate with this estimator's device for training-free
+    /// proxy scoring: the topology proxy reads the same calibration data
+    /// full scoring would, so proxy ranks track the estimator's noise
+    /// awareness.
+    pub fn proxy_context<'a>(
+        &'a self,
+        circuit: &'a Circuit,
+        layout: &'a [usize],
+        seed: u64,
+    ) -> qns_proxy::ProxyContext<'a> {
+        qns_proxy::ProxyContext {
+            circuit,
+            device: &self.device,
+            layout,
+            seed,
+        }
+    }
+
     /// Wires this estimator into a search runtime: compiles go through
     /// `cache` (content-addressed, so distinct devices or opt levels never
     /// collide) and transpile/simulate wall time plus cache hit counters

@@ -89,3 +89,11 @@ pub use train::{
 // The fault-injection surface, re-exported so tests and the CLI don't
 // need a direct qns-runtime dependency.
 pub use qns_runtime::{FaultPlan, FAULT_MARKER};
+
+// The proxy-prescreening surface, re-exported for the same reason:
+// `ProxyOptions` rides on `EvoConfig`, and the bench/test harnesses drive
+// the prescreener directly.
+pub use qns_proxy::{
+    candidate_seed, compute_features, FusionModel, Prescreener, PrescreenerState, Proxy,
+    ProxyContext, ProxyFeatures, ProxyOptions,
+};

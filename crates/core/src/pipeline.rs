@@ -141,6 +141,15 @@ pub struct Report {
     pub search_evaluations: usize,
     /// Search candidates answered from the score memo.
     pub search_memo_hits: usize,
+    /// Candidates proxy-scored by the search-stage prescreener (zero when
+    /// `--proxy` is off).
+    pub search_proxy_evals: u64,
+    /// Candidates the prescreener escalated to full scoring (zero when
+    /// `--proxy` is off).
+    pub search_proxy_escalations: u64,
+    /// Structurally-duplicate offspring skipped by the prescreener before
+    /// any scoring (zero when `--proxy` is off).
+    pub search_proxy_dedup_hits: u64,
     /// Text telemetry summary for the whole run (counters, cache hit
     /// rates, transpile/simulate wall time, per-generation tail).
     pub runtime_summary: String,
@@ -293,6 +302,9 @@ impl QuantumNas {
             final_params,
             search_evaluations: search.evaluations,
             search_memo_hits: search.memo_hits,
+            search_proxy_evals: search.proxy_evals,
+            search_proxy_escalations: search.proxy_escalations,
+            search_proxy_dedup_hits: search.proxy_dedup_hits,
             runtime_summary: rt.metrics().summary(),
         }
     }

@@ -268,6 +268,29 @@ impl SearchRuntime {
         }
     }
 
+    /// Runs `f` over `items` on the engine with the same panic isolation
+    /// and nested-parallelism guard as [`SearchRuntime::score_batch`], but
+    /// without memoization or evaluation accounting — the shape proxy
+    /// feature computation needs (cheap per-candidate work, cached by the
+    /// caller under its own digests).
+    pub fn map_isolated<T, U>(
+        &self,
+        items: &[T],
+        f: impl Fn(&T) -> U + Sync,
+    ) -> Vec<Result<U, String>>
+    where
+        T: Sync,
+        U: Send + Sync,
+    {
+        self.engine.try_run(items, |item| {
+            if self.engine.workers() > 1 {
+                qns_sim::sequential_scope(|| f(item))
+            } else {
+                f(item)
+            }
+        })
+    }
+
     /// Scores a batch of genes through the engine, memoizing by
     /// `(context, gene)` digest when caching is enabled.
     ///

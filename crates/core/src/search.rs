@@ -3,7 +3,8 @@
 use crate::checkpoint::SearchCheckpoint;
 use crate::runtime::{gene_key, search_context_key, RuntimeOptions, SearchRuntime};
 use crate::{Estimator, SubConfig, SuperCircuit, Task};
-use qns_runtime::{GenerationEvent, StructuralHasher};
+use qns_proxy::{candidate_seed, compute_features, Prescreener, ProxyFeatures, ProxyOptions};
+use qns_runtime::{counters, GenerationEvent, Metrics, StructuralHasher};
 use qns_transpile::Layout;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -55,6 +56,10 @@ pub struct EvoConfig {
     pub search_layout: bool,
     /// Evaluation-runtime knobs (worker count, caching).
     pub runtime: RuntimeOptions,
+    /// Training-free proxy prescreening (`--proxy`); disabled by default,
+    /// in which case the search path is bitwise-identical to the engine
+    /// without the prescreener.
+    pub proxy: ProxyOptions,
 }
 
 impl Default for EvoConfig {
@@ -71,6 +76,7 @@ impl Default for EvoConfig {
             search_arch: true,
             search_layout: true,
             runtime: RuntimeOptions::default(),
+            proxy: ProxyOptions::default(),
         }
     }
 }
@@ -90,6 +96,7 @@ impl EvoConfig {
             search_arch: true,
             search_layout: true,
             runtime: RuntimeOptions::default(),
+            proxy: ProxyOptions::default(),
         }
     }
 }
@@ -109,6 +116,15 @@ pub struct SearchResult {
     pub evaluations: usize,
     /// Candidates answered from the score memo without re-evaluation.
     pub memo_hits: usize,
+    /// Candidates whose training-free proxy features were computed
+    /// (zero when prescreening is off).
+    pub proxy_evals: u64,
+    /// Candidates the prescreener escalated to full estimator scoring
+    /// (zero when prescreening is off).
+    pub proxy_escalations: u64,
+    /// Structurally-duplicate offspring skipped within a generation before
+    /// any scoring (zero when prescreening is off).
+    pub proxy_dedup_hits: u64,
 }
 
 impl SearchResult {
@@ -236,6 +252,14 @@ impl GenePool<'_> {
     }
 }
 
+/// The logical circuit a gene denotes under the task's encoder.
+fn build_gene_circuit(sc: &SuperCircuit, task: &Task, gene: &Gene) -> qns_circuit::Circuit {
+    match task {
+        Task::Qml { encoder, .. } => sc.build(&gene.config, Some(encoder)),
+        Task::Vqe { .. } => sc.build(&gene.config, None),
+    }
+}
+
 fn score_gene(
     sc: &SuperCircuit,
     shared_params: &[f64],
@@ -244,16 +268,41 @@ fn score_gene(
     gene: &Gene,
     max_params: Option<usize>,
 ) -> f64 {
-    let circuit = match task {
-        Task::Qml { encoder, .. } => sc.build(&gene.config, Some(encoder)),
-        Task::Vqe { .. } => sc.build(&gene.config, None),
-    };
+    let circuit = build_gene_circuit(sc, task, gene);
     if let Some(cap) = max_params {
         if circuit.referenced_train_indices().len() > cap {
             return 1e9;
         }
     }
     estimator.score(&circuit, shared_params, task, &gene.layout())
+}
+
+/// Folds one generation's proxy-vs-full rank agreement into the metrics:
+/// a Spearman correlation as `(rho + 1) * 1000` milli-units (mean derivable
+/// from `PROXY_RANK_SUM_MILLI / PROXY_RANK_OBS`), plus a log2-bucketed
+/// disagreement counter `proxy_rank_bNN` so the spread survives averaging.
+fn record_rank_quality(metrics: &Metrics, predicted: &[f64], actual: &[f64]) {
+    let (xs, ys): (Vec<f64>, Vec<f64>) = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p.is_finite() && a.is_finite())
+        .map(|(&p, &a)| (p, a))
+        .unzip();
+    if xs.len() < 2 {
+        return;
+    }
+    let rho = qns_ml::spearman(&xs, &ys);
+    if !rho.is_finite() {
+        return;
+    }
+    metrics.incr(counters::PROXY_RANK_OBS, 1);
+    metrics.incr(
+        counters::PROXY_RANK_SUM_MILLI,
+        ((rho + 1.0) * 1000.0).round() as u64,
+    );
+    let disagreement = ((1.0 - rho) * 1000.0).round() as u64;
+    let bucket = (64 - disagreement.leading_zeros() as u64).min(11);
+    metrics.incr(&format!("proxy_rank_b{bucket:02}"), 1);
 }
 
 /// The paper's evolutionary co-search: a genetic algorithm over
@@ -366,6 +415,11 @@ pub fn evolutionary_search_seeded_rt(
     let mut memo_hits = 0usize;
     let mut best: Option<(Gene, f64)> = None;
     let mut start_generation = 0usize;
+    let mut prescreener: Option<Prescreener> =
+        config.proxy.enabled.then(|| Prescreener::new(config.proxy));
+    let mut proxy_evals = 0u64;
+    let mut proxy_escalations = 0u64;
+    let mut proxy_dedup_hits = 0u64;
 
     // Everything that shapes the evolution trajectory goes into the
     // snapshot's context digest: the scoring context plus the evolution
@@ -384,6 +438,9 @@ pub fn evolutionary_search_seeded_rt(
         h.write_u64(config.seed);
         h.write_u64(config.search_arch as u64);
         h.write_u64(config.search_layout as u64);
+        h.write_u64(config.proxy.enabled as u64);
+        h.write_u64(config.proxy.keep.to_bits());
+        h.write_usize(config.proxy.warmup);
         h.write_usize(seeds.len());
         for seed in seeds {
             h.write_u64(gene_key(seed).lo);
@@ -394,7 +451,8 @@ pub fn evolutionary_search_seeded_rt(
     if let Some(ck) = rt.load_checkpoint::<SearchCheckpoint>() {
         let compatible = ck.context == resume_context
             && ck.generation <= config.iterations
-            && ck.population.len() == config.population;
+            && ck.population.len() == config.population
+            && ck.proxy.is_some() == config.proxy.enabled;
         if compatible {
             start_generation = ck.generation;
             population = ck.population;
@@ -404,6 +462,12 @@ pub fn evolutionary_search_seeded_rt(
             evaluations = ck.evaluations;
             memo_hits = ck.memo_hits;
             rt.restore_memo(&ck.memo);
+            if let Some(state) = &ck.proxy {
+                prescreener = Some(Prescreener::from_state(config.proxy, state));
+                proxy_evals = state.proxy_evals;
+                proxy_escalations = state.proxy_escalations;
+                proxy_dedup_hits = state.proxy_dedup_hits;
+            }
             rt.note_resumed();
         } else {
             rt.note_checkpoint_rejected();
@@ -411,13 +475,114 @@ pub fn evolutionary_search_seeded_rt(
     }
 
     for generation in start_generation..config.iterations {
-        let outcome = rt.score_batch(context, &population, |g| {
+        // With prescreening on, only a proxy-ranked subset of the
+        // generation reaches the estimator; with it off, `candidates` is
+        // the whole population and the loop body is unchanged.
+        let (candidates, proxy_batch) = match prescreener.as_ref() {
+            None => (std::mem::take(&mut population), None),
+            Some(pre) => {
+                // Structurally-identical offspring collapse to one slot
+                // before any scoring — the digest is the same one the
+                // score memo keys on.
+                let mut uniq: Vec<usize> = Vec::with_capacity(population.len());
+                let mut keys = Vec::with_capacity(population.len());
+                let mut seen = std::collections::HashSet::new();
+                for (i, g) in population.iter().enumerate() {
+                    let key = gene_key(g);
+                    if seen.insert(key) {
+                        uniq.push(i);
+                        keys.push(key);
+                    }
+                }
+                let dups = (population.len() - uniq.len()) as u64;
+                if dups > 0 {
+                    rt.metrics().incr(counters::PROXY_DEDUP_HITS, dups);
+                }
+                proxy_dedup_hits += dups;
+
+                let missing: Vec<usize> = (0..uniq.len())
+                    .filter(|&u| pre.cached_features(keys[u]).is_none())
+                    .collect();
+                let missing_genes: Vec<&Gene> =
+                    missing.iter().map(|&u| &population[uniq[u]]).collect();
+                let computed = rt.map_isolated(&missing_genes, |g| {
+                    let circuit = build_gene_circuit(sc, task, g);
+                    let key = gene_key(g);
+                    let cx = estimator.proxy_context(
+                        &circuit,
+                        &g.layout,
+                        candidate_seed(config.seed, key.lo, key.hi),
+                    );
+                    compute_features(&cx)
+                });
+                let mut proxy_panics = 0u64;
+                for (&u, r) in missing.iter().zip(computed) {
+                    let feats = match r {
+                        Ok(f) => f,
+                        // A panicked proxy poisons its features (ranked
+                        // last) instead of killing the search.
+                        Err(_) => {
+                            proxy_panics += 1;
+                            ProxyFeatures::poisoned()
+                        }
+                    };
+                    pre.record_features(keys[u], feats);
+                }
+                proxy_evals += missing.len() as u64;
+                rt.metrics()
+                    .incr(counters::PROXY_EVALS, missing.len() as u64);
+                if proxy_panics > 0 {
+                    rt.metrics().incr(counters::PANICS, proxy_panics);
+                }
+
+                let feats: Vec<ProxyFeatures> = keys
+                    .iter()
+                    .map(|&k| pre.cached_features(k).expect("recorded above"))
+                    .collect();
+                // Warmup generations escalate every unique candidate so
+                // the fusion model trains before it gates anything.
+                let (escalated, predicted) = if generation < pre.options().warmup {
+                    ((0..uniq.len()).collect::<Vec<usize>>(), Vec::new())
+                } else {
+                    let predicted: Vec<f64> = feats.iter().map(|f| pre.predict(f)).collect();
+                    let count = pre.escalation_count(config.population, config.parents, uniq.len());
+                    (pre.select(&predicted, count), predicted)
+                };
+                proxy_escalations += escalated.len() as u64;
+                rt.metrics()
+                    .incr(counters::PROXY_ESCALATIONS, escalated.len() as u64);
+                let candidates: Vec<Gene> = escalated
+                    .iter()
+                    .map(|&u| population[uniq[u]].clone())
+                    .collect();
+                let esc_feats: Vec<ProxyFeatures> = escalated.iter().map(|&u| feats[u]).collect();
+                let esc_pred: Vec<f64> = if predicted.is_empty() {
+                    Vec::new()
+                } else {
+                    escalated.iter().map(|&u| predicted[u]).collect()
+                };
+                population.clear();
+                (candidates, Some((esc_feats, esc_pred)))
+            }
+        };
+        let outcome = rt.score_batch(context, &candidates, |g| {
             score_gene(sc, shared_params, task, &estimator, g, config.max_params)
         });
         evaluations += outcome.evaluated;
         memo_hits += outcome.memo_hits;
-        let mut scored: Vec<(Gene, f64)> = population
-            .drain(..)
+        if let (Some(pre), Some((esc_feats, esc_pred))) = (prescreener.as_mut(), proxy_batch) {
+            // Rank quality vs the full scores (absent during warmup, when
+            // nothing was gated), then feed every full score back into the
+            // fusion model in deterministic batch order.
+            if !esc_pred.is_empty() {
+                record_rank_quality(rt.metrics(), &esc_pred, &outcome.scores);
+            }
+            for (f, &s) in esc_feats.iter().zip(&outcome.scores) {
+                pre.observe(f, s);
+            }
+        }
+        let mut scored: Vec<(Gene, f64)> = candidates
+            .into_iter()
             .zip(outcome.scores.iter().copied())
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
@@ -469,6 +634,9 @@ pub fn evolutionary_search_seeded_rt(
                 evaluations,
                 memo_hits,
                 memo: rt.memo_entries(),
+                proxy: prescreener
+                    .as_ref()
+                    .map(|p| p.snapshot(proxy_evals, proxy_escalations, proxy_dedup_hits)),
             });
         }
         rt.fault_boundary();
@@ -481,6 +649,9 @@ pub fn evolutionary_search_seeded_rt(
         history,
         evaluations,
         memo_hits,
+        proxy_evals,
+        proxy_escalations,
+        proxy_dedup_hits,
     }
 }
 
@@ -556,6 +727,9 @@ pub fn random_search_rt(
         history,
         evaluations,
         memo_hits,
+        proxy_evals: 0,
+        proxy_escalations: 0,
+        proxy_dedup_hits: 0,
     }
 }
 

@@ -37,6 +37,18 @@ pub mod counters {
     pub const CHECKPOINT_IO_ERRORS: &str = "checkpoint_io_errors";
     /// Evaluations failed on purpose by an active `FaultPlan`.
     pub const INJECTED_FAULTS: &str = "injected_faults";
+    /// Candidates whose training-free proxy features were computed.
+    pub const PROXY_EVALS: &str = "proxy_evals";
+    /// Candidates the prescreener escalated to full estimator scoring.
+    pub const PROXY_ESCALATIONS: &str = "proxy_escalations";
+    /// Structurally-duplicate offspring skipped before any scoring.
+    pub const PROXY_DEDUP_HITS: &str = "proxy_dedup_hits";
+    /// Generations contributing a proxy-vs-full Spearman observation.
+    pub const PROXY_RANK_OBS: &str = "proxy_rank_obs";
+    /// Running sum of per-generation `(rho + 1) * 1000`; together with
+    /// `PROXY_RANK_OBS` this yields the mean rank correlation without
+    /// needing float counters.
+    pub const PROXY_RANK_SUM_MILLI: &str = "proxy_rank_sum_milli";
 }
 
 /// Well-known timer names.
@@ -291,6 +303,13 @@ impl Metrics {
                 "verify violations",
                 self.counter(counters::VERIFY_VIOLATIONS)
             ));
+        }
+        let rank_obs = self.counter(counters::PROXY_RANK_OBS);
+        if rank_obs > 0 {
+            let mean_rho =
+                self.counter(counters::PROXY_RANK_SUM_MILLI) as f64 / rank_obs as f64 / 1000.0
+                    - 1.0;
+            out.push_str(&format!("  {:<22} {mean_rho:+.3}\n", "proxy rank corr"));
         }
         {
             let hists = self.histograms.lock().expect("metrics lock");

@@ -46,6 +46,7 @@ const SEARCH_PATH_CRATES: &[&str] = &[
     "chem",
     "core",
     "runtime",
+    "proxy",
 ];
 
 /// Crates where worker threads may not be created (`runtime` owns them).
@@ -60,6 +61,7 @@ const NO_SPAWN_CRATES: &[&str] = &[
     "data",
     "chem",
     "core",
+    "proxy",
 ];
 
 /// Crates whose library code must stay panic-free.

@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use qns_runtime::{decode_snapshot, encode_snapshot, CacheKey, CheckpointError, StructuralHasher};
 use quantumnas::{
-    DesignSpace, Gene, SearchCheckpoint, SpaceKind, SubConfig, SuperCircuit, TrainCheckpoint,
+    DesignSpace, Gene, Prescreener, ProxyFeatures, ProxyOptions, SearchCheckpoint, SpaceKind,
+    SubConfig, SuperCircuit, TrainCheckpoint,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -24,10 +25,49 @@ fn arb_search_checkpoint() -> impl Strategy<Value = SearchCheckpoint> {
         prop::collection::vec(gene, 1..=6),
         prop::collection::vec(0u64..u64::MAX, 4),
         prop::collection::vec(-10.0..10.0f64, 0..8),
-        prop::collection::vec((0u64..1000, 0u64..1000, -5.0..5.0f64), 0..8),
+        (
+            prop::collection::vec((0u64..1000, 0u64..1000, -5.0..5.0f64), 0..8),
+            // Optional prescreener state, built through the public API:
+            // fusion observations, feature-cache entries, counters.
+            (
+                prop::bool::ANY,
+                prop::collection::vec(
+                    (
+                        -3.0..3.0f64,
+                        -3.0..3.0f64,
+                        -3.0..3.0f64,
+                        -3.0..3.0f64,
+                        -3.0..3.0f64,
+                        -2.0..2.0f64,
+                    ),
+                    0..6,
+                ),
+                prop::collection::vec(
+                    (
+                        (0u64..1000, 0u64..1000),
+                        (
+                            -3.0..3.0f64,
+                            -3.0..3.0f64,
+                            -3.0..3.0f64,
+                            -3.0..3.0f64,
+                            -3.0..3.0f64,
+                        ),
+                    ),
+                    0..6,
+                ),
+                (0u64..1000, 0u64..1000, 0u64..1000),
+            ),
+        ),
     )
         .prop_map(
-            |(ctx, (generation, evaluations, memo_hits), genes, rng_words, history, memo)| {
+            |(
+                ctx,
+                (generation, evaluations, memo_hits),
+                genes,
+                rng_words,
+                history,
+                (memo, (with_proxy, proxy_obs, proxy_cache, proxy_counters)),
+            )| {
                 let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
                 let population: Vec<Gene> = genes
                     .into_iter()
@@ -50,6 +90,20 @@ fn arb_search_checkpoint() -> impl Strategy<Value = SearchCheckpoint> {
                 let best = population
                     .first()
                     .map(|g| (g.clone(), history.first().copied().unwrap_or(0.5)));
+                let proxy = with_proxy.then(|| {
+                    let mut pre = Prescreener::new(ProxyOptions {
+                        enabled: true,
+                        keep: 0.5,
+                        warmup: 1,
+                    });
+                    for ((lo, hi), (a, b, c, d, e)) in proxy_cache {
+                        pre.record_features(key_from(lo, hi), ProxyFeatures([a, b, c, d, e]));
+                    }
+                    for (a, b, c, d, e, score) in proxy_obs {
+                        pre.observe(&ProxyFeatures([a, b, c, d, e]), score);
+                    }
+                    pre.snapshot(proxy_counters.0, proxy_counters.1, proxy_counters.2)
+                });
                 SearchCheckpoint {
                     context: key_from(ctx.0, ctx.1),
                     generation,
@@ -63,6 +117,7 @@ fn arb_search_checkpoint() -> impl Strategy<Value = SearchCheckpoint> {
                         .into_iter()
                         .map(|(lo, hi, s)| (key_from(lo, hi), s))
                         .collect(),
+                    proxy,
                 }
             },
         )

@@ -1,0 +1,17 @@
+// The old per-line scanner had no block-comment state: every line of a
+// multi-line `/* … */` was treated as code, so the body below would
+// false-positive three times. The lexer must report exactly ONE finding
+// in this file — the live Instant::now after the comment closes.
+
+/*
+   Commented-out prototype, kept for reference:
+   let start = std::time::Instant::now();
+   let mut rng = rand::thread_rng();
+   panic!("dead code");
+*/
+
+/* nested /* block */ comments stay comments: Instant::now() */
+
+fn live() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,20 @@
+// The old scanner stopped at the FIRST `#[cfg(test)]` and ignored the
+// rest of the file, so the live violation at the bottom was invisible.
+// The lexer scopes the gate to the test module: exactly ONE wallclock
+// finding (the last line), nothing from inside the tests.
+
+fn live_before() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+        let _ = rand::thread_rng();
+        x.unwrap();
+    }
+}
+
+fn live_after() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,21 @@
+// Seeded QA006 violations (never compiled): a checkpointed struct with a
+// deliberately unhashed field, plus an exemption without a reason.
+// Expected findings: exactly TWO (`forgotten`, and the bare exempt on
+// `bare`). The `covered` and `derived` fields are fine.
+
+pub struct DriftingSnapshot {
+    pub covered: u64,
+    /// This field silently changes resumed-search trajectories: nothing
+    /// writes it into the checkpoint bytes.
+    pub forgotten: f64,
+    // digest:exempt(derived: recomputed from `covered` during decode)
+    pub derived: f64,
+    // digest:exempt(bare:)
+    pub bare: u32,
+}
+
+impl DriftingSnapshot {
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.covered);
+    }
+}

@@ -1,0 +1,24 @@
+// QA006 negative (never compiled): every field is either encoded —
+// directly, via helper calls, or by destructuring — or carries a
+// justified exemption. Expected findings: ZERO.
+
+pub struct CleanSnapshot {
+    pub step: u64,
+    pub params: Vec<f64>,
+    pub rng_state: [u64; 2],
+    // digest:exempt(scratch: rebuilt empty on decode, never observable)
+    pub scratch: Vec<f64>,
+}
+
+impl Checkpointable for CleanSnapshot {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.step);
+        w.put_usize(self.params.len());
+        for &p in &self.params {
+            w.put_f64(p);
+        }
+        let [a, b] = self.rng_state;
+        w.put_u64(a);
+        w.put_u64(b);
+    }
+}

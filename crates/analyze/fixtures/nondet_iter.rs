@@ -1,0 +1,53 @@
+// Seeded QA005 violations (never compiled): order-observing iteration
+// over hash collections. Expected findings: exactly FOUR —
+//   1. map.iter() on an annotated local
+//   2. for … in set (constructor-inferred local)
+//   3. self.err.values() through a struct field
+//   4. shard.iter() through a Vec<Mutex<HashMap>> lock guard
+// The bare (unjustified) escape at the bottom is the FIFTH finding.
+
+use std::collections::{HashMap, HashSet};
+
+fn annotated() -> f64 {
+    let map: HashMap<u32, f64> = make();
+    map.iter().map(|(_, v)| v).sum()
+}
+
+fn inferred() {
+    let mut set = HashSet::new();
+    set.insert(1u64);
+    for x in set {
+        consume(x);
+    }
+}
+
+struct Device {
+    err: HashMap<(usize, usize), f64>,
+}
+
+impl Device {
+    fn mean(&self) -> f64 {
+        let sum: f64 = self.err.values().sum();
+        sum / self.err.len() as f64
+    }
+}
+
+struct Sharded {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+}
+
+impl Sharded {
+    fn all(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("poisoned");
+            out.extend(shard.iter().map(|(k, v)| (*k, *v)));
+        }
+        out
+    }
+}
+
+fn bare_escape() {
+    let m: HashMap<u8, u8> = make();
+    let _ = m.keys().count(); // lint:allow(nondet-iter)
+}

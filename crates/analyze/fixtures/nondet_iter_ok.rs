@@ -1,0 +1,40 @@
+// QA005 negatives (never compiled): hash-collection uses that are
+// order-safe, ordered containers, and a justified escape. Expected
+// findings: ZERO.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn membership_only() -> bool {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(7);
+    seen.contains(&7)
+}
+
+fn point_lookups(m: &HashMap<u32, f64>) -> Option<f64> {
+    let n = m.len();
+    let _ = n;
+    m.get(&3).copied()
+}
+
+fn ordered_containers() -> Vec<u32> {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    for (k, _) in &m {
+        out.push(*k);
+    }
+    out
+}
+
+fn justified() -> Vec<(u32, f64)> {
+    let m: HashMap<u32, f64> = make();
+    // lint:allow(nondet-iter) — collected then sorted by key before use
+    let mut out: Vec<(u32, f64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+fn vec_of_maps(shards: &[Mutex<HashMap<u64, u64>>]) -> usize {
+    // Iterating the Vec itself is deterministic; only guard contents are
+    // hash-ordered.
+    shards.len()
+}

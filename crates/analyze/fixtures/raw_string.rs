@@ -1,0 +1,15 @@
+// Raw strings defeat per-line escape tracking: the old scanner treated
+// the `\"` in `r"c:\dir\"` as an escaped quote, swallowed the rest of the
+// line as string content, and MISSED the real `.unwrap()` after it.
+// The lexer must report exactly ONE finding here (that unwrap), and none
+// for the patterns inside raw-string bodies.
+
+fn windows_path(x: Option<u32>) -> u32 {
+    let _p = r"c:\dir\"; x.unwrap()
+}
+
+fn multiline() -> &'static str {
+    r#"
+    thread_rng and Instant::now and panic!("inside a raw string")
+    "#
+}

@@ -1,0 +1,555 @@
+//! Item-level parsing (structs and `encode` impls) and the QA006
+//! digest-coverage rule.
+//!
+//! Registration is structural, not annotation-based: any non-test struct
+//! whose type has a `fn encode(&self, w: &mut ByteWriter)` — either as an
+//! inherent method or inside an `impl Checkpointable for …` block — is
+//! wire-format state, because `ByteWriter` is the checkpoint serializer.
+//! QA006 then demands every field of such a struct appear in the encode
+//! body (as an identifier — direct writes, helper calls, and destructuring
+//! all qualify) or carry a `// digest:exempt(<field>: reason)` comment
+//! inside the struct body. A field that is silently dropped from the
+//! encode is exactly the bug class that corrupts resumed searches without
+//! crashing them.
+
+use crate::diag::{Finding, QaRule};
+use crate::lexer::{FileModel, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One named field of a parsed struct.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    pub name: String,
+    /// Normalized type text (token texts concatenated).
+    pub ty: String,
+    pub line: usize,
+}
+
+/// A parsed `struct` with named fields.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub path: String,
+    pub line: usize,
+    pub fields: Vec<FieldDef>,
+    /// `digest:exempt(field: reason)` escapes found inside the struct
+    /// body, mapped field → reason (reason may be empty = unjustified).
+    pub exempts: BTreeMap<String, String>,
+    /// Line of each exempt comment, for reporting bad escapes.
+    pub exempt_lines: BTreeMap<String, usize>,
+}
+
+/// A `fn encode(&self, w: &mut ByteWriter)` found in an impl block.
+#[derive(Clone, Debug)]
+pub struct EncodeFn {
+    /// The self type of the surrounding impl.
+    pub target: String,
+    pub path: String,
+    pub line: usize,
+    /// Every identifier appearing in the function body.
+    pub idents: BTreeSet<String>,
+}
+
+/// Parses all non-test structs and encode functions in a file.
+pub fn parse_items(model: &FileModel) -> (Vec<StructDef>, Vec<EncodeFn>) {
+    let toks: Vec<&Tok> = model
+        .tokens
+        .iter()
+        .filter(|t| !t.is_comment() && !t.in_test)
+        .collect();
+    let mut structs = Vec::new();
+    let mut encodes = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") {
+            if let Some((def, next)) = parse_struct(model, &toks, i) {
+                structs.push(def);
+                i = next;
+                continue;
+            }
+        }
+        if toks[i].is_ident("impl") {
+            if let Some((mut fns, next)) = parse_impl(model, &toks, i) {
+                encodes.append(&mut fns);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (structs, encodes)
+}
+
+/// Skips a balanced `<…>` generics group starting at `i` (which must point
+/// at `<`); returns the index after the matching `>`.
+fn skip_generics(toks: &[&Tok], i: usize) -> usize {
+    let mut nest = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct('<') {
+            nest += 1;
+        } else if toks[j].is_punct('>') {
+            nest = nest.saturating_sub(1);
+            if nest == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+fn parse_struct(model: &FileModel, toks: &[&Tok], kw: usize) -> Option<(StructDef, usize)> {
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = kw + 2;
+    if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+        j = skip_generics(toks, j);
+    }
+    // Only brace-bodied structs have named fields; tuple/unit structs are
+    // not wire-format state in this codebase.
+    if !toks.get(j).map(|t| t.is_punct('{')).unwrap_or(false) {
+        return None;
+    }
+    let body_depth = toks[j].depth;
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct('}') && t.depth == body_depth {
+            break;
+        }
+        // Skip attributes and visibility modifiers.
+        if t.is_punct('#') && toks.get(k + 1).map(|u| u.is_punct('[')).unwrap_or(false) {
+            let mut nest = 0usize;
+            let mut m = k + 1;
+            while m < toks.len() {
+                if toks[m].is_punct('[') {
+                    nest += 1;
+                } else if toks[m].is_punct(']') {
+                    nest -= 1;
+                    if nest == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            k += 1;
+            if toks.get(k).map(|u| u.is_punct('(')).unwrap_or(false) {
+                // pub(crate) etc.
+                let mut nest = 0usize;
+                while k < toks.len() {
+                    if toks[k].is_punct('(') {
+                        nest += 1;
+                    } else if toks[k].is_punct(')') {
+                        nest -= 1;
+                        if nest == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && toks.get(k + 1).map(|u| u.is_punct(':')).unwrap_or(false)
+            && !toks.get(k + 2).map(|u| u.is_punct(':')).unwrap_or(false)
+        {
+            // field: Type, — the type runs to the next `,` outside any
+            // `<…>`/`(…)` nesting, or to the struct's closing brace
+            // (which is recorded at the body's *open* depth).
+            let mut ty = String::new();
+            let mut m = k + 2;
+            let mut angle = 0usize;
+            let mut paren = 0usize;
+            while m < toks.len() {
+                let u = toks[m];
+                if u.is_punct('}') && u.depth < t.depth {
+                    break;
+                }
+                if u.is_punct('<') {
+                    angle += 1;
+                } else if u.is_punct('>') {
+                    angle = angle.saturating_sub(1);
+                } else if u.is_punct('(') || u.is_punct('[') {
+                    paren += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    paren = paren.saturating_sub(1);
+                }
+                if angle == 0 && paren == 0 && u.is_punct(',') {
+                    break;
+                }
+                ty.push_str(&u.text);
+                m += 1;
+            }
+            fields.push(FieldDef {
+                name: t.text.clone(),
+                ty,
+                line: t.line,
+            });
+            // Leave a terminating `}` for the outer loop to see.
+            k = if toks.get(m).map(|u| u.is_punct('}')).unwrap_or(true) {
+                m
+            } else {
+                m + 1
+            };
+            continue;
+        }
+        k += 1;
+    }
+    let end = k.min(toks.len().saturating_sub(1));
+    let (exempts, exempt_lines) = collect_exempts(
+        model,
+        name_tok.line,
+        toks.get(end).map(|t| t.line).unwrap_or(name_tok.line),
+    );
+    Some((
+        StructDef {
+            name: name_tok.text.clone(),
+            path: model.path.clone(),
+            line: name_tok.line,
+            fields,
+            exempts,
+            exempt_lines,
+        },
+        end + 1,
+    ))
+}
+
+/// Collects `digest:exempt(field: reason)` comments between two lines.
+fn collect_exempts(
+    model: &FileModel,
+    from_line: usize,
+    to_line: usize,
+) -> (BTreeMap<String, String>, BTreeMap<String, usize>) {
+    let mut exempts = BTreeMap::new();
+    let mut lines = BTreeMap::new();
+    for t in &model.tokens {
+        if !t.is_comment() || t.line < from_line || t.line > to_line {
+            continue;
+        }
+        let mut rest = t.text.as_str();
+        while let Some(pos) = rest.find("digest:exempt(") {
+            rest = &rest[pos + "digest:exempt(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let inner = &rest[..close];
+            rest = &rest[close + 1..];
+            let (field, reason) = match inner.split_once(':') {
+                Some((f, r)) => (f.trim().to_string(), r.trim().to_string()),
+                None => (inner.trim().to_string(), String::new()),
+            };
+            if !field.is_empty() {
+                lines.insert(field.clone(), t.line);
+                exempts.insert(field, reason);
+            }
+        }
+    }
+    (exempts, lines)
+}
+
+fn parse_impl(model: &FileModel, toks: &[&Tok], kw: usize) -> Option<(Vec<EncodeFn>, usize)> {
+    let mut j = kw + 1;
+    if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+        j = skip_generics(toks, j);
+    }
+    // Collect the self-type path: idents at angle-depth 0 until `for`,
+    // `{`, or `where`. If `for` appears, the path after it is the target.
+    let mut target = String::new();
+    let mut angle = 0usize;
+    while j < toks.len() {
+        let t = toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_ident("for") {
+                target.clear();
+                j += 1;
+                continue;
+            }
+            if t.is_ident("where") {
+                // Skip where-clause to the opening brace.
+                while j < toks.len() && !toks[j].is_punct('{') {
+                    j += 1;
+                }
+                break;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut") {
+                target = t.text.clone();
+            }
+        }
+        j += 1;
+    }
+    if target.is_empty() || !toks.get(j).map(|t| t.is_punct('{')).unwrap_or(false) {
+        return None;
+    }
+    let impl_depth = toks[j].depth;
+    let mut fns = Vec::new();
+    let mut k = j + 1;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct('}') && t.depth == impl_depth {
+            break;
+        }
+        if t.is_ident("fn")
+            && toks
+                .get(k + 1)
+                .map(|u| u.is_ident("encode"))
+                .unwrap_or(false)
+        {
+            if let Some((enc, next)) = parse_encode(model, toks, k, &target) {
+                fns.push(enc);
+                k = next;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    Some((fns, k + 1))
+}
+
+fn parse_encode(
+    model: &FileModel,
+    toks: &[&Tok],
+    kw: usize,
+    target: &str,
+) -> Option<(EncodeFn, usize)> {
+    // Parameter list: must mention ByteWriter, otherwise this is some
+    // unrelated encode (e.g. a classical-shadow encoder).
+    let mut j = kw + 2;
+    while j < toks.len() && !toks[j].is_punct('(') {
+        if toks[j].is_punct('{') || toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut nest = 0usize;
+    let mut has_writer = false;
+    while j < toks.len() {
+        let t = toks[j];
+        if t.is_punct('(') {
+            nest += 1;
+        } else if t.is_punct(')') {
+            nest -= 1;
+            if nest == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.is_ident("ByteWriter") {
+            has_writer = true;
+        }
+        j += 1;
+    }
+    if !has_writer {
+        return None;
+    }
+    // Body: the next `{` (skip a possible return type) to its match.
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_punct(';') {
+            return None; // trait method declaration, no body
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let body_depth = toks[j].depth;
+    let mut idents = BTreeSet::new();
+    let mut k = j + 1;
+    while k < toks.len() {
+        let t = toks[k];
+        if t.is_punct('}') && t.depth == body_depth {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            idents.insert(t.text.clone());
+        }
+        k += 1;
+    }
+    Some((
+        EncodeFn {
+            target: target.to_string(),
+            path: model.path.clone(),
+            line: toks[kw].line,
+            idents,
+        },
+        k + 1,
+    ))
+}
+
+/// QA006: every field of every registered wire struct must appear in its
+/// encode body or carry a justified `digest:exempt`.
+pub fn check_digest_coverage(structs: &[StructDef], encodes: &[EncodeFn]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let by_name: BTreeMap<&str, &StructDef> =
+        structs.iter().map(|s| (s.name.as_str(), s)).collect();
+    let mut covered: BTreeSet<&str> = BTreeSet::new();
+    for enc in encodes {
+        let Some(def) = by_name.get(enc.target.as_str()) else {
+            continue; // struct defined outside the scanned crates
+        };
+        if !covered.insert(def.name.as_str()) {
+            continue; // inherent + trait impls: one coverage check is enough
+        }
+        for field in &def.fields {
+            if enc.idents.contains(&field.name) {
+                continue;
+            }
+            match def.exempts.get(&field.name) {
+                Some(reason) if !reason.is_empty() => {}
+                Some(_) => {
+                    let line = def
+                        .exempt_lines
+                        .get(&field.name)
+                        .copied()
+                        .unwrap_or(field.line);
+                    findings.push(Finding::new(
+                        QaRule::DigestCoverage,
+                        def.path.clone(),
+                        line,
+                        format!(
+                            "digest:exempt for `{}.{}` has no reason — escapes must be justified: `// digest:exempt({}: why it is safe to skip)`",
+                            def.name, field.name, field.name
+                        ),
+                    ));
+                }
+                None => {
+                    findings.push(Finding::new(
+                        QaRule::DigestCoverage,
+                        def.path.clone(),
+                        field.line,
+                        format!(
+                            "field `{}.{}` is not referenced by `{}::encode` ({}:{}) — encode it or add `// digest:exempt({}: reason)`",
+                            def.name, field.name, enc.target, enc.path, enc.line, field.name
+                        ),
+                    ));
+                }
+            }
+        }
+        // A typo'd exemption silently never fires; flag names that match
+        // no field.
+        for name in def.exempts.keys() {
+            if !def.fields.iter().any(|f| &f.name == name) {
+                let line = def.exempt_lines.get(name).copied().unwrap_or(def.line);
+                findings.push(Finding::new(
+                    QaRule::DigestCoverage,
+                    def.path.clone(),
+                    line,
+                    format!(
+                        "digest:exempt names `{}` but struct `{}` has no such field",
+                        name, def.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::new("crates/x/src/lib.rs".into(), "x".into(), src)
+    }
+
+    #[test]
+    fn parses_struct_fields_with_generics_and_attrs() {
+        let m = model(
+            "pub struct Snap<T> {\n    #[allow(dead_code)]\n    pub a: u64,\n    b: Vec<(u32, f64)>,\n    pub(crate) c: HashMap<K, V>,\n}\n",
+        );
+        let (structs, _) = parse_items(&m);
+        assert_eq!(structs.len(), 1);
+        let s = &structs[0];
+        assert_eq!(s.name, "Snap");
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(s.fields[1].ty, "Vec<(u32,f64)>");
+    }
+
+    #[test]
+    fn finds_encode_in_inherent_and_trait_impls() {
+        let m = model(
+            "struct A { x: u64 }\nimpl A {\n    pub fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.x); }\n}\nstruct B { y: u64 }\nimpl Checkpointable for B {\n    fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.y); }\n}\n",
+        );
+        let (_, encodes) = parse_items(&m);
+        let targets: Vec<_> = encodes.iter().map(|e| e.target.as_str()).collect();
+        assert_eq!(targets, ["A", "B"]);
+        assert!(encodes[0].idents.contains("x"));
+        assert!(encodes[1].idents.contains("y"));
+    }
+
+    #[test]
+    fn encode_without_bytewriter_is_not_registered() {
+        let m = model(
+            "struct C { z: u64 }\nimpl C {\n    fn encode(&self, out: &mut Vec<u8>) { out.push(self.z as u8); }\n}\n",
+        );
+        let (_, encodes) = parse_items(&m);
+        assert!(encodes.is_empty());
+    }
+
+    #[test]
+    fn trait_declaration_without_body_is_skipped() {
+        let m = model("trait T {\n    fn encode(&self, w: &mut ByteWriter);\n}\n");
+        let (_, encodes) = parse_items(&m);
+        assert!(encodes.is_empty());
+    }
+
+    #[test]
+    fn missing_field_is_flagged() {
+        let m = model(
+            "struct S { a: u64, forgotten: f64 }\nimpl S {\n    fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.a); }\n}\n",
+        );
+        let (structs, encodes) = parse_items(&m);
+        let findings = check_digest_coverage(&structs, &encodes);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("S.forgotten"));
+        assert_eq!(findings[0].rule, QaRule::DigestCoverage);
+    }
+
+    #[test]
+    fn justified_exempt_suppresses_but_bare_exempt_does_not() {
+        let m = model(
+            "struct S {\n    a: u64,\n    // digest:exempt(skip_ok: derived from `a` on decode)\n    skip_ok: f64,\n    // digest:exempt(skip_bad:)\n    skip_bad: f64,\n}\nimpl S {\n    fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.a); }\n}\n",
+        );
+        let (structs, encodes) = parse_items(&m);
+        let findings = check_digest_coverage(&structs, &encodes);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("skip_bad"));
+        assert!(findings[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn exempt_for_unknown_field_is_flagged() {
+        let m = model(
+            "struct S {\n    // digest:exempt(tpyo: never checked)\n    a: u64,\n}\nimpl S {\n    fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.a); }\n}\n",
+        );
+        let (structs, encodes) = parse_items(&m);
+        let findings = check_digest_coverage(&structs, &encodes);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("tpyo"));
+    }
+
+    #[test]
+    fn test_gated_structs_are_ignored() {
+        let m = model(
+            "#[cfg(test)]\nmod tests {\n    struct Demo { a: u64, b: u64 }\n    impl Demo {\n        fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.a); }\n    }\n}\n",
+        );
+        let (structs, encodes) = parse_items(&m);
+        assert!(structs.is_empty());
+        assert!(encodes.is_empty());
+    }
+}

@@ -1,0 +1,677 @@
+//! A self-contained token-level Rust lexer.
+//!
+//! The workspace is offline, so no `syn`/`proc-macro2`: this lexer covers
+//! exactly what the analyzer rules need and nothing more — comments (line,
+//! block, nested block), string/char/byte/raw-string literals, identifiers,
+//! lifetimes, numbers, and single-character punctuation, each tagged with
+//! its 1-based start line and the brace depth it opens at. A second pass
+//! marks every token inside a `#[cfg(test)]` item so rules skip test-only
+//! code without bailing out of the rest of the file (the per-line scanner
+//! this replaces stopped at the first `#[cfg(test)]` it saw and treated
+//! block comments and raw strings as code).
+//!
+//! The lexer is total: any byte sequence produces a token stream without
+//! panicking. Malformed input (unterminated literals, stray quotes)
+//! degrades to best-effort tokens rather than errors — a lint must never
+//! crash on the code it is linting.
+
+/// Token classification. Literals keep their delimiters in `text`;
+/// comments keep their `//` / `/*` markers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    Number,
+    /// `"…"` and `b"…"` literals.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` literals.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` literals.
+    Char,
+    LineComment,
+    BlockComment,
+    /// A single non-alphanumeric character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Brace depth at the token: `{` carries the depth *before* it opens,
+    /// and its matching `}` carries that same depth.
+    pub depth: usize,
+    /// True when the token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream and marks `#[cfg(test)]` ranges.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut depth = 0usize;
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let mut j = i;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                push(&mut out, TokKind::LineComment, &b[i..j], start_line, depth);
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut j = i + 2;
+                let mut nest = 1usize;
+                while j < b.len() && nest > 0 {
+                    if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        nest += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        nest -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                push(&mut out, TokKind::BlockComment, &b[i..j], start_line, depth);
+                i = j;
+            }
+            '"' => {
+                let j = scan_string(&b, i + 1, &mut line);
+                push(&mut out, TokKind::Str, &b[i..j], start_line, depth);
+                i = j;
+            }
+            '\'' => {
+                i = scan_quote(&b, i, &mut out, start_line, depth, &mut line);
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                let mut seen_dot = false;
+                while j < b.len() {
+                    let d = b[j];
+                    if is_ident_continue(d) {
+                        j += 1;
+                    } else if d == '.'
+                        && !seen_dot
+                        && b.get(j + 1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+                    {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, TokKind::Number, &b[i..j], start_line, depth);
+                i = j;
+            }
+            _ if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                i = lex_after_word(&b, i, j, &word, &mut out, start_line, depth, &mut line);
+            }
+            _ => {
+                match c {
+                    '{' => {
+                        push(&mut out, TokKind::Punct, &b[i..i + 1], start_line, depth);
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        push(&mut out, TokKind::Punct, &b[i..i + 1], start_line, depth);
+                    }
+                    _ => push(&mut out, TokKind::Punct, &b[i..i + 1], start_line, depth),
+                }
+                i += 1;
+            }
+        }
+    }
+
+    mark_cfg_test(&mut out);
+    out
+}
+
+fn push(out: &mut Vec<Tok>, kind: TokKind, text: &[char], line: usize, depth: usize) {
+    out.push(Tok {
+        kind,
+        text: text.iter().collect(),
+        line,
+        depth,
+        in_test: false,
+    });
+}
+
+/// Scans a `"…"` body starting just past the opening quote; returns the
+/// index one past the closing quote (or EOF). Counts embedded newlines.
+fn scan_string(b: &[char], mut j: usize, line: &mut usize) -> usize {
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Scans a raw-string body `r##"…"##` starting at the first `#` or quote;
+/// returns the index one past the closing delimiter.
+fn scan_raw_string(b: &[char], mut j: usize, line: &mut usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+            j += 1;
+        } else {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+    }
+    Some(b.len())
+}
+
+/// Disambiguates `'` between char literals and lifetimes. `i` points at
+/// the quote; returns the index after the consumed token.
+fn scan_quote(
+    b: &[char],
+    i: usize,
+    out: &mut Vec<Tok>,
+    start_line: usize,
+    depth: usize,
+    line: &mut usize,
+) -> usize {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        *line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let j = j.min(b.len());
+            push(out, TokKind::Char, &b[i..j], start_line, depth);
+            j
+        }
+        Some(&c) if is_ident_start(c) => {
+            let mut j = i + 2;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            if b.get(j) == Some(&'\'') {
+                // 'a' — a char literal whose payload looks like an ident.
+                push(out, TokKind::Char, &b[i..j + 1], start_line, depth);
+                j + 1
+            } else {
+                push(out, TokKind::Lifetime, &b[i..j], start_line, depth);
+                j
+            }
+        }
+        Some(_) if b.get(i + 2) == Some(&'\'') => {
+            // '(' etc: a one-character char literal.
+            push(out, TokKind::Char, &b[i..i + 3], start_line, depth);
+            i + 3
+        }
+        _ => {
+            push(out, TokKind::Punct, &b[i..i + 1], start_line, depth);
+            i + 1
+        }
+    }
+}
+
+/// After lexing an identifier-shaped word, checks for literal prefixes
+/// (`r"…"`, `b"…"`, `br"…"`, `b'…'`, `r#ident`). Returns the index after
+/// whatever token was pushed.
+#[allow(clippy::too_many_arguments)]
+fn lex_after_word(
+    b: &[char],
+    i: usize,
+    j: usize,
+    word: &str,
+    out: &mut Vec<Tok>,
+    start_line: usize,
+    depth: usize,
+    line: &mut usize,
+) -> usize {
+    if (word == "r" || word == "br" || word == "rb") && matches!(b.get(j), Some('"') | Some('#')) {
+        if let Some(end) = scan_raw_string(b, j, line) {
+            push(out, TokKind::RawStr, &b[i..end], start_line, depth);
+            return end;
+        }
+        if word == "r" && b.get(j) == Some(&'#') {
+            // r#ident raw identifier.
+            let mut k = j + 1;
+            while k < b.len() && is_ident_continue(b[k]) {
+                k += 1;
+            }
+            push(out, TokKind::Ident, &b[i..k], start_line, depth);
+            return k;
+        }
+    }
+    if word == "b" && b.get(j) == Some(&'"') {
+        let end = scan_string(b, j + 1, line);
+        push(out, TokKind::Str, &b[i..end], start_line, depth);
+        return end;
+    }
+    if word == "b" && b.get(j) == Some(&'\'') {
+        return scan_quote(b, j, out, start_line, depth, line);
+    }
+    push(out, TokKind::Ident, &b[i..j], start_line, depth);
+    j
+}
+
+/// Marks every token belonging to a `#[cfg(test)]`-gated item.
+///
+/// An attribute's item runs through any stacked attributes, then either to
+/// the first `;` at the attribute's depth (e.g. a gated `use`) or to the
+/// `}` matching the first `{` opened at or below it. `cfg(not(test))` and
+/// `cfg_attr(test, …)` are *not* matched — only the exact `cfg(test)`.
+fn mark_cfg_test(toks: &mut [Tok]) {
+    let sig: Vec<usize> = (0..toks.len()).filter(|&k| !toks[k].is_comment()).collect();
+    let mut s = 0usize;
+    while s < sig.len() {
+        if let Some((attr_end, is_test)) = parse_attr(toks, &sig, s) {
+            if is_test {
+                // Skip any further stacked attributes.
+                let mut p = attr_end + 1;
+                while let Some((next_end, _)) = parse_attr(toks, &sig, p) {
+                    p = next_end + 1;
+                }
+                if let Some(item_end) = item_end(toks, &sig, p, toks[sig[s]].depth) {
+                    let lo = sig[s];
+                    let hi = sig[item_end];
+                    for t in toks.iter_mut().take(hi + 1).skip(lo) {
+                        t.in_test = true;
+                    }
+                    s = item_end + 1;
+                    continue;
+                }
+            }
+            s = attr_end + 1;
+        } else {
+            s += 1;
+        }
+    }
+}
+
+/// If `sig[s]` starts an outer attribute `#[…]`, returns the sig-index of
+/// its closing `]` and whether the attribute text is exactly `cfg(test)`.
+fn parse_attr(toks: &[Tok], sig: &[usize], s: usize) -> Option<(usize, bool)> {
+    let first = toks.get(*sig.get(s)?)?;
+    if !first.is_punct('#') {
+        return None;
+    }
+    let second = toks.get(*sig.get(s + 1)?)?;
+    if !second.is_punct('[') {
+        return None;
+    }
+    let mut nest = 1usize;
+    let mut m = s + 2;
+    let mut text = String::new();
+    while m < sig.len() {
+        let t = &toks[sig[m]];
+        if t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(']') {
+            nest -= 1;
+            if nest == 0 {
+                return Some((m, text == "cfg(test)"));
+            }
+        }
+        text.push_str(&t.text);
+        m += 1;
+    }
+    None
+}
+
+/// Finds the sig-index where the item starting at `sig[p]` ends: the first
+/// `;` at `attr_depth`, or the `}` matching the first `{` encountered.
+fn item_end(toks: &[Tok], sig: &[usize], p: usize, attr_depth: usize) -> Option<usize> {
+    let mut m = p;
+    while m < sig.len() {
+        let t = &toks[sig[m]];
+        if t.is_punct(';') && t.depth == attr_depth {
+            return Some(m);
+        }
+        if t.is_punct('{') {
+            let open_depth = t.depth;
+            let mut k = m + 1;
+            while k < sig.len() {
+                let u = &toks[sig[k]];
+                if u.is_punct('}') && u.depth == open_depth {
+                    return Some(k);
+                }
+                k += 1;
+            }
+            return Some(sig.len() - 1);
+        }
+        m += 1;
+    }
+    None
+}
+
+/// A lexed file plus the per-line derived views the rules consume.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Crate directory name under `crates/` (e.g. `"runtime"`).
+    pub crate_name: String,
+    pub tokens: Vec<Tok>,
+    /// Non-test, non-comment code per line, with literals blanked to
+    /// `""`/`''` so rule patterns never match inside them. 0-indexed.
+    pub code_lines: Vec<String>,
+    /// Comment text per line (comments keep their markers). 0-indexed.
+    pub comments: Vec<Vec<String>>,
+    /// True when a line holds comment tokens and nothing else.
+    pub comment_only: Vec<bool>,
+}
+
+impl FileModel {
+    pub fn new(path: String, crate_name: String, src: &str) -> Self {
+        let tokens = lex(src);
+        let n_lines = src.lines().count().max(1);
+        let mut code_lines = vec![String::new(); n_lines];
+        let mut comments = vec![Vec::new(); n_lines];
+        let mut has_code = vec![false; n_lines];
+        let mut has_comment = vec![false; n_lines];
+
+        for t in &tokens {
+            let idx = (t.line - 1).min(n_lines - 1);
+            if t.is_comment() {
+                comments[idx].push(t.text.clone());
+                has_comment[idx] = true;
+                continue;
+            }
+            has_code[idx] = true;
+            if t.in_test {
+                continue;
+            }
+            let line = &mut code_lines[idx];
+            match t.kind {
+                TokKind::Str | TokKind::RawStr => line.push_str("\"\""),
+                TokKind::Char => line.push_str("''"),
+                TokKind::Ident | TokKind::Number => {
+                    if line
+                        .chars()
+                        .next_back()
+                        .map(is_ident_continue)
+                        .unwrap_or(false)
+                    {
+                        line.push(' ');
+                    }
+                    line.push_str(&t.text);
+                }
+                _ => line.push_str(&t.text),
+            }
+        }
+
+        let comment_only = (0..n_lines)
+            .map(|i| has_comment[i] && !has_code[i])
+            .collect();
+        FileModel {
+            path,
+            crate_name,
+            tokens,
+            code_lines,
+            comments,
+            comment_only,
+        }
+    }
+
+    /// Comment texts attached to `line` (1-based), plus the contiguous
+    /// block of comment-only lines directly above it — the placements a
+    /// `lint:allow`/`digest:exempt` escape may use, so justifications can
+    /// wrap across lines.
+    pub fn escape_comments(&self, line: usize) -> Vec<&str> {
+        let mut out = Vec::new();
+        if line == 0 {
+            return out;
+        }
+        if let Some(cs) = self.comments.get(line - 1) {
+            out.extend(cs.iter().map(|s| s.as_str()));
+        }
+        let mut above = line - 1; // 1-based line above
+        while above >= 1 && self.comment_only.get(above - 1).copied().unwrap_or(false) {
+            if let Some(cs) = self.comments.get(above - 1) {
+                out.extend(cs.iter().map(|s| s.as_str()));
+            }
+            above -= 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes_disambiguate() {
+        let toks = kinds(r#"let s = "a\"b"; let c = 'x'; fn f<'a>(v: &'a str) {} let e = '\n';"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifes.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_backslashes_and_quotes() {
+        let toks = kinds("let p = r\"c:\\dir\\\"; let q = r#\"say \"hi\"\"#; x.unwrap();");
+        let raws: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::RawStr).collect();
+        assert_eq!(raws.len(), 2, "{toks:?}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_literals_lex_as_literals() {
+        let toks = kinds("let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::RawStr).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn brace_depth_matches_open_and_close() {
+        let toks = lex("mod m { fn f() { g(); } }");
+        let opens: Vec<_> = toks.iter().filter(|t| t.is_punct('{')).collect();
+        let closes: Vec<_> = toks.iter().filter(|t| t.is_punct('}')).collect();
+        assert_eq!(opens.len(), 2);
+        assert_eq!(opens[0].depth, 0);
+        assert_eq!(opens[1].depth, 1);
+        assert_eq!(closes[0].depth, 1);
+        assert_eq!(closes[1].depth, 0);
+    }
+
+    #[test]
+    fn cfg_test_scopes_per_item_not_to_eof() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() { y.unwrap(); }\n";
+        let toks = lex(src);
+        let unwraps: Vec<_> = toks.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(unwraps[0].in_test);
+        assert!(!unwraps[1].in_test, "code after the test module is live");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_gated() {
+        let toks = lex("#[cfg(not(test))]\nfn live() { x.unwrap(); }");
+        assert!(toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn stacked_attributes_stay_gated() {
+        let toks = lex("#[cfg(test)]\n#[derive(Debug)]\nstruct T { x: u8 }\nstruct Live { y: u8 }");
+        let t_x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert!(t_x.in_test);
+        let t_y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert!(!t_y.in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_semicolon_item() {
+        let toks = lex("#[cfg(test)]\nuse foo::bar;\nfn live() {}");
+        let bar = toks.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert!(bar.in_test);
+        let live = toks.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn code_lines_blank_literals_and_drop_comments() {
+        let m = FileModel::new(
+            "f.rs".into(),
+            "core".into(),
+            "let a = \"Instant::now\"; // Instant::now in comment\nInstant::now();\n",
+        );
+        assert!(!m.code_lines[0].contains("Instant::now"));
+        assert!(m.code_lines[1].contains("Instant::now"));
+        assert_eq!(m.comments[0].len(), 1);
+    }
+
+    #[test]
+    fn multiline_block_comment_lines_are_not_code() {
+        let m = FileModel::new(
+            "f.rs".into(),
+            "core".into(),
+            "/* spanning\n   Instant::now()\n   panic!(\"x\") */\nreal();\n",
+        );
+        assert!(
+            m.code_lines[..3].iter().all(|l| l.is_empty()),
+            "{:?}",
+            m.code_lines
+        );
+        assert_eq!(m.code_lines[3], "real();");
+    }
+
+    #[test]
+    fn escape_comments_cover_same_line_and_line_above() {
+        let src = "// lint:allow(wallclock) — justification here\nInstant::now(); // lint:allow(entropy) — other\n";
+        let m = FileModel::new("f.rs".into(), "core".into(), src);
+        let cs = m.escape_comments(2);
+        assert!(cs.iter().any(|c| c.contains("wallclock")));
+        assert!(cs.iter().any(|c| c.contains("entropy")));
+    }
+
+    #[test]
+    fn lexer_is_total_on_malformed_input() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "'a",
+            "b'",
+            "r#",
+            "0x",
+            "#[",
+            "#[cfg(test)]",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! QA007: the snapshot-schema lock.
+//!
+//! Every wire-format struct (anything QA006 registers) has its field list
+//! fingerprinted — name plus ordered `field:type` pairs, FNV-1a over the
+//! normalized text — and the set of fingerprints, together with the
+//! checkpoint `FORMAT_VERSION`, is committed to `analyze/schema.lock`.
+//! The rule then enforces the one workflow that keeps old checkpoints
+//! loadable: change the wire shape → bump `FORMAT_VERSION` in
+//! `crates/runtime/src/checkpoint.rs` → regenerate the lock with
+//! `cargo xtask analyze --update-schema` → commit both. A shape change
+//! without a version bump fails CI before it can corrupt a resume.
+
+use crate::diag::{Finding, QaRule};
+use crate::digest::StructDef;
+use crate::lexer::FileModel;
+use std::collections::BTreeMap;
+
+/// Workspace-relative path of the committed lock file.
+pub const LOCK_PATH: &str = "analyze/schema.lock";
+
+/// The file that declares the checkpoint `FORMAT_VERSION`.
+pub const FORMAT_VERSION_PATH: &str = "crates/runtime/src/checkpoint.rs";
+
+/// A schema snapshot: the wire version plus one fingerprint per struct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    pub format_version: u32,
+    /// Struct name → (fingerprint hex, defining path, line).
+    pub structs: BTreeMap<String, StructEntry>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructEntry {
+    pub fingerprint: String,
+    pub path: String,
+    pub line: usize,
+}
+
+/// FNV-1a, the same construction the verifier uses for stable textual
+/// fingerprints; collisions across a handful of struct shapes are not a
+/// realistic concern.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fingerprints one struct: the name and every `field:type` pair in
+/// declaration order. Renaming, reordering, retyping, adding, or removing
+/// a field all change the fingerprint.
+pub fn fingerprint(def: &StructDef) -> String {
+    let mut text = def.name.clone();
+    for f in &def.fields {
+        text.push('|');
+        text.push_str(&f.name);
+        text.push(':');
+        text.push_str(&f.ty);
+    }
+    format!("{:016x}", fnv1a(text.as_bytes()))
+}
+
+/// Extracts `pub const FORMAT_VERSION: u32 = N;` from the checkpoint
+/// module's token stream.
+pub fn parse_format_version(model: &FileModel) -> Option<u32> {
+    let toks: Vec<_> = model.tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("FORMAT_VERSION") {
+            for u in toks.iter().skip(i + 1).take(6) {
+                if u.kind == crate::lexer::TokKind::Number {
+                    let digits: String =
+                        u.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    return digits.parse().ok();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Builds the current schema from the wire structs QA006 registered.
+pub fn current_schema(format_version: u32, wire_structs: &[&StructDef]) -> Schema {
+    let mut structs = BTreeMap::new();
+    for def in wire_structs {
+        structs.insert(
+            def.name.clone(),
+            StructEntry {
+                fingerprint: fingerprint(def),
+                path: def.path.clone(),
+                line: def.line,
+            },
+        );
+    }
+    Schema {
+        format_version,
+        structs,
+    }
+}
+
+/// Renders a schema as the committed lock text.
+pub fn render_lock(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("# qns-analyze snapshot-schema lock. Do not edit by hand:\n");
+    out.push_str("# regenerate with `cargo xtask analyze --update-schema` after bumping\n");
+    out.push_str("# FORMAT_VERSION in crates/runtime/src/checkpoint.rs.\n");
+    out.push_str(&format!("format_version {}\n", schema.format_version));
+    for (name, entry) in &schema.structs {
+        out.push_str(&format!("struct {} {}\n", name, entry.fingerprint));
+    }
+    out
+}
+
+/// Parses a lock file. Returns `None` on any malformed line so a corrupt
+/// lock reads as "missing" (and QA007 says to regenerate it).
+pub fn parse_lock(text: &str) -> Option<Schema> {
+    let mut format_version: Option<u32> = None;
+    let mut structs = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next()? {
+            "format_version" => {
+                format_version = Some(parts.next()?.parse().ok()?);
+            }
+            "struct" => {
+                let name = parts.next()?.to_string();
+                let fp = parts.next()?.to_string();
+                structs.insert(
+                    name,
+                    StructEntry {
+                        fingerprint: fp,
+                        path: String::new(),
+                        line: 0,
+                    },
+                );
+            }
+            _ => return None,
+        }
+    }
+    Some(Schema {
+        format_version: format_version?,
+        structs,
+    })
+}
+
+/// QA007: compares the current schema against the committed lock.
+pub fn check(current: &Schema, lock: Option<&Schema>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(lock) = lock else {
+        findings.push(Finding::new(
+            QaRule::SchemaLock,
+            LOCK_PATH,
+            0,
+            format!(
+                "schema lock missing or unreadable — run `cargo xtask analyze --update-schema` and commit {LOCK_PATH}"
+            ),
+        ));
+        return findings;
+    };
+    if lock.format_version != current.format_version {
+        findings.push(Finding::new(
+            QaRule::SchemaLock,
+            LOCK_PATH,
+            1,
+            format!(
+                "FORMAT_VERSION is {} but the schema lock was written at {} — regenerate with `cargo xtask analyze --update-schema`",
+                current.format_version, lock.format_version
+            ),
+        ));
+        // The per-struct diff below would double-report the same change.
+        return findings;
+    }
+    for (name, entry) in &current.structs {
+        match lock.structs.get(name) {
+            None => findings.push(Finding::new(
+                QaRule::SchemaLock,
+                entry.path.clone(),
+                entry.line,
+                format!(
+                    "wire struct `{name}` is not in {LOCK_PATH} — bump FORMAT_VERSION and run `cargo xtask analyze --update-schema`"
+                ),
+            )),
+            Some(locked) if locked.fingerprint != entry.fingerprint => {
+                findings.push(Finding::new(
+                    QaRule::SchemaLock,
+                    entry.path.clone(),
+                    entry.line,
+                    format!(
+                        "wire shape of `{name}` changed but FORMAT_VERSION is still {} — old checkpoints would decode incorrectly; bump FORMAT_VERSION in {FORMAT_VERSION_PATH} and run `cargo xtask analyze --update-schema`",
+                        current.format_version
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for name in lock.structs.keys() {
+        if !current.structs.contains_key(name) {
+            findings.push(Finding::new(
+                QaRule::SchemaLock,
+                LOCK_PATH,
+                0,
+                format!(
+                    "struct `{name}` in the schema lock no longer exists — bump FORMAT_VERSION and run `cargo xtask analyze --update-schema`"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::parse_items;
+
+    fn defs(src: &str) -> Vec<StructDef> {
+        let m = FileModel::new("crates/core/src/checkpoint.rs".into(), "core".into(), src);
+        parse_items(&m).0
+    }
+
+    const BASE: &str = "pub struct Snap {\n    pub step: u64,\n    pub params: Vec<f64>,\n}\nimpl Snap {\n    pub fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.step); put_all(w, &self.params); }\n}\n";
+
+    #[test]
+    fn fingerprint_is_sensitive_to_shape_not_whitespace() {
+        let a = defs(BASE);
+        let b = defs("pub struct Snap { pub step: u64, pub params: Vec<f64> }\nimpl Snap { pub fn encode(&self, w: &mut ByteWriter) {} }\n");
+        assert_eq!(fingerprint(&a[0]), fingerprint(&b[0]));
+
+        // Adding a field changes it…
+        let c = defs("pub struct Snap { pub step: u64, pub params: Vec<f64>, pub extra: u32 }\n");
+        assert_ne!(fingerprint(&a[0]), fingerprint(&c[0]));
+        // …and so do renames, retypes, and reorders.
+        let d = defs("pub struct Snap { pub step2: u64, pub params: Vec<f64> }\n");
+        assert_ne!(fingerprint(&a[0]), fingerprint(&d[0]));
+        let e = defs("pub struct Snap { pub step: u32, pub params: Vec<f64> }\n");
+        assert_ne!(fingerprint(&a[0]), fingerprint(&e[0]));
+        let f = defs("pub struct Snap { pub params: Vec<f64>, pub step: u64 }\n");
+        assert_ne!(fingerprint(&a[0]), fingerprint(&f[0]));
+    }
+
+    #[test]
+    fn lock_round_trips_through_text() {
+        let d = defs(BASE);
+        let refs: Vec<&StructDef> = d.iter().collect();
+        let schema = current_schema(3, &refs);
+        let text = render_lock(&schema);
+        let back = parse_lock(&text).expect("parse");
+        assert_eq!(back.format_version, 3);
+        assert_eq!(
+            back.structs["Snap"].fingerprint,
+            schema.structs["Snap"].fingerprint
+        );
+    }
+
+    #[test]
+    fn missing_and_corrupt_locks_ask_for_regeneration() {
+        let d = defs(BASE);
+        let refs: Vec<&StructDef> = d.iter().collect();
+        let schema = current_schema(1, &refs);
+        let f = check(&schema, None);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("--update-schema"));
+        assert!(parse_lock("format_version not-a-number\n").is_none());
+        assert!(parse_lock("garbage line\n").is_none());
+    }
+
+    #[test]
+    fn field_added_without_version_bump_is_caught() {
+        let before = defs(BASE);
+        let refs: Vec<&StructDef> = before.iter().collect();
+        let lock = current_schema(1, &refs);
+
+        // Same FORMAT_VERSION, one new field — the exact drift QA007 exists
+        // to catch.
+        let after = defs(
+            "pub struct Snap {\n    pub step: u64,\n    pub params: Vec<f64>,\n    pub sneaky: u32,\n}\nimpl Snap {\n    pub fn encode(&self, w: &mut ByteWriter) { w.put_u64(self.step); put_all(w, &self.params); w.put_u32(self.sneaky); }\n}\n",
+        );
+        let refs: Vec<&StructDef> = after.iter().collect();
+        let drifted = current_schema(1, &refs);
+        let f = check(&drifted, Some(&lock));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("FORMAT_VERSION is still 1"));
+
+        // Bumping the version and regenerating clears it.
+        let bumped = current_schema(2, &refs);
+        let new_lock = parse_lock(&render_lock(&bumped)).unwrap();
+        assert!(check(&bumped, Some(&new_lock)).is_empty());
+    }
+
+    #[test]
+    fn version_drift_and_struct_removal_are_caught() {
+        let d = defs(BASE);
+        let refs: Vec<&StructDef> = d.iter().collect();
+        let lock = current_schema(1, &refs);
+        let cur = current_schema(2, &refs);
+        let f = check(&cur, Some(&lock));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("written at 1"));
+
+        let empty = current_schema(1, &[]);
+        let f = check(&empty, Some(&lock));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no longer exists"));
+    }
+
+    #[test]
+    fn format_version_parses_from_source() {
+        let m = FileModel::new(
+            "crates/runtime/src/checkpoint.rs".into(),
+            "runtime".into(),
+            "/// Wire version.\npub const FORMAT_VERSION: u32 = 7;\n",
+        );
+        assert_eq!(parse_format_version(&m), Some(7));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the lexer: totality on arbitrary byte soup, and
+//! preservation of non-literal tokens under comment/string stripping.
+
+use proptest::prelude::*;
+use qns_analyze::lexer::{lex, FileModel, TokKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: any byte sequence lexes without panicking and
+    /// every token's line number is within the input.
+    #[test]
+    fn lexer_never_panics_on_byte_soup(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lines = src.lines().count().max(1);
+        for tok in lex(&src) {
+            prop_assert!(tok.line >= 1 && tok.line <= lines + 1);
+        }
+    }
+
+    /// Structured soup biased toward lexer edge cases: quotes, hashes,
+    /// comment markers, and braces in random interleavings.
+    #[test]
+    fn lexer_never_panics_on_delimiter_soup(parts in prop::collection::vec(0usize..12, 0..64)) {
+        let atoms = [
+            "\"", "'", "r#\"", "#", "/*", "*/", "//", "\n", "{", "}", "\\", "ident ",
+        ];
+        let src: String = parts.iter().map(|&i| atoms[i]).collect();
+        let _ = lex(&src);
+    }
+
+    /// Comment/string stripping preserves every identifier and number
+    /// written outside comments and literals: lexing a program assembled
+    /// from known code words plus arbitrary comments and string literals
+    /// yields exactly the code words back.
+    #[test]
+    fn stripping_preserves_non_literal_tokens(
+        words in prop::collection::vec(0usize..8, 1..24),
+        noise in prop::collection::vec(0usize..4, 1..24),
+    ) {
+        let vocab = ["alpha", "beta2", "gamma", "delta", "eps", "zeta", "eta7", "theta"];
+        let comments = [
+            "/* block alpha */",
+            "// line beta2\n",
+            "/* multi\nline\ngamma */",
+            "\"string delta\"",
+        ];
+        let mut src = String::new();
+        let mut expected = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            src.push_str(vocab[w]);
+            expected.push(vocab[w]);
+            src.push(' ');
+            src.push(';');
+            let n = noise[i % noise.len()];
+            src.push_str(comments[n]);
+            src.push(' ');
+        }
+        let toks = lex(&src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, expected);
+        // And none of the comment/string payload leaks into the code view.
+        let model = FileModel::new("f.rs".into(), "core".into(), &src);
+        let code = model.code_lines.join("\n");
+        prop_assert!(!code.contains("delta\""));
+        prop_assert!(!code.contains("block"));
+    }
+}

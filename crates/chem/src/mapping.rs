@@ -42,6 +42,9 @@ impl ComplexPauliSum {
             *e += c;
         }
         let mut v: Vec<(C64, PauliString)> = map
+            // lint:allow(nondet-iter) — drained into a Vec and sorted by
+            // the total key (weight, x, z) two lines down; coefficients
+            // were accumulated per-entry, so order cannot leak
             .into_iter()
             .filter(|(_, c)| c.abs() > 1e-12)
             .map(|(s, c)| (c, s))

@@ -242,6 +242,9 @@ impl PauliSum {
             *map.entry(s).or_insert(0.0) += c;
         }
         let mut terms: Vec<(f64, PauliString)> = map
+            // lint:allow(nondet-iter) — drained into a Vec and sorted by
+            // the total key (weight, x, z) two lines down; coefficients
+            // were accumulated per-entry, so order cannot leak
             .into_iter()
             .filter(|(_, c)| c.abs() > 1e-12)
             .map(|(s, c)| (c, s))
@@ -387,6 +390,40 @@ mod tests {
         h.simplify();
         assert_eq!(h.terms().len(), 1);
         assert_eq!(h.terms()[0].1, PauliString::from_label("ZZ").unwrap());
+    }
+
+    #[test]
+    fn simplify_is_deterministic_across_insertion_orders() {
+        // Regression for a QA005 triage: simplify accumulates through a
+        // HashMap, so the output must not depend on map iteration order.
+        // Feeding the same terms in two different orders must produce
+        // bitwise-identical sorted term lists.
+        let labels = ["XI", "ZZ", "IY", "XX", "ZI", "IZ", "YY", "XI", "ZZ"];
+        let coeffs = [0.25, -0.5, 0.125, 1.0, -0.75, 0.3, 0.0625, 0.25, 0.5];
+        let mut fwd = PauliSum::new(2);
+        for (l, c) in labels.iter().zip(coeffs) {
+            fwd.add(c, PauliString::from_label(l).unwrap());
+        }
+        let mut rev = PauliSum::new(2);
+        for (l, c) in labels.iter().zip(coeffs).rev() {
+            rev.add(c, PauliString::from_label(l).unwrap());
+        }
+        fwd.simplify();
+        rev.simplify();
+        assert_eq!(fwd.terms().len(), rev.terms().len());
+        for ((ca, sa), (cb, sb)) in fwd.terms().iter().zip(rev.terms()) {
+            assert_eq!(sa, sb);
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+        // And the order itself follows the documented sort key.
+        let keys: Vec<_> = fwd
+            .terms()
+            .iter()
+            .map(|(_, s)| (s.weight(), s.x, s.z))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

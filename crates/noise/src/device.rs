@@ -291,6 +291,8 @@ impl Device {
         let key = (a.min(b), a.max(b));
         match self.err_2q.get(&key) {
             Some(&e) => e,
+            // lint:allow(nondet-iter) — max over finite errors is
+            // order-insensitive; the result is identical in any order
             None => self.err_2q.values().cloned().fold(0.02, f64::max),
         }
     }
@@ -318,9 +320,13 @@ impl Device {
     }
 
     /// Mean two-qubit error across all edges.
+    ///
+    /// Summed in edge-list order, not map order: this mean feeds proxy
+    /// features and search reports, so the float reduction must be
+    /// bitwise-identical across processes.
     pub fn mean_err_2q(&self) -> f64 {
-        let sum: f64 = self.err_2q.values().sum();
-        sum / self.err_2q.len() as f64
+        let sum: f64 = self.edges.iter().map(|&(a, b)| self.err_2q(a, b)).sum();
+        sum / self.edges.len() as f64
     }
 
     /// Duration of a single-qubit gate, ns.
@@ -348,6 +354,8 @@ impl Device {
             q.readout_p01 = (q.readout_p01 * factor).clamp(0.0, 0.5);
             q.readout_p10 = (q.readout_p10 * factor).clamp(0.0, 0.5);
         }
+        // lint:allow(nondet-iter) — per-entry scaling; no value depends
+        // on visit order
         for e in out.err_2q.values_mut() {
             *e = (*e * factor).clamp(0.0, 0.5);
         }
@@ -491,6 +499,28 @@ mod tests {
         let dev = Device::yorktown();
         assert_eq!(dev.neighbors(2).len(), 4);
         assert!(dev.connected(2, 0) && !dev.connected(0, 1));
+    }
+
+    #[test]
+    fn mean_err_2q_is_bitwise_stable_in_edge_order() {
+        // Regression for a QA005 finding: the mean used to sum
+        // `err_2q.values()` in HashMap order, so its float rounding (and
+        // therefore the twoq_topology proxy feature built on it) differed
+        // between processes. The sum must follow the edge list.
+        for dev in [Device::belem(), Device::toronto(), Device::manhattan()] {
+            let spec: f64 = dev
+                .edges()
+                .iter()
+                .map(|&(a, b)| dev.err_2q(a, b))
+                .sum::<f64>()
+                / dev.edges().len() as f64;
+            assert_eq!(
+                dev.mean_err_2q().to_bits(),
+                spec.to_bits(),
+                "{}",
+                dev.name()
+            );
+        }
     }
 
     #[test]

@@ -257,6 +257,8 @@ impl<V> ShardedCache<V> {
         let mut out: Vec<(CacheKey, V)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard poisoned");
+            // lint:allow(nondet-iter) — collected across all shards, then
+            // sorted by key below before anything observes the order
             out.extend(shard.iter().map(|(&k, v)| (k, (**v).clone())));
         }
         out.sort_unstable_by_key(|&(k, _)| k);
@@ -324,6 +326,24 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses(), 1);
+    }
+
+    #[test]
+    fn entries_are_sorted_regardless_of_insertion_order() {
+        // Regression for a QA005 triage: entries() walks each shard's
+        // HashMap, so the dump must be sorted before anyone observes it.
+        // Two caches with different shard counts and opposite insertion
+        // orders must produce identical dumps.
+        let a: ShardedCache<u64> = ShardedCache::new(3);
+        let b: ShardedCache<u64> = ShardedCache::new(7);
+        for i in 0..50u64 {
+            a.insert(key_of(&[i]), i);
+            b.insert(key_of(&[49 - i]), 49 - i);
+        }
+        let ea = a.entries();
+        let eb = b.entries();
+        assert_eq!(ea, eb);
+        assert!(ea.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //!                                      to full scoring (default 0.25)
 //!   --proxy-warmup <n>                 leading generations scored in full
 //!                                      (default 2)
+//!   --objectives <list>                multi-objective Pareto co-search
+//!                                      (NSGA-II) over a comma-separated
+//!                                      subset of loss,depth,twoq; the first
+//!                                      objective drives the downstream
+//!                                      pipeline stages
+//!   --front-out <path>                 write the searched Pareto front as
+//!                                      JSON (requires --objectives)
 //!   --fault-eval <n>                   inject a panic into the nth candidate
 //!                                      evaluation (isolated + counted)
 //!   --fault-boundary <k>               crash the process at the kth loop
@@ -51,8 +58,8 @@ fn usage() -> ! {
          [--seed N] [--preset fast|smoke] [--samples N] [--workers N] [--no-cache] \
          [--verify [off|contracts|full]] [--checkpoint-dir PATH] \
          [--checkpoint-every N] [--resume] [--proxy [on|off]] [--proxy-keep F] \
-         [--proxy-warmup N] [--fault-eval N] [--fault-boundary K] \
-         [--stats] [--qasm PATH]"
+         [--proxy-warmup N] [--objectives LIST] [--front-out PATH] \
+         [--fault-eval N] [--fault-boundary K] [--stats] [--qasm PATH]"
     );
     std::process::exit(2);
 }
@@ -113,26 +120,27 @@ fn smoke_config() -> QuantumNasConfig {
     config
 }
 
+const DEVICE_NAMES: [&str; 12] = [
+    "santiago",
+    "athens",
+    "rome",
+    "belem",
+    "quito",
+    "lima",
+    "yorktown",
+    "jakarta",
+    "melbourne",
+    "guadalupe",
+    "toronto",
+    "manhattan",
+];
+
 fn cmd_devices() {
     println!(
         "{:<11} {:>7} {:>10} {:>10} {:>10}",
         "name", "qubits", "topology", "QV", "mean e2q"
     );
-    let names = [
-        "santiago",
-        "athens",
-        "rome",
-        "belem",
-        "quito",
-        "lima",
-        "yorktown",
-        "jakarta",
-        "melbourne",
-        "guadalupe",
-        "toronto",
-        "manhattan",
-    ];
-    for name in names {
+    for name in DEVICE_NAMES {
         let d = Device::by_name(name).expect("known device");
         println!(
             "{:<11} {:>7} {:>10} {:>10} {:>10.4}",
@@ -221,6 +229,25 @@ fn cmd_run(args: &[String]) {
         eprintln!("--proxy-keep must be in (0, 1]");
         usage()
     }
+    let objectives = args
+        .iter()
+        .position(|a| a == "--objectives")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| {
+            quantumnas::parse_objectives(spec).unwrap_or_else(|e| {
+                eprintln!("--objectives: {e}");
+                usage()
+            })
+        });
+    let front_out = args
+        .iter()
+        .position(|a| a == "--front-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if front_out.is_some() && objectives.is_none() {
+        eprintln!("--front-out requires --objectives");
+        usage()
+    }
     let workers: usize = get("--workers", "0").parse().unwrap_or_else(|_| usage());
     // Per-sample simulation fan-out honors the same flag (it used to be
     // latched at first use, ignoring later settings).
@@ -292,6 +319,7 @@ fn cmd_run(args: &[String]) {
     };
     config.runtime = runtime;
     config.evo.proxy = proxy;
+    config.objectives = objectives.clone();
     if have_faults {
         config.faults = Some(Arc::new(faults));
     }
@@ -337,6 +365,48 @@ fn cmd_run(args: &[String]) {
             report.search_proxy_escalations,
             report.search_proxy_dedup_hits
         );
+    }
+    if let Some(objectives) = &objectives {
+        let names: Vec<&str> = objectives.iter().map(|o| o.name()).collect();
+        println!(
+            "\nPareto front: {} points over ({})",
+            report.front.len(),
+            names.join(", ")
+        );
+        for point in &report.front {
+            let vals: Vec<String> = point.objectives.iter().map(|v| format!("{v:.4}")).collect();
+            println!(
+                "  {} blocks, mapping {:?} :: ({})",
+                point.gene.config.n_blocks,
+                point.gene.layout,
+                vals.join(", ")
+            );
+        }
+        // "One search, many devices": match the same front against every
+        // device model's calibration fingerprint.
+        let sc = nas.supercircuit();
+        println!("device match (front point minimizing estimated error):");
+        for name in DEVICE_NAMES {
+            let d = Device::by_name(name).expect("known device");
+            match quantumnas::match_front_to_device(&sc, nas.task(), &report.front, &d, 2) {
+                Some((idx, err)) => {
+                    let point = &report.front[idx];
+                    println!(
+                        "  {:<11} -> point {} (mapping {:?}), est. error {:.4}",
+                        name, idx, point.gene.layout, err
+                    );
+                }
+                None => println!("  {name:<11} -> no front point fits"),
+            }
+        }
+        if let Some(path) = &front_out {
+            let json = quantumnas::front_json(objectives, &report.front);
+            if std::fs::write(path, json).is_ok() {
+                println!("wrote Pareto front to {path}");
+            } else {
+                eprintln!("failed to write {path}");
+            }
+        }
     }
     if show_stats {
         println!("\n{}", report.runtime_summary);

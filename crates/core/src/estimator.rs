@@ -194,6 +194,15 @@ impl Estimator {
         self.metrics = metrics;
     }
 
+    /// Depth and 2Q-gate count of the candidate's *compiled* circuit —
+    /// the structural objectives of the multi-objective search. Goes
+    /// through the shared transpile cache when one is attached, so a
+    /// candidate that is also fully scored pays for one compile, not two.
+    pub fn compiled_shape(&self, circuit: &Circuit, layout: &Layout) -> (usize, usize) {
+        let t = self.compile(circuit, layout);
+        (t.depth(), t.circuit.count_2q())
+    }
+
     fn compile(&self, circuit: &Circuit, layout: &Layout) -> Arc<Transpiled> {
         let Some(cache) = &self.transpile_cache else {
             return Arc::new(self.timed_transpile(circuit, layout));

@@ -48,6 +48,7 @@ mod cost;
 mod estimator;
 mod feature_map;
 mod hardware;
+mod pareto;
 mod pipeline;
 mod prune;
 mod runtime;
@@ -60,13 +61,20 @@ mod train;
 
 pub use analysis::{barren_plateau_scan, gradient_variance, plateau_relief, PlateauPoint};
 pub use baselines::{human_design, random_design};
-pub use checkpoint::{CheckpointOptions, PruneCheckpoint, SearchCheckpoint, TrainCheckpoint};
+pub use checkpoint::{
+    CheckpointOptions, ParetoState, PruneCheckpoint, SearchCheckpoint, TrainCheckpoint,
+};
 pub use cost::{CircuitRunCounter, RunCost};
 pub use estimator::{Estimator, EstimatorKind};
 pub use feature_map::{
     axis_encoder, encoder_catalogue, search_feature_map, EncoderVariant, FeatureMapResult,
 };
 pub use hardware::{train_qml_on_device, train_vqe_on_device, OnDeviceTrainConfig};
+pub use pareto::{
+    crowding_distance, dominates, evolutionary_search_pareto, evolutionary_search_pareto_rt,
+    front_json, hypervolume, match_front_to_device, non_dominated_sort, normalize_objectives,
+    parse_objectives, selection_order, FrontPoint, Objective, ParetoSearchResult,
+};
 pub use pipeline::{QuantumNas, QuantumNasConfig, Report};
 pub use prune::{iterative_prune, iterative_prune_rt, polynomial_ratio, PruneConfig, PruneResult};
 pub use runtime::{
@@ -94,6 +102,6 @@ pub use qns_runtime::{FaultPlan, FAULT_MARKER};
 // `ProxyOptions` rides on `EvoConfig`, and the bench/test harnesses drive
 // the prescreener directly.
 pub use qns_proxy::{
-    candidate_seed, compute_features, FusionModel, Prescreener, PrescreenerState, Proxy,
-    ProxyContext, ProxyFeatures, ProxyOptions,
+    candidate_seed, compute_features, scalarize_objectives, FusionModel, Prescreener,
+    PrescreenerState, Proxy, ProxyContext, ProxyFeatures, ProxyOptions,
 };

@@ -1,5 +1,6 @@
 //! The end-to-end QuantumNAS pipeline (paper Figure 5).
 
+use crate::pareto::{evolutionary_search_pareto_rt, FrontPoint, Objective};
 use crate::runtime::{RuntimeOptions, SearchRuntime};
 use crate::search::evolutionary_search_seeded_rt;
 use crate::train::{eval_task, Split};
@@ -42,6 +43,12 @@ pub struct QuantumNasConfig {
     /// (`None` = no injected faults; used by the robustness test harness
     /// and the CLI's `--fault-*` flags).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Multi-objective search axes (the CLI's `--objectives`). `None`
+    /// keeps stage 2 on the scalar engine; `Some` switches it to NSGA-II
+    /// Pareto co-search — the pipeline then trains the front point best on
+    /// the primary objective and [`Report::front`] carries the whole
+    /// archive for device matching.
+    pub objectives: Option<Vec<Objective>>,
 }
 
 impl QuantumNasConfig {
@@ -82,6 +89,7 @@ impl QuantumNasConfig {
             n_test: 50,
             runtime: RuntimeOptions::default(),
             faults: None,
+            objectives: None,
         }
     }
 
@@ -109,6 +117,7 @@ impl QuantumNasConfig {
             n_test: 300,
             runtime: RuntimeOptions::default(),
             faults: None,
+            objectives: None,
         }
     }
 }
@@ -150,6 +159,9 @@ pub struct Report {
     /// Structurally-duplicate offspring skipped by the prescreener before
     /// any scoring (zero when `--proxy` is off).
     pub search_proxy_dedup_hits: u64,
+    /// The searched Pareto front when stage 2 ran in multi-objective mode
+    /// (`QuantumNasConfig::objectives`); empty for scalar runs.
+    pub front: Vec<FrontPoint>,
     /// Text telemetry summary for the whole run (counters, cache hit
     /// rates, transpile/simulate wall time, per-generation tail).
     pub runtime_summary: String,
@@ -225,8 +237,34 @@ impl QuantumNas {
         let mut evo = self.config.evo.clone();
         evo.seed = seed ^ 0x5EA7C;
         evo.runtime = self.config.runtime.clone();
-        let search =
-            evolutionary_search_seeded_rt(&sc, &shared, &self.task, &estimator, &evo, &[], &rt);
+        let (search, front) = match &self.config.objectives {
+            Some(objectives) => {
+                let pareto = evolutionary_search_pareto_rt(
+                    &sc,
+                    &shared,
+                    &self.task,
+                    &estimator,
+                    &evo,
+                    objectives,
+                    &[],
+                    &rt,
+                );
+                let front = pareto.front.clone();
+                (pareto.into_search_result(), front)
+            }
+            None => {
+                let search = evolutionary_search_seeded_rt(
+                    &sc,
+                    &shared,
+                    &self.task,
+                    &estimator,
+                    &evo,
+                    &[],
+                    &rt,
+                );
+                (search, Vec::new())
+            }
+        };
 
         // Stage 3: train the searched SubCircuit from scratch.
         let circuit = match &self.task {
@@ -305,6 +343,7 @@ impl QuantumNas {
             search_proxy_evals: search.proxy_evals,
             search_proxy_escalations: search.proxy_escalations,
             search_proxy_dedup_hits: search.proxy_dedup_hits,
+            front,
             runtime_summary: rt.metrics().summary(),
         }
     }

@@ -136,18 +136,57 @@ impl SearchResult {
     }
 }
 
-struct GenePool<'a> {
+pub(crate) struct GenePool<'a> {
     sc: &'a SuperCircuit,
     n_phys: usize,
-    rng: StdRng,
+    pub(crate) rng: StdRng,
     /// Frozen architecture (mapping-only search) when set.
     fixed_arch: Option<SubConfig>,
     /// Frozen layout (circuit-only search) when set.
     fixed_layout: Option<Vec<usize>>,
 }
 
-impl GenePool<'_> {
-    fn random_gene(&mut self) -> Gene {
+impl<'a> GenePool<'a> {
+    /// The pool the evolutionary loops draw from: RNG derived from the
+    /// config seed, frozen components taken from the first seed gene when
+    /// an ablation disables part of the search (so ablations stay
+    /// parameter-matched), else the maximal architecture / trivial layout.
+    /// Shared by the scalar and Pareto engines so their trajectories are
+    /// bitwise-comparable.
+    pub(crate) fn for_evolution(
+        sc: &'a SuperCircuit,
+        n_phys: usize,
+        config: &EvoConfig,
+        seeds: &[Gene],
+    ) -> Self {
+        GenePool {
+            sc,
+            n_phys,
+            rng: StdRng::seed_from_u64(config.seed ^ 0xE70),
+            fixed_arch: if config.search_arch {
+                None
+            } else {
+                Some(
+                    seeds
+                        .first()
+                        .map(|g| g.config.clone())
+                        .unwrap_or_else(|| sc.max_config()),
+                )
+            },
+            fixed_layout: if config.search_layout {
+                None
+            } else {
+                Some(
+                    seeds
+                        .first()
+                        .map(|g| g.layout.clone())
+                        .unwrap_or_else(|| (0..sc.num_qubits()).collect()),
+                )
+            },
+        }
+    }
+
+    pub(crate) fn random_gene(&mut self) -> Gene {
         let n_qubits = self.sc.num_qubits();
         let n_blocks = self.sc.num_blocks();
         let n_layers = self.sc.space().layers_per_block().len();
@@ -176,7 +215,7 @@ impl GenePool<'_> {
         Gene { config, layout }
     }
 
-    fn mutate(&mut self, gene: &Gene, prob: f64) -> Gene {
+    pub(crate) fn mutate(&mut self, gene: &Gene, prob: f64) -> Gene {
         let n_qubits = self.sc.num_qubits();
         let mut out = gene.clone();
         if self.fixed_arch.is_none() {
@@ -216,7 +255,7 @@ impl GenePool<'_> {
         out
     }
 
-    fn crossover(&mut self, a: &Gene, b: &Gene) -> Gene {
+    pub(crate) fn crossover(&mut self, a: &Gene, b: &Gene) -> Gene {
         let mut config = a.config.clone();
         if self.rng.gen_bool(0.5) {
             config.n_blocks = b.config.n_blocks;
@@ -253,14 +292,18 @@ impl GenePool<'_> {
 }
 
 /// The logical circuit a gene denotes under the task's encoder.
-fn build_gene_circuit(sc: &SuperCircuit, task: &Task, gene: &Gene) -> qns_circuit::Circuit {
+pub(crate) fn build_gene_circuit(
+    sc: &SuperCircuit,
+    task: &Task,
+    gene: &Gene,
+) -> qns_circuit::Circuit {
     match task {
         Task::Qml { encoder, .. } => sc.build(&gene.config, Some(encoder)),
         Task::Vqe { .. } => sc.build(&gene.config, None),
     }
 }
 
-fn score_gene(
+pub(crate) fn score_gene(
     sc: &SuperCircuit,
     shared_params: &[f64],
     task: &Task,
@@ -281,7 +324,7 @@ fn score_gene(
 /// a Spearman correlation as `(rho + 1) * 1000` milli-units (mean derivable
 /// from `PROXY_RANK_SUM_MILLI / PROXY_RANK_OBS`), plus a log2-bucketed
 /// disagreement counter `proxy_rank_bNN` so the spread survives averaging.
-fn record_rank_quality(metrics: &Metrics, predicted: &[f64], actual: &[f64]) {
+pub(crate) fn record_rank_quality(metrics: &Metrics, predicted: &[f64], actual: &[f64]) {
     let (xs, ys): (Vec<f64>, Vec<f64>) = predicted
         .iter()
         .zip(actual)
@@ -303,6 +346,68 @@ fn record_rank_quality(metrics: &Metrics, predicted: &[f64], actual: &[f64]) {
     let disagreement = ((1.0 - rho) * 1000.0).round() as u64;
     let bucket = (64 - disagreement.leading_zeros() as u64).min(11);
     metrics.incr(&format!("proxy_rank_b{bucket:02}"), 1);
+}
+
+/// Seed population shared by the scalar and Pareto engines: canonicalize
+/// by structural digest so duplicated seeds (common when several ablations
+/// pass the same human design) occupy one slot, then top up with unique
+/// random genes. Retries are bounded: tiny design spaces may not hold
+/// `population` distinct genes, in which case duplicates are admitted
+/// rather than looping forever.
+pub(crate) fn seed_population(
+    pool: &mut GenePool,
+    config: &EvoConfig,
+    seeds: &[Gene],
+) -> Vec<Gene> {
+    let mut population: Vec<Gene> = Vec::with_capacity(config.population);
+    let mut keys = std::collections::HashSet::new();
+    for seed in seeds.iter().take(config.population) {
+        if keys.insert(gene_key(seed)) {
+            population.push(seed.clone());
+        }
+    }
+    let mut attempts = 0usize;
+    while population.len() < config.population {
+        let g = pool.random_gene();
+        attempts += 1;
+        if keys.insert(gene_key(&g)) || attempts > 64 * config.population {
+            population.push(g);
+        }
+    }
+    population
+}
+
+/// The common prefix of the scalar and Pareto resume-context digests:
+/// scoring context, evolution hyperparameters, proxy settings, and the
+/// seed population. The Pareto engine appends its objective vector before
+/// finishing, so scalar and multi-objective snapshots can never satisfy
+/// each other's context check even if the wire kinds were ignored.
+pub(crate) fn evo_context_hasher(
+    context: qns_runtime::CacheKey,
+    config: &EvoConfig,
+    seeds: &[Gene],
+) -> StructuralHasher {
+    let mut h = StructuralHasher::new();
+    h.write_u64(context.lo);
+    h.write_u64(context.hi);
+    h.write_usize(config.iterations);
+    h.write_usize(config.population);
+    h.write_usize(config.parents);
+    h.write_usize(config.mutations);
+    h.write_f64(config.mutation_prob);
+    h.write_usize(config.crossovers);
+    h.write_u64(config.seed);
+    h.write_u64(config.search_arch as u64);
+    h.write_u64(config.search_layout as u64);
+    h.write_u64(config.proxy.enabled as u64);
+    h.write_u64(config.proxy.keep.to_bits());
+    h.write_usize(config.proxy.warmup);
+    h.write_usize(seeds.len());
+    for seed in seeds {
+        h.write_u64(gene_key(seed).lo);
+        h.write_u64(gene_key(seed).hi);
+    }
+    h
 }
 
 /// The paper's evolutionary co-search: a genetic algorithm over
@@ -361,55 +466,8 @@ pub fn evolutionary_search_seeded_rt(
     );
     let estimator = rt.instrument_estimator(estimator);
     let context = search_context_key(&estimator, task, shared_params, config.max_params);
-    // Frozen components come from the first seed gene when provided (so
-    // ablations stay parameter-matched), else fall back to the maximal
-    // architecture / trivial layout.
-    let mut pool = GenePool {
-        sc,
-        n_phys: estimator.device().num_qubits(),
-        rng: StdRng::seed_from_u64(config.seed ^ 0xE70),
-        fixed_arch: if config.search_arch {
-            None
-        } else {
-            Some(
-                seeds
-                    .first()
-                    .map(|g| g.config.clone())
-                    .unwrap_or_else(|| sc.max_config()),
-            )
-        },
-        fixed_layout: if config.search_layout {
-            None
-        } else {
-            Some(
-                seeds
-                    .first()
-                    .map(|g| g.layout.clone())
-                    .unwrap_or_else(|| (0..sc.num_qubits()).collect()),
-            )
-        },
-    };
-    // Seed population: canonicalize by structural digest so duplicated
-    // seeds (common when several ablations pass the same human design)
-    // occupy one slot, then top up with unique random genes. Retries are
-    // bounded: tiny design spaces may not hold `population` distinct
-    // genes, in which case duplicates are admitted rather than looping
-    // forever.
-    let mut population: Vec<Gene> = Vec::with_capacity(config.population);
-    let mut keys = std::collections::HashSet::new();
-    for seed in seeds.iter().take(config.population) {
-        if keys.insert(gene_key(seed)) {
-            population.push(seed.clone());
-        }
-    }
-    let mut attempts = 0usize;
-    while population.len() < config.population {
-        let g = pool.random_gene();
-        attempts += 1;
-        if keys.insert(gene_key(&g)) || attempts > 64 * config.population {
-            population.push(g);
-        }
-    }
+    let mut pool = GenePool::for_evolution(sc, estimator.device().num_qubits(), config, seeds);
+    let mut population = seed_population(&mut pool, config, seeds);
     let mut history = Vec::with_capacity(config.iterations);
     let mut evaluations = 0usize;
     let mut memo_hits = 0usize;
@@ -425,29 +483,7 @@ pub fn evolutionary_search_seeded_rt(
     // snapshot's context digest: the scoring context plus the evolution
     // hyperparameters and the seed population. A snapshot written under
     // any other configuration is rejected rather than resumed.
-    let resume_context = {
-        let mut h = StructuralHasher::new();
-        h.write_u64(context.lo);
-        h.write_u64(context.hi);
-        h.write_usize(config.iterations);
-        h.write_usize(config.population);
-        h.write_usize(config.parents);
-        h.write_usize(config.mutations);
-        h.write_f64(config.mutation_prob);
-        h.write_usize(config.crossovers);
-        h.write_u64(config.seed);
-        h.write_u64(config.search_arch as u64);
-        h.write_u64(config.search_layout as u64);
-        h.write_u64(config.proxy.enabled as u64);
-        h.write_u64(config.proxy.keep.to_bits());
-        h.write_usize(config.proxy.warmup);
-        h.write_usize(seeds.len());
-        for seed in seeds {
-            h.write_u64(gene_key(seed).lo);
-            h.write_u64(gene_key(seed).hi);
-        }
-        h.finish()
-    };
+    let resume_context = evo_context_hasher(context, config, seeds).finish();
     if let Some(ck) = rt.load_checkpoint::<SearchCheckpoint>() {
         let compatible = ck.context == resume_context
             && ck.generation <= config.iterations
@@ -735,7 +771,7 @@ pub fn random_search_rt(
 
 /// Mean over the finite entries (panicked candidates score `+inf` and
 /// would otherwise wipe out the generation statistics).
-fn mean_finite(scores: &[f64]) -> f64 {
+pub(crate) fn mean_finite(scores: &[f64]) -> f64 {
     let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
     if finite.is_empty() {
         f64::INFINITY

@@ -27,7 +27,7 @@ mod prescreen;
 mod proxies;
 
 pub use fusion::{FusionModel, NUM_EXPERTS};
-pub use prescreen::{Prescreener, PrescreenerState, ProxyOptions};
+pub use prescreen::{scalarize_objectives, Prescreener, PrescreenerState, ProxyOptions};
 pub use proxies::{
     candidate_seed, compute_features, default_proxies, splitmix64, DepthWidth, Expressibility,
     Proxy, ProxyContext, ProxyFeatures, Snip, Trainability, TwoQTopology, NUM_PROXIES,

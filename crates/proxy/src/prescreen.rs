@@ -158,6 +158,50 @@ impl Prescreener {
     }
 }
 
+/// Collapses a batch of objective vectors into one scalar target per
+/// candidate for the fusion model, so the same prescreener that learns
+/// scalar search scores can learn multi-objective Pareto fitness.
+///
+/// Each dimension is min-max normalized over the batch's finite values and
+/// the normalized coordinates are averaged, so every objective carries the
+/// same weight regardless of its native scale (a loss near 0.4 vs a depth
+/// near 40). A candidate with any non-finite component (poisoned score,
+/// failed compile) scalarizes to `+inf` and ranks last. A dimension whose
+/// finite values are all equal contributes 0 for every candidate — it
+/// cannot order the batch. Deterministic: a pure fold over the input order.
+pub fn scalarize_objectives(batch: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = batch.first() else {
+        return Vec::new();
+    };
+    let dims = first.len();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for objs in batch {
+        for (k, &v) in objs.iter().enumerate() {
+            if v.is_finite() {
+                lo[k] = lo[k].min(v);
+                hi[k] = hi[k].max(v);
+            }
+        }
+    }
+    batch
+        .iter()
+        .map(|objs| {
+            if objs.iter().any(|v| !v.is_finite()) {
+                return f64::INFINITY;
+            }
+            let mut sum = 0.0;
+            for (k, &v) in objs.iter().enumerate() {
+                let range = hi[k] - lo[k];
+                if range.is_finite() && range > 0.0 {
+                    sum += (v - lo[k]) / range;
+                }
+            }
+            sum / dims.max(1) as f64
+        })
+        .collect()
+}
+
 /// Serializable prescreener snapshot, embedded in the search checkpoint.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PrescreenerState {
@@ -275,6 +319,42 @@ mod tests {
         assert_eq!(pre.cached_features(key(1)), None);
         pre.record_features(key(1), feat(0.5));
         assert_eq!(pre.cached_features(key(1)), Some(feat(0.5)));
+    }
+
+    #[test]
+    fn scalarized_objectives_weight_dimensions_equally() {
+        // Loss in [0.4, 0.8], depth in [10, 50]: the candidate best on
+        // both dominates, the one worst on both ranks last, and the two
+        // mixed candidates land in between despite depth's larger scale.
+        let batch = vec![
+            vec![0.4, 10.0],
+            vec![0.8, 50.0],
+            vec![0.4, 50.0],
+            vec![0.8, 10.0],
+        ];
+        let s = scalarize_objectives(&batch);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[1], 1.0);
+        assert_eq!(s[2], 0.5);
+        assert_eq!(s[3], 0.5);
+    }
+
+    #[test]
+    fn scalarize_poisons_non_finite_and_ignores_flat_dimensions() {
+        let batch = vec![
+            vec![0.5, 7.0, 9.0],
+            vec![0.2, 7.0, 3.0],
+            vec![f64::INFINITY, 7.0, 3.0],
+        ];
+        let s = scalarize_objectives(&batch);
+        // The flat second dimension contributes nothing; the poisoned
+        // candidate ranks strictly last.
+        assert!(s[1] < s[0]);
+        assert_eq!(s[2], f64::INFINITY);
+        // The non-finite value must not contaminate the normalization of
+        // the finite candidates.
+        assert!(s[0].is_finite() && s[1].is_finite());
+        assert!(scalarize_objectives(&[]).is_empty());
     }
 
     #[test]

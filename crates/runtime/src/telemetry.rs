@@ -49,6 +49,16 @@ pub mod counters {
     /// `PROXY_RANK_OBS` this yields the mean rank correlation without
     /// needing float counters.
     pub const PROXY_RANK_SUM_MILLI: &str = "proxy_rank_sum_milli";
+    /// Generations completed by the multi-objective Pareto search.
+    pub const PARETO_GENERATIONS: &str = "pareto_generations";
+    /// Running sum of per-generation archive (front) sizes; together with
+    /// `PARETO_GENERATIONS` this yields the mean front size.
+    pub const PARETO_FRONT_SUM: &str = "pareto_front_sum";
+    /// Running sum of per-generation archive hypervolume in milli-units
+    /// (`round(hv * 1000)` over min-max-normalized objectives); together
+    /// with `PARETO_GENERATIONS` this yields the mean hypervolume without
+    /// needing float counters.
+    pub const PARETO_HV_SUM_MILLI: &str = "pareto_hv_sum_milli";
 }
 
 /// Well-known timer names.

@@ -7,6 +7,8 @@
 //! uninterrupted reference — same floats, same genes, same histories —
 //! across crash boundaries and worker counts.
 
+mod common;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -14,10 +16,10 @@ use std::sync::Arc;
 use qns_noise::Device;
 use qns_runtime::counters;
 use quantumnas::{
-    evolutionary_search_seeded_rt, iterative_prune_rt, train_supercircuit_rt, CheckpointOptions,
-    DesignSpace, Estimator, EstimatorKind, EvoConfig, FaultPlan, PruneConfig, PruneResult,
-    RuntimeOptions, SearchResult, SearchRuntime, SpaceKind, SuperCircuit, SuperTrainConfig, Task,
-    FAULT_MARKER,
+    evolutionary_search_pareto_rt, evolutionary_search_seeded_rt, iterative_prune_rt,
+    train_supercircuit_rt, CheckpointOptions, DesignSpace, Estimator, EstimatorKind, EvoConfig,
+    FaultPlan, Objective, ParetoSearchResult, PruneConfig, PruneResult, RuntimeOptions,
+    SearchResult, SearchRuntime, SpaceKind, SuperCircuit, SuperTrainConfig, Task, FAULT_MARKER,
 };
 
 /// A unique scratch directory, removed on drop.
@@ -140,6 +142,90 @@ fn search_killed_and_resumed_is_bitwise_identical() {
                 "resume was not recorded (workers {workers}, boundary {boundary})"
             );
             assert_search_bitwise_eq(&resumed, &reference);
+        }
+    }
+}
+
+fn assert_pareto_bitwise_eq(resumed: &ParetoSearchResult, reference: &ParetoSearchResult) {
+    assert_eq!(resumed.front.len(), reference.front.len(), "front size");
+    for (a, b) in resumed.front.iter().zip(&reference.front) {
+        assert_eq!(a.gene, b.gene);
+        assert_eq!(a.objectives.len(), b.objectives.len());
+        for (x, y) in a.objectives.iter().zip(&b.objectives) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    assert_eq!(resumed.best, reference.best);
+    assert_eq!(resumed.best_score.to_bits(), reference.best_score.to_bits());
+    assert_f64s_bitwise_eq(&resumed.history, &reference.history, "history");
+    assert_eq!(resumed.evaluations, reference.evaluations);
+    assert_eq!(resumed.memo_hits, reference.memo_hits);
+}
+
+/// The multi-objective acceptance criterion: a Pareto search killed at
+/// any generation boundary and resumed produces a bitwise-identical final
+/// front (genes and objective bits), at one and at several workers — and
+/// the fronts also agree *across* worker counts.
+#[test]
+fn pareto_search_killed_and_resumed_is_bitwise_identical() {
+    let (sc, params, task, est) = setup();
+    let objectives = [Objective::Loss, Objective::Depth, Objective::TwoQ];
+    let mut reference_w1: Option<ParetoSearchResult> = None;
+    for workers in [1usize, 4] {
+        let reference = {
+            let cfg = evo_cfg(RuntimeOptions {
+                workers,
+                ..Default::default()
+            });
+            let rt = SearchRuntime::new(cfg.runtime.clone());
+            evolutionary_search_pareto_rt(&sc, &params, &task, &est, &cfg, &objectives, &[], &rt)
+        };
+        if let Some(w1) = &reference_w1 {
+            assert_pareto_bitwise_eq(&reference, w1);
+        } else {
+            reference_w1 = Some(reference.clone());
+        }
+        for boundary in [1u64, 2, 3] {
+            let dir = TempDir::new(&format!("pareto-w{workers}-b{boundary}"));
+            let crash_cfg = evo_cfg(ckpt_options(dir.path(), workers, false));
+            let rt = SearchRuntime::new(crash_cfg.runtime.clone())
+                .with_fault_plan(Arc::new(FaultPlan::new().crash_at_boundary(boundary)));
+            expect_boundary_crash(|| {
+                evolutionary_search_pareto_rt(
+                    &sc,
+                    &params,
+                    &task,
+                    &est,
+                    &crash_cfg,
+                    &objectives,
+                    &[],
+                    &rt,
+                );
+            });
+            assert_eq!(
+                common::snapshot_kind(dir.path(), "pareto"),
+                u32::from_le_bytes(*b"PARE"),
+                "pareto snapshots must carry their own wire kind"
+            );
+
+            let resume_cfg = evo_cfg(ckpt_options(dir.path(), workers, true));
+            let rt = SearchRuntime::new(resume_cfg.runtime.clone());
+            let resumed = evolutionary_search_pareto_rt(
+                &sc,
+                &params,
+                &task,
+                &est,
+                &resume_cfg,
+                &objectives,
+                &[],
+                &rt,
+            );
+            assert_eq!(
+                rt.metrics().counter(counters::CHECKPOINT_RESUMES),
+                1,
+                "resume was not recorded (workers {workers}, boundary {boundary})"
+            );
+            assert_pareto_bitwise_eq(&resumed, &reference);
         }
     }
 }

@@ -1,0 +1,82 @@
+//! Helpers shared by the integration suites (each pulls this in with
+//! `mod common;`, so every item must tolerate being unused in some
+//! suites).
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+
+/// A self-deleting scratch directory for checkpoint drills.
+pub struct TempDir(pub PathBuf);
+
+impl TempDir {
+    pub fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("qns-it-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Byte offset of the kind tag in the snapshot wire header
+/// (magic 8 + format version 4).
+pub const KIND_OFFSET: usize = 12;
+
+/// Reads the wire kind tag of one snapshot file.
+pub fn snapshot_file_kind(path: &Path) -> u32 {
+    let bytes = std::fs::read(path).expect("readable snapshot");
+    assert!(
+        bytes.len() >= KIND_OFFSET + 4,
+        "snapshot too short for a header: {}",
+        path.display()
+    );
+    u32::from_le_bytes(bytes[KIND_OFFSET..KIND_OFFSET + 4].try_into().unwrap())
+}
+
+/// The wire kind tag of the newest `{label}-{seq}.ckpt` snapshot under
+/// `dir`. Suites assert this against the engine they actually ran, so a
+/// new snapshot kind (e.g. the Pareto search's) can't silently pass a
+/// drill written for another engine's wire format.
+pub fn snapshot_kind(dir: &Path, label: &str) -> u32 {
+    let prefix = format!("{label}-");
+    let mut newest: Option<(String, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).expect("checkpoint dir").flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with(&prefix) || !name.ends_with(".ckpt") {
+            continue;
+        }
+        if newest
+            .as_ref()
+            .map(|(n, _)| name > n.as_str())
+            .unwrap_or(true)
+        {
+            newest = Some((name.to_string(), path));
+        }
+    }
+    let (_, path) = newest.unwrap_or_else(|| panic!("no '{label}-*.ckpt' snapshot in dir"));
+    snapshot_file_kind(&path)
+}
+
+/// All distinct wire kinds present under `dir`, ascending.
+pub fn snapshot_kinds(dir: &Path) -> Vec<u32> {
+    let mut kinds = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir).expect("checkpoint dir").flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ckpt") {
+            kinds.insert(snapshot_file_kind(&path));
+        }
+    }
+    kinds.into_iter().collect()
+}

@@ -1,0 +1,542 @@
+//! The multi-objective Pareto search battery: property tests for the
+//! NSGA-II front invariants, the single-objective degeneration
+//! differential against the scalar engine, worker-count bitwise identity
+//! of fronts, wire-kind isolation from the scalar search, and the
+//! one-search-many-devices front matching helper.
+
+mod common;
+
+use proptest::prelude::*;
+use qns_noise::Device;
+use qns_runtime::{counters, CacheKey, StructuralHasher};
+use quantumnas::{
+    crowding_distance, dominates, evolutionary_search_pareto_rt, evolutionary_search_seeded_rt,
+    front_json, match_front_to_device, non_dominated_sort, selection_order, CheckpointOptions,
+    DesignSpace, Estimator, EstimatorKind, EvoConfig, FaultPlan, FrontPoint, Gene, Objective,
+    ParetoSearchResult, ProxyOptions, RuntimeOptions, SearchRuntime, SpaceKind, SuperCircuit, Task,
+    FAULT_MARKER,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Arc;
+
+const ALL_OBJECTIVES: [Objective; 3] = [Objective::Loss, Objective::Depth, Objective::TwoQ];
+const PARETO_KIND: u32 = u32::from_le_bytes(*b"PARE");
+const SCALAR_KIND: u32 = u32::from_le_bytes(*b"SEAR");
+
+fn setup() -> (SuperCircuit, Vec<f64>, Task, Estimator) {
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let task = Task::qml_digits(&[1, 8], 15, 4, 4);
+    let params: Vec<f64> = (0..sc.num_params())
+        .map(|i| 0.2 * ((i % 5) as f64) - 0.4)
+        .collect();
+    let est = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1).with_valid_cap(4);
+    (sc, params, task, est)
+}
+
+fn evo_cfg(seed: u64, runtime: RuntimeOptions) -> EvoConfig {
+    EvoConfig {
+        iterations: 4,
+        population: 8,
+        parents: 3,
+        mutations: 3,
+        crossovers: 2,
+        runtime,
+        ..EvoConfig::fast(seed)
+    }
+}
+
+fn ckpt_options(dir: &Path, workers: usize, resume: bool) -> RuntimeOptions {
+    let ck = CheckpointOptions::new(dir);
+    RuntimeOptions {
+        workers,
+        cache: true,
+        checkpoint: Some(if resume { ck.resume() } else { ck }),
+        ..Default::default()
+    }
+}
+
+fn expect_boundary_crash(f: impl FnOnce()) {
+    let payload = catch_unwind(AssertUnwindSafe(f)).expect_err("run should crash");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.starts_with(FAULT_MARKER),
+        "crash was not the injected one: {msg:?}"
+    );
+}
+
+fn assert_pareto_bitwise_eq(a: &ParetoSearchResult, b: &ParetoSearchResult) {
+    assert_eq!(a.front.len(), b.front.len(), "front size mismatch");
+    for (pa, pb) in a.front.iter().zip(&b.front) {
+        assert_eq!(pa.gene, pb.gene);
+        assert_eq!(pa.objectives.len(), pb.objectives.len());
+        for (x, y) in pa.objectives.iter().zip(&pb.objectives) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.memo_hits, b.memo_hits);
+}
+
+/// Deterministic value picker for the property strategies.
+fn pick(seed: u64, bound: u64) -> u64 {
+    let mut h = StructuralHasher::new();
+    h.write_u64(seed);
+    h.finish().lo % bound
+}
+
+/// Strategy: an arbitrary objective matrix (1–9 candidates, 1–3 dims)
+/// over a coarse value grid — small enough to force exact ties and
+/// duplicate vectors — with occasional `+inf` and `NaN` poison, plus a
+/// distinct digest per candidate in scrambled order.
+fn arb_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<CacheKey>)> {
+    (1usize..=9, 1usize..=3, 0u64..u64::MAX).prop_map(|(n, dims, seed)| {
+        let objs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| {
+                        let code = pick(seed ^ (i as u64 * 131 + d as u64 + 1), 8);
+                        match code {
+                            6 => f64::INFINITY,
+                            7 => f64::NAN,
+                            c => c as f64,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let keys: Vec<CacheKey> = (0..n)
+            .map(|i| CacheKey {
+                lo: pick(seed.wrapping_add(i as u64), u64::MAX),
+                hi: i as u64, // guarantees distinctness
+            })
+            .collect();
+        (objs, keys)
+    })
+}
+
+/// Like [`arb_matrix`] but with per-candidate perturbations making every
+/// value within a dimension distinct (no ties, all finite) — the regime
+/// where selection must be fully permutation-invariant.
+fn arb_distinct_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<CacheKey>)> {
+    arb_matrix().prop_map(|(objs, keys)| {
+        let distinct = objs
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.iter()
+                    .map(|v| {
+                        let base = if v.is_finite() { *v } else { 9.0 };
+                        base + (i as f64) * 1e-3
+                    })
+                    .collect()
+            })
+            .collect();
+        (distinct, keys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Front invariants: the fronts partition the candidate set; no
+    /// member of front k dominates another member of front k; every
+    /// member of front k>0 is dominated by at least one member of front
+    /// k−1.
+    #[test]
+    fn fronts_partition_and_respect_dominance((objs, _) in arb_matrix()) {
+        let fronts = non_dominated_sort(&objs);
+        let mut seen = vec![false; objs.len()];
+        for front in &fronts {
+            for w in front.windows(2) {
+                prop_assert!(w[0] < w[1], "front indices must ascend");
+            }
+            for &i in front {
+                prop_assert!(!seen[i], "candidate {} in two fronts", i);
+                seen[i] = true;
+            }
+            for &a in front {
+                for &b in front {
+                    if a != b {
+                        prop_assert!(
+                            !dominates(&objs[a], &objs[b]),
+                            "{} dominates {} within one front",
+                            a,
+                            b
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some candidate lost");
+        for k in 1..fronts.len() {
+            for &b in &fronts[k] {
+                prop_assert!(
+                    fronts[k - 1].iter().any(|&a| dominates(&objs[a], &objs[b])),
+                    "front-{} member {} not dominated by front {}",
+                    k,
+                    b,
+                    k - 1
+                );
+            }
+        }
+    }
+
+    /// Boundary points — the extreme of any objective within a front,
+    /// under the module's total value-then-index order — get infinite
+    /// crowding distance.
+    #[test]
+    fn boundary_points_get_infinite_crowding((objs, _) in arb_matrix()) {
+        for front in non_dominated_sort(&objs) {
+            let dist = crowding_distance(&objs, &front);
+            prop_assert_eq!(dist.len(), front.len());
+            let dims = objs[front[0]].len();
+            // `dim` indexes the inner objective vectors through `front`,
+            // so an iterator rewrite would not apply.
+            #[allow(clippy::needless_range_loop)]
+            for dim in 0..dims {
+                let lo = (0..front.len()).min_by(|&a, &b| {
+                    objs[front[a]][dim]
+                        .total_cmp(&objs[front[b]][dim])
+                        .then(front[a].cmp(&front[b]))
+                }).unwrap();
+                let hi = (0..front.len()).max_by(|&a, &b| {
+                    objs[front[a]][dim]
+                        .total_cmp(&objs[front[b]][dim])
+                        .then(front[a].cmp(&front[b]))
+                }).unwrap();
+                prop_assert!(dist[lo].is_infinite(), "min of dim {} not infinite", dim);
+                prop_assert!(dist[hi].is_infinite(), "max of dim {} not infinite", dim);
+            }
+        }
+    }
+
+    /// Selection is a deterministic total order: a permutation of the
+    /// candidate indices, stable across calls, consistent with the
+    /// (rank, crowding, digest, index) comparator at every adjacent pair.
+    #[test]
+    fn selection_is_a_deterministic_total_order((objs, keys) in arb_matrix()) {
+        let order = selection_order(&objs, &keys);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..objs.len()).collect::<Vec<_>>());
+        prop_assert_eq!(&selection_order(&objs, &keys), &order, "not stable across calls");
+
+        let mut rank = vec![0usize; objs.len()];
+        let fronts = non_dominated_sort(&objs);
+        let mut crowd = vec![0.0f64; objs.len()];
+        for (r, front) in fronts.iter().enumerate() {
+            let d = crowding_distance(&objs, front);
+            for (pos, &i) in front.iter().enumerate() {
+                rank[i] = r;
+                crowd[i] = d[pos];
+            }
+        }
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let cmp = rank[a]
+                .cmp(&rank[b])
+                .then(crowd[b].total_cmp(&crowd[a]))
+                .then(keys[a].cmp(&keys[b]))
+                .then(a.cmp(&b));
+            prop_assert!(cmp.is_lt(), "adjacent pair ({}, {}) out of order", a, b);
+        }
+    }
+
+    /// With distinct objective values and distinct digests, selection is
+    /// invariant under permutation of the input: relabeling candidates
+    /// relabels the order, nothing else.
+    #[test]
+    fn selection_is_permutation_invariant((objs, keys) in arb_distinct_matrix()) {
+        let n = objs.len();
+        let order = selection_order(&objs, &keys);
+        let rev_objs: Vec<Vec<f64>> = objs.iter().rev().cloned().collect();
+        let rev_keys: Vec<CacheKey> = keys.iter().rev().copied().collect();
+        let rev_order: Vec<usize> = selection_order(&rev_objs, &rev_keys)
+            .into_iter()
+            .map(|j| n - 1 - j)
+            .collect();
+        prop_assert_eq!(rev_order, order);
+    }
+}
+
+/// The degeneration differential: with the single objective `loss`, the
+/// Pareto engine must reproduce the scalar engine — same best candidate,
+/// bitwise-same best score and per-generation history, same evaluation
+/// budget — across three seeds. (Singleton fronts make NSGA-II selection
+/// collapse to the scalar score ordering.)
+#[test]
+fn single_objective_pareto_degenerates_to_the_scalar_engine() {
+    let (sc, params, task, est) = setup();
+    for seed in [5u64, 17, 23] {
+        let cfg = evo_cfg(seed, RuntimeOptions::default());
+        let scalar = {
+            let rt = SearchRuntime::new(cfg.runtime.clone());
+            evolutionary_search_seeded_rt(&sc, &params, &task, &est, &cfg, &[], &rt)
+        };
+        let pareto = {
+            let rt = SearchRuntime::new(cfg.runtime.clone());
+            evolutionary_search_pareto_rt(
+                &sc,
+                &params,
+                &task,
+                &est,
+                &cfg,
+                &[Objective::Loss],
+                &[],
+                &rt,
+            )
+        };
+        assert_eq!(pareto.best, scalar.best, "seed {seed}: best gene differs");
+        assert_eq!(
+            pareto.best_score.to_bits(),
+            scalar.best_score.to_bits(),
+            "seed {seed}: best score differs"
+        );
+        assert_eq!(pareto.history.len(), scalar.history.len());
+        for (g, (a, b)) in pareto.history.iter().zip(&scalar.history).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "seed {seed}: generation {g} log differs"
+            );
+        }
+        assert_eq!(pareto.evaluations, scalar.evaluations, "seed {seed}");
+        assert_eq!(pareto.memo_hits, scalar.memo_hits, "seed {seed}");
+        // Every front member's loss sits at the best score (a 1D front is
+        // the set of exact minima).
+        assert!(!pareto.front.is_empty());
+        for point in &pareto.front {
+            assert_eq!(point.objectives.len(), 1);
+            assert_eq!(point.objectives[0].to_bits(), pareto.best_score.to_bits());
+        }
+    }
+}
+
+/// The final front (genes and objective bits), best, and history are
+/// identical at any worker count, and the emitted front JSON is stable.
+#[test]
+fn front_is_bitwise_identical_across_worker_counts() {
+    let (sc, params, task, est) = setup();
+    let run = |workers: usize| {
+        let cfg = evo_cfg(
+            17,
+            RuntimeOptions {
+                workers,
+                ..Default::default()
+            },
+        );
+        let rt = SearchRuntime::new(cfg.runtime.clone());
+        evolutionary_search_pareto_rt(&sc, &params, &task, &est, &cfg, &ALL_OBJECTIVES, &[], &rt)
+    };
+    let reference = run(1);
+    assert!(!reference.front.is_empty());
+    let ref_json = front_json(&ALL_OBJECTIVES, &reference.front);
+    for workers in [2usize, 4] {
+        let result = run(workers);
+        assert_pareto_bitwise_eq(&result, &reference);
+        assert_eq!(
+            front_json(&ALL_OBJECTIVES, &result.front),
+            ref_json,
+            "front JSON differs at {workers} workers"
+        );
+    }
+}
+
+/// Pareto snapshots carry their own wire kind: the scalar engine neither
+/// lists them (different label) nor decodes them (kind tag mismatch when
+/// one is planted under the scalar label), and falls back to a clean
+/// start either way.
+#[test]
+fn pareto_snapshots_cannot_leak_into_the_scalar_engine() {
+    let (sc, params, task, est) = setup();
+    let dir = common::TempDir::new("pareto-kind");
+    let crash_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, false));
+    let rt = SearchRuntime::new(crash_cfg.runtime.clone())
+        .with_fault_plan(Arc::new(FaultPlan::new().crash_at_boundary(2)));
+    expect_boundary_crash(|| {
+        evolutionary_search_pareto_rt(
+            &sc,
+            &params,
+            &task,
+            &est,
+            &crash_cfg,
+            &ALL_OBJECTIVES,
+            &[],
+            &rt,
+        );
+    });
+    assert_eq!(common::snapshot_kind(dir.path(), "pareto"), PARETO_KIND);
+    assert_eq!(common::snapshot_kinds(dir.path()), vec![PARETO_KIND]);
+
+    // A scalar resume in the same directory finds nothing under its label
+    // and must run fresh.
+    let fresh = {
+        let cfg = evo_cfg(17, RuntimeOptions::default());
+        let rt = SearchRuntime::new(cfg.runtime.clone());
+        evolutionary_search_seeded_rt(&sc, &params, &task, &est, &cfg, &[], &rt)
+    };
+    let resume_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, true));
+    let rt = SearchRuntime::new(resume_cfg.runtime.clone());
+    let resumed = evolutionary_search_seeded_rt(&sc, &params, &task, &est, &resume_cfg, &[], &rt);
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_RESUMES), 0);
+    assert_eq!(resumed.best, fresh.best);
+    assert_eq!(resumed.best_score.to_bits(), fresh.best_score.to_bits());
+
+    // Plant a Pareto frame under the scalar label in a clean directory
+    // (the resume attempt above wrote genuine scalar snapshots next to
+    // the Pareto ones): the wire kind tag must reject it (counted as
+    // corrupt), again falling back to a fresh run.
+    let plant_dir = common::TempDir::new("pareto-kind-planted");
+    let planted = plant_dir.path().join("search-00000009.ckpt");
+    let pareto_file = std::fs::read_dir(dir.path())
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("pareto-"))
+        })
+        .expect("a pareto snapshot");
+    std::fs::copy(&pareto_file, &planted).unwrap();
+    assert_eq!(common::snapshot_file_kind(&planted), PARETO_KIND);
+    assert_ne!(PARETO_KIND, SCALAR_KIND);
+    let plant_cfg = evo_cfg(17, ckpt_options(plant_dir.path(), 1, true));
+    let rt = SearchRuntime::new(plant_cfg.runtime.clone());
+    let resumed = evolutionary_search_seeded_rt(&sc, &params, &task, &est, &plant_cfg, &[], &rt);
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_RESUMES), 0);
+    assert!(rt.metrics().counter(counters::CHECKPOINT_CORRUPT) >= 1);
+    assert_eq!(resumed.best, fresh.best);
+    assert_eq!(resumed.best_score.to_bits(), fresh.best_score.to_bits());
+}
+
+/// A proxy-on Pareto snapshot must be rejected by a proxy-off resume (and
+/// the run must then match a fresh proxy-off run bitwise).
+#[test]
+fn proxy_presence_mismatch_rejects_the_pareto_snapshot() {
+    let (sc, params, task, est) = setup();
+    let dir = common::TempDir::new("pareto-proxy-mismatch");
+    let proxy_on = ProxyOptions {
+        enabled: true,
+        keep: 0.5,
+        warmup: 1,
+    };
+    let mut crash_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, false));
+    crash_cfg.proxy = proxy_on;
+    let rt = SearchRuntime::new(crash_cfg.runtime.clone())
+        .with_fault_plan(Arc::new(FaultPlan::new().crash_at_boundary(2)));
+    expect_boundary_crash(|| {
+        evolutionary_search_pareto_rt(
+            &sc,
+            &params,
+            &task,
+            &est,
+            &crash_cfg,
+            &ALL_OBJECTIVES,
+            &[],
+            &rt,
+        );
+    });
+
+    let fresh = {
+        let cfg = evo_cfg(17, RuntimeOptions::default());
+        let rt = SearchRuntime::new(cfg.runtime.clone());
+        evolutionary_search_pareto_rt(&sc, &params, &task, &est, &cfg, &ALL_OBJECTIVES, &[], &rt)
+    };
+    let resume_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, true));
+    let rt = SearchRuntime::new(resume_cfg.runtime.clone());
+    let resumed = evolutionary_search_pareto_rt(
+        &sc,
+        &params,
+        &task,
+        &est,
+        &resume_cfg,
+        &ALL_OBJECTIVES,
+        &[],
+        &rt,
+    );
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_REJECTED), 1);
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_RESUMES), 0);
+    assert_pareto_bitwise_eq(&resumed, &fresh);
+}
+
+/// An objective-vector change (same seed, same everything else) must also
+/// reject the snapshot: the front being optimized is part of the context.
+#[test]
+fn objective_vector_mismatch_rejects_the_pareto_snapshot() {
+    let (sc, params, task, est) = setup();
+    let dir = common::TempDir::new("pareto-objs-mismatch");
+    let crash_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, false));
+    let rt = SearchRuntime::new(crash_cfg.runtime.clone())
+        .with_fault_plan(Arc::new(FaultPlan::new().crash_at_boundary(2)));
+    expect_boundary_crash(|| {
+        evolutionary_search_pareto_rt(
+            &sc,
+            &params,
+            &task,
+            &est,
+            &crash_cfg,
+            &ALL_OBJECTIVES,
+            &[],
+            &rt,
+        );
+    });
+
+    let two = [Objective::Loss, Objective::TwoQ];
+    let fresh = {
+        let cfg = evo_cfg(17, RuntimeOptions::default());
+        let rt = SearchRuntime::new(cfg.runtime.clone());
+        evolutionary_search_pareto_rt(&sc, &params, &task, &est, &cfg, &two, &[], &rt)
+    };
+    let resume_cfg = evo_cfg(17, ckpt_options(dir.path(), 1, true));
+    let rt = SearchRuntime::new(resume_cfg.runtime.clone());
+    let resumed =
+        evolutionary_search_pareto_rt(&sc, &params, &task, &est, &resume_cfg, &two, &[], &rt);
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_REJECTED), 1);
+    assert_eq!(rt.metrics().counter(counters::CHECKPOINT_RESUMES), 0);
+    assert_pareto_bitwise_eq(&resumed, &fresh);
+}
+
+/// "One search, many devices": the matcher picks a valid front point for
+/// every device that fits, skips mappings the device cannot host, and the
+/// estimated error is a probability.
+#[test]
+fn front_matches_across_devices() {
+    let (sc, params, task, est) = setup();
+    let cfg = evo_cfg(17, RuntimeOptions::default());
+    let rt = SearchRuntime::new(cfg.runtime.clone());
+    let result =
+        evolutionary_search_pareto_rt(&sc, &params, &task, &est, &cfg, &ALL_OBJECTIVES, &[], &rt);
+    assert!(!result.front.is_empty());
+    for name in ["yorktown", "santiago", "guadalupe"] {
+        let device = Device::by_name(name).unwrap();
+        let (idx, err) =
+            match_front_to_device(&sc, &task, &result.front, &device, 1).expect("front point fits");
+        assert!(idx < result.front.len());
+        assert!((0.0..=1.0).contains(&err), "{name}: error {err}");
+    }
+    // A point whose mapping references a physical qubit the device lacks
+    // is skipped; when no point fits the matcher reports that.
+    let unmappable = vec![FrontPoint {
+        gene: Gene {
+            config: sc.max_config(),
+            layout: vec![0, 1, 2, 9],
+        },
+        objectives: vec![0.1, 1.0, 1.0],
+    }];
+    assert_eq!(
+        match_front_to_device(&sc, &task, &unmappable, &Device::yorktown(), 1),
+        None
+    );
+}

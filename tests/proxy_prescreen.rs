@@ -6,6 +6,8 @@
 //! model's ranking is good enough that escalating a fraction of each
 //! generation still recovers most of the genuinely-best candidates.
 
+mod common;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -345,5 +347,30 @@ fn larger_population_under_proxy_matches_baseline_within_budget() {
     assert!(
         mean(&proxy_scores) <= mean(&base_scores),
         "4x population under proxy scored {proxy_scores:?} vs baseline {base_scores:?}"
+    );
+}
+
+/// Prescreening never changes the snapshot wire kind: a proxy-on scalar
+/// search still writes scalar-kind frames (the proxy state travels inside
+/// the payload, not as a separate kind).
+#[test]
+fn proxy_on_search_snapshots_keep_the_scalar_wire_kind() {
+    let (sc, params, task, est) = setup();
+    let dir = common::TempDir::new("proxy-kind");
+    let cfg = proxy_cfg(RuntimeOptions {
+        workers: 1,
+        checkpoint: Some(CheckpointOptions::new(dir.path())),
+        ..Default::default()
+    });
+    let rt = SearchRuntime::new(cfg.runtime.clone());
+    let result = evolutionary_search_seeded_rt(&sc, &params, &task, &est, &cfg, &[], &rt);
+    assert!(result.proxy_evals > 0, "prescreening never ran");
+    assert_eq!(
+        common::snapshot_kind(dir.path(), "search"),
+        u32::from_le_bytes(*b"SEAR")
+    );
+    assert_eq!(
+        common::snapshot_kinds(dir.path()),
+        vec![u32::from_le_bytes(*b"SEAR")]
     );
 }

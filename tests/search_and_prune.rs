@@ -1,11 +1,14 @@
 //! Cross-crate behavior of the search and pruning stages.
 
+mod common;
+
 use qns_noise::Device;
 use qns_transpile::{transpile, Layout};
 use quantumnas::{
-    evolutionary_search, human_design, iterative_prune, random_search, train_supercircuit,
-    train_task, DesignSpace, Estimator, EstimatorKind, EvoConfig, PruneConfig, SpaceKind,
-    SuperCircuit, SuperTrainConfig, Task, TrainConfig,
+    evolutionary_search, evolutionary_search_seeded_rt, human_design, iterative_prune,
+    random_search, train_supercircuit, train_task, CheckpointOptions, DesignSpace, Estimator,
+    EstimatorKind, EvoConfig, PruneConfig, RuntimeOptions, SearchRuntime, SpaceKind, SuperCircuit,
+    SuperTrainConfig, Task, TrainConfig,
 };
 
 fn setup() -> (SuperCircuit, Vec<f64>, Task) {
@@ -130,4 +133,42 @@ fn pruning_preserves_accuracy_and_shrinks_compiled_circuit() {
     let t_before = transpile(&circuit, &dev, &Layout::trivial(4), 2);
     let t_after = transpile(&pruned.circuit, &dev, &Layout::trivial(4), 2);
     assert!(t_after.circuit.num_ops() < t_before.circuit.num_ops());
+}
+
+/// The scalar search's snapshots carry the scalar wire kind — asserted
+/// through the shared helper, so a run that starts writing a different
+/// kind (e.g. the Pareto engine's) cannot silently pass this suite's
+/// stale-context expectations.
+#[test]
+fn scalar_search_snapshots_carry_the_scalar_wire_kind() {
+    let sc = SuperCircuit::new(DesignSpace::new(SpaceKind::U3Cu3), 4, 2);
+    let task = Task::qml_digits(&[1, 8], 15, 4, 4);
+    let shared: Vec<f64> = (0..sc.num_params())
+        .map(|i| 0.2 * ((i % 5) as f64) - 0.4)
+        .collect();
+    let est = Estimator::new(Device::yorktown(), EstimatorKind::SuccessRate, 1).with_valid_cap(4);
+    let dir = common::TempDir::new("scalar-kind");
+    let cfg = EvoConfig {
+        iterations: 2,
+        population: 6,
+        parents: 2,
+        mutations: 2,
+        crossovers: 2,
+        runtime: RuntimeOptions {
+            workers: 1,
+            checkpoint: Some(CheckpointOptions::new(dir.path())),
+            ..Default::default()
+        },
+        ..EvoConfig::fast(17)
+    };
+    let rt = SearchRuntime::new(cfg.runtime.clone());
+    evolutionary_search_seeded_rt(&sc, &shared, &task, &est, &cfg, &[], &rt);
+    assert_eq!(
+        common::snapshot_kind(dir.path(), "search"),
+        u32::from_le_bytes(*b"SEAR")
+    );
+    assert_eq!(
+        common::snapshot_kinds(dir.path()),
+        vec![u32::from_le_bytes(*b"SEAR")]
+    );
 }

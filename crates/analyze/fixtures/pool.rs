@@ -1,0 +1,7 @@
+// The sanctioned spawn module: scanned as crates/sim/src/pool.rs, where a
+// justified spawn escape IS honored (and a bare one still is not).
+
+fn grow_pool() {
+    // lint:allow(spawn) — sanctioned persistent pool worker, spawned once
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+// A justified spawn escape OUTSIDE the sanctioned pool module: the
+// justification text is fine, but the site is not sim/src/pool.rs, so
+// QA003 must still flag it.
+
+fn rogue_helper() {
+    std::thread::spawn(|| {}); // lint:allow(spawn) — looks justified, wrong module
+}

@@ -60,6 +60,13 @@ pub struct PatternRule {
     pub crates: &'static [&'static str],
     /// Files (workspace-relative suffixes) exempt from this rule.
     pub allow_files: &'static [&'static str],
+    /// When non-empty, justified escapes are honored **only** inside these
+    /// files (workspace-relative suffixes): the rule's pattern is audited
+    /// to a sanctioned module, and a `lint:allow` anywhere else — however
+    /// well justified — is still a finding. Unlike `allow_files`, the
+    /// sanctioned files themselves are still scanned (a bare escape there
+    /// is rejected as usual).
+    pub sanctioned_files: &'static [&'static str],
 }
 
 pub fn pattern_rules() -> Vec<PatternRule> {
@@ -69,24 +76,31 @@ pub fn pattern_rules() -> Vec<PatternRule> {
             patterns: &["Instant::now", "SystemTime"],
             crates: SEARCH_PATH_CRATES,
             allow_files: &["runtime/src/telemetry.rs"],
+            sanctioned_files: &[],
         },
         PatternRule {
             rule: QaRule::Entropy,
             patterns: &["thread_rng", "from_entropy", "OsRng"],
             crates: SEARCH_PATH_CRATES,
             allow_files: &[],
+            sanctioned_files: &[],
         },
         PatternRule {
             rule: QaRule::Spawn,
             patterns: &["thread::spawn"],
             crates: NO_SPAWN_CRATES,
             allow_files: &[],
+            // The simulator's persistent worker pool is the one audited
+            // spawn site outside the runtime crate; every other spawn in
+            // these crates must route through it or the runtime engine.
+            sanctioned_files: &["sim/src/pool.rs"],
         },
         PatternRule {
             rule: QaRule::NoPanic,
             patterns: &[".unwrap()", "panic!"],
             crates: NO_PANIC_CRATES,
             allow_files: &[],
+            sanctioned_files: &[],
         },
     ]
 }
@@ -145,8 +159,24 @@ pub fn scan_patterns(model: &FileModel) -> Vec<Finding> {
                 continue;
             };
             let line = idx + 1;
+            let sanctioned_here = rule.sanctioned_files.is_empty()
+                || rule
+                    .sanctioned_files
+                    .iter()
+                    .any(|f| model.path.ends_with(f));
             match escape_for(model, rule.rule.name(), line) {
-                Escape::Justified => {}
+                Escape::Justified if sanctioned_here => {}
+                Escape::Justified => findings.push(Finding::new(
+                    rule.rule,
+                    model.path.clone(),
+                    line,
+                    format!(
+                        "`{}` is sanctioned only in {} — a justified `lint:allow({})` elsewhere is not accepted; route through the sanctioned module",
+                        pattern,
+                        rule.sanctioned_files.join(", "),
+                        rule.rule.name()
+                    ),
+                )),
                 Escape::Bare => findings.push(bare_escape_finding(rule.rule, model, line)),
                 Escape::None => findings.push(Finding::new(
                     rule.rule,
@@ -671,6 +701,54 @@ mod tests {
             "/* Instant::now() in a block comment\n   spanning lines with panic!(\"x\") */\nfn f() { let s = \"thread_rng\"; }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
         );
         assert!(scan_patterns(&m).is_empty(), "{:?}", scan_patterns(&m));
+    }
+
+    /// Like [`model_in`] but with an explicit in-crate file path, for
+    /// rules whose behavior depends on the file (sanctioned modules).
+    fn model_at(crate_name: &str, file: &str, src: &str) -> FileModel {
+        FileModel::new(
+            format!("crates/{crate_name}/src/{file}"),
+            crate_name.into(),
+            src,
+        )
+    }
+
+    #[test]
+    fn sanctioned_module_honors_justified_spawn_escape() {
+        let m = model_at(
+            "sim",
+            "pool.rs",
+            "fn grow() {\n    // lint:allow(spawn) — sanctioned pool worker\n    std::thread::spawn(work);\n}\n",
+        );
+        assert!(scan_patterns(&m).is_empty(), "{:?}", scan_patterns(&m));
+    }
+
+    #[test]
+    fn sanctioned_module_still_rejects_bare_escape() {
+        let m = model_at(
+            "sim",
+            "pool.rs",
+            "fn grow() {\n    std::thread::spawn(work); // lint:allow(spawn)\n}\n",
+        );
+        let f = scan_patterns(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no justification"), "{f:?}");
+    }
+
+    #[test]
+    fn justified_spawn_outside_sanctioned_module_is_flagged() {
+        let m = model_at(
+            "sim",
+            "batch.rs",
+            "fn fan_out() {\n    // lint:allow(spawn) — justified text, wrong file\n    std::thread::spawn(work);\n}\n",
+        );
+        let f = scan_patterns(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, QaRule::Spawn);
+        assert!(
+            f[0].message.contains("sanctioned only in sim/src/pool.rs"),
+            "{f:?}"
+        );
     }
 
     #[test]

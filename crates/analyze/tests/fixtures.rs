@@ -53,6 +53,24 @@ fn spawn_fixture_flags_the_spawn() {
 }
 
 #[test]
+fn spawn_in_sanctioned_pool_module_is_accepted_when_justified() {
+    // fixture() maps this to crates/sim/src/pool.rs — the one sanctioned
+    // spawn site. The justified escape there must be honored.
+    let f = scan_patterns(&fixture("pool.rs", "sim"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn justified_spawn_outside_sanctioned_module_is_still_flagged() {
+    let f = scan_patterns(&fixture("spawn_justified.rs", "core"));
+    assert_eq!(count(&f, QaRule::Spawn), 1, "{f:?}");
+    assert!(
+        f[0].message.contains("sanctioned only in sim/src/pool.rs"),
+        "{f:?}"
+    );
+}
+
+#[test]
 fn no_panic_fixture_flags_unwrap_and_panic() {
     let f = scan_patterns(&fixture("no_panic.rs", "sim"));
     assert_eq!(count(&f, QaRule::NoPanic), 2, "{f:?}");

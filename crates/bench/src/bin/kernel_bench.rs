@@ -1,0 +1,390 @@
+//! `kernel_bench` — micro-benchmarks for the split-complex lane kernels
+//! and the persistent worker pool, recorded as `BENCH_kernels.json`.
+//!
+//! ```text
+//! cargo run -p qns-bench --release --bin kernel_bench \
+//!     [-- --smoke] [-- --out PATH] [-- --check PATH]
+//! ```
+//!
+//! Three sections:
+//!
+//! 1. `lanes` — gate-sweep GFLOP/s of the planar [`StateBatch`] against a
+//!    local interleaved (`Vec<C64>`, array-of-structs) reference with the
+//!    identical element order and walk, across lane counts. The planar
+//!    layout is the one the autovectorizer can chew on; the acceptance
+//!    target is ≥1.5× at [`DEFAULT_BATCH_LANES`].
+//! 2. `dispatch` — per-call overhead of a `parallel_map` fan-out on the
+//!    persistent worker pool vs. the old scoped spawn-per-call shape. The
+//!    acceptance target is a ≥5× reduction.
+//! 3. `forward` — end-to-end batched minibatch inference (replay +
+//!    readout) at the default lane width, the number the lane kernels
+//!    exist to move.
+//!
+//! `--smoke` shrinks every section to a cheap single iteration so CI can
+//! run the binary as a build-and-run check without thresholds.
+//! `--check PATH` compares the fresh `forward.batched_s` against a
+//! previously committed JSON and exits non-zero on a >20% regression.
+
+use qns_circuit::{Circuit, GateKind, Param};
+use qns_sim::{
+    parallel_map_hinted, SimPlan, StateBatch, DEFAULT_BATCH_LANES, DEFAULT_FUSION_LEVEL,
+};
+use qns_tensor::{Mat2, Mat4, C64};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Interleaved (array-of-structs) reference batch: identical element
+/// order to [`StateBatch`] (`amp * lanes + lane`) but `C64` pairs instead
+/// of split planes, and the same blocked walks. This is the layout the
+/// planar engine replaced; it exists here only as the baseline under
+/// measurement.
+struct InterleavedBatch {
+    lanes: usize,
+    amps: Vec<C64>,
+}
+
+impl InterleavedBatch {
+    fn zero_state(n: usize, lanes: usize) -> Self {
+        let mut amps = vec![C64::ZERO; (1 << n) * lanes];
+        for a in amps.iter_mut().take(lanes) {
+            *a = C64::ONE;
+        }
+        Self { lanes, amps }
+    }
+
+    fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        let stride = (1usize << q) * self.lanes;
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            for off in base..base + stride {
+                let lo = self.amps[off];
+                let hi = self.amps[off + stride];
+                self.amps[off] = m.m[0] * lo + m.m[1] * hi;
+                self.amps[off + stride] = m.m[2] * lo + m.m[3] * hi;
+            }
+            base += stride << 1;
+        }
+    }
+
+    fn apply_2q(&mut self, m: &Mat4, qa: usize, qb: usize) {
+        let ba = (1usize << qa) * self.lanes;
+        let bb = (1usize << qb) * self.lanes;
+        let (lo, hi) = if ba < bb { (ba, bb) } else { (bb, ba) };
+        let len = self.amps.len();
+        let mut base = 0;
+        while base < len {
+            let mut mid = base;
+            while mid < base + hi {
+                for e in mid..mid + lo {
+                    let v0 = self.amps[e];
+                    let v1 = self.amps[e + bb];
+                    let v2 = self.amps[e + ba];
+                    let v3 = self.amps[e + ba + bb];
+                    self.amps[e] = ((m.m[0] * v0 + m.m[1] * v1) + m.m[2] * v2) + m.m[3] * v3;
+                    self.amps[e + bb] = ((m.m[4] * v0 + m.m[5] * v1) + m.m[6] * v2) + m.m[7] * v3;
+                    self.amps[e + ba] = ((m.m[8] * v0 + m.m[9] * v1) + m.m[10] * v2) + m.m[11] * v3;
+                    self.amps[e + ba + bb] =
+                        ((m.m[12] * v0 + m.m[13] * v1) + m.m[14] * v2) + m.m[15] * v3;
+                }
+                mid += lo << 1;
+            }
+            base += hi << 1;
+        }
+    }
+}
+
+/// RY-shaped rotation — a fully general (dense, no zero entry) 2×2.
+fn ry(theta: f64) -> Mat2 {
+    let h = theta / 2.0;
+    Mat2::new([
+        C64::real(h.cos()),
+        C64::real(-h.sin()),
+        C64::real(h.sin()),
+        C64::real(h.cos()),
+    ])
+}
+
+/// Median wall-clock seconds of `reps` calls to `f`.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The old dispatch shape: one scoped spawn per call, joined immediately.
+/// Kept here as the measured baseline for the `dispatch` section.
+fn scoped_map(items: &[u64], f: impl Fn(&u64) -> u64 + Sync) -> Vec<u64> {
+    let mid = items.len() / 2;
+    let (a, b) = items.split_at(mid);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| b.iter().map(&f).collect::<Vec<u64>>());
+        let mut out: Vec<u64> = a.iter().map(&f).collect();
+        out.extend(handle.join().expect("scoped worker"));
+        out
+    })
+}
+
+struct Json {
+    buf: String,
+}
+
+impl Json {
+    fn obj(&mut self, key: &str, body: impl FnOnce(&mut Json)) {
+        let _ = write!(self.buf, "\"{key}\": {{");
+        body(self);
+        if self.buf.ends_with(", ") {
+            self.buf.truncate(self.buf.len() - 2);
+        }
+        let _ = write!(self.buf, "}}, ");
+    }
+
+    fn num(&mut self, key: &str, v: f64) {
+        let _ = write!(self.buf, "\"{key}\": {v:.9}, ");
+    }
+
+    fn int(&mut self, key: &str, v: usize) {
+        let _ = write!(self.buf, "\"{key}\": {v}, ");
+    }
+
+    fn str(&mut self, key: &str, v: &str) {
+        let _ = write!(self.buf, "\"{key}\": \"{v}\", ");
+    }
+}
+
+/// Pulls `"key": <float>` out of the `"forward"` object of a flat JSON
+/// string written by this bin.
+fn forward_num(text: &str, key: &str) -> Option<f64> {
+    let scope = &text[text.find("\"forward\"")?..];
+    let needle = format!("\"{key}\": ");
+    let start = scope.find(&needle)? + needle.len();
+    let rest = &scope[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The `batch_bench` QML candidate shape, reused for the end-to-end
+/// forward section.
+fn qml_circuit(n: usize, layers: usize) -> (Circuit, Vec<f64>) {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(GateKind::RY, &[q], &[Param::Input(q)]);
+        c.push(
+            GateKind::RZ,
+            &[q],
+            &[Param::AffineInput {
+                index: q,
+                scale: 0.5,
+                offset: 0.1,
+            }],
+        );
+    }
+    let mut t = 0;
+    for _ in 0..layers {
+        for q in 0..n {
+            c.push(
+                GateKind::U3,
+                &[q],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+        for q in 0..n {
+            c.push(
+                GateKind::CU3,
+                &[q, (q + 1) % n],
+                &[Param::Train(t), Param::Train(t + 1), Param::Train(t + 2)],
+            );
+            t += 3;
+        }
+    }
+    let params = (0..t).map(|i| 0.1 * (i as f64 % 7.0) - 0.3).collect();
+    (c, params)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let check_path = flag("--check");
+    let reps = if smoke { 1 } else { 9 };
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = Json { buf: String::new() };
+    json.buf.push('{');
+    json.str("bench", "kernels");
+    json.str("mode", if smoke { "smoke" } else { "full" });
+    json.int("cores", cores);
+
+    // 1. Planar vs interleaved lane sweeps.
+    let n = if smoke { 6 } else { 10 };
+    let lane_counts: &[usize] = if smoke { &[2, 8] } else { &[2, 8, 32, 64] };
+    let g1 = ry(0.7);
+    let g2 = ry(0.4).kron(&ry(1.1));
+    // Per full iteration: a 1q general sweep on every qubit plus a 2q
+    // general sweep on every ring pair — one layer's worth of strides.
+    let flops_per_iter = |lanes: usize| -> f64 {
+        let amps = (1usize << n) * lanes;
+        let one_q = n as f64 * (amps as f64 / 2.0) * 28.0;
+        let two_q = n as f64 * (amps as f64 / 4.0) * 120.0;
+        one_q + two_q
+    };
+    let mut default_speedup = 0.0;
+    json.obj("lanes", |j| {
+        j.int("qubits", n);
+        for &lanes in lane_counts {
+            let mut planar = StateBatch::zero_state(n, lanes);
+            let planar_s = time_median(reps, || {
+                for q in 0..n {
+                    planar.apply_1q(&g1, q);
+                }
+                for q in 0..n {
+                    planar.apply_2q(&g2, q, (q + 1) % n);
+                }
+            });
+            let mut inter = InterleavedBatch::zero_state(n, lanes);
+            let inter_s = time_median(reps, || {
+                for q in 0..n {
+                    inter.apply_1q(&g1, q);
+                }
+                for q in 0..n {
+                    inter.apply_2q(&g2, q, (q + 1) % n);
+                }
+            });
+            let speedup = inter_s / planar_s.max(1e-12);
+            let gf = flops_per_iter(lanes) * 1e-9;
+            println!(
+                "lanes={lanes}: planar {:.2} GFLOP/s, interleaved {:.2} GFLOP/s ({speedup:.2}x)",
+                gf / planar_s.max(1e-12),
+                gf / inter_s.max(1e-12),
+            );
+            j.num(&format!("planar_gflops_{lanes}"), gf / planar_s.max(1e-12));
+            j.num(
+                &format!("interleaved_gflops_{lanes}"),
+                gf / inter_s.max(1e-12),
+            );
+            j.num(&format!("speedup_{lanes}"), speedup);
+            if lanes == DEFAULT_BATCH_LANES {
+                default_speedup = speedup;
+            }
+        }
+    });
+
+    // 2. Pool dispatch vs scoped spawn, per call.
+    let items: Vec<u64> = (0..64).collect();
+    let calls = if smoke { 20 } else { 2000 };
+    // A hint far above the cutoff forces the pool path even though the
+    // items are trivially cheap — this measures dispatch, not work.
+    let pool_s = time_median(reps, || {
+        for _ in 0..calls {
+            let out = parallel_map_hinted(&items, 2, 1_000_000, |x| x + 1);
+            assert_eq!(out.len(), items.len());
+        }
+    }) / calls as f64;
+    let scoped_s = time_median(reps, || {
+        for _ in 0..calls {
+            let out = scoped_map(&items, |x| x + 1);
+            assert_eq!(out.len(), items.len());
+        }
+    }) / calls as f64;
+    let dispatch_ratio = scoped_s / pool_s.max(1e-12);
+    println!(
+        "dispatch: pool {:.2}us/call, scoped spawn {:.2}us/call ({dispatch_ratio:.1}x)",
+        pool_s * 1e6,
+        scoped_s * 1e6,
+    );
+    json.obj("dispatch", |j| {
+        j.int("items", items.len());
+        j.int("calls", calls);
+        j.num("pool_call_s", pool_s);
+        j.num("scoped_call_s", scoped_s);
+        j.num("ratio", dispatch_ratio);
+    });
+
+    // 3. End-to-end batched forward at the default lane width.
+    let (fn_, layers, samples) = if smoke { (6, 1, 16) } else { (10, 3, 128) };
+    let lanes = DEFAULT_BATCH_LANES.min(samples);
+    let (circuit, params) = qml_circuit(fn_, layers);
+    let features: Vec<Vec<f64>> = (0..samples)
+        .map(|s| {
+            (0..fn_)
+                .map(|q| 0.3 * ((s * fn_ + q) as f64 % 11.0) - 1.2)
+                .collect()
+        })
+        .collect();
+    let plan = SimPlan::compile(&circuit, DEFAULT_FUSION_LEVEL);
+    let base = plan.materialize(&circuit, &params, &features[0]);
+    let mut batch = StateBatch::zero_state(fn_, lanes);
+    let batched_s = time_median(reps, || {
+        for chunk in features.chunks(lanes) {
+            let inputs: Vec<&[f64]> = chunk.iter().map(|s| s.as_slice()).collect();
+            plan.replay_batch_into(&circuit, &base, &params, &inputs, &mut batch);
+            let ez = batch.expect_z_all_lanes();
+            assert_eq!(ez.len(), inputs.len());
+        }
+    });
+    println!(
+        "forward (n={fn_}, {samples} samples, {lanes} lanes): batched {:.3}ms",
+        batched_s * 1e3,
+    );
+    json.obj("forward", |j| {
+        j.int("qubits", fn_);
+        j.int("samples", samples);
+        j.int("lanes", lanes);
+        j.int("gates", circuit.num_ops());
+        j.num("batched_s", batched_s);
+    });
+
+    if json.buf.ends_with(", ") {
+        let len = json.buf.len() - 2;
+        json.buf.truncate(len);
+    }
+    json.buf.push('}');
+    json.buf.push('\n');
+    std::fs::write(&out_path, &json.buf).expect("write BENCH_kernels.json");
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read committed baseline {path}: {e}"));
+        let committed_s =
+            forward_num(&committed, "batched_s").expect("committed baseline has forward.batched_s");
+        let ratio = batched_s / committed_s.max(1e-12);
+        println!(
+            "check vs {path}: committed forward {:.3}ms, fresh {:.3}ms ({ratio:.2}x)",
+            committed_s * 1e3,
+            batched_s * 1e3,
+        );
+        if ratio > 1.2 {
+            eprintln!("regression: batched forward is {ratio:.2}x the committed baseline (>1.20x)");
+            std::process::exit(1);
+        }
+    }
+
+    if !smoke {
+        assert!(
+            default_speedup >= 1.5,
+            "acceptance: planar lane kernels are {default_speedup:.2}x the interleaved \
+             reference at {DEFAULT_BATCH_LANES} lanes, below the 1.5x target"
+        );
+        assert!(
+            dispatch_ratio >= 5.0,
+            "acceptance: pool dispatch is only {dispatch_ratio:.1}x cheaper than scoped \
+             spawn, below the 5x target"
+        );
+    }
+}

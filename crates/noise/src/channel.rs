@@ -198,6 +198,89 @@ impl KrausChannel {
             }
         }
     }
+
+    /// One stochastic trajectory step on **every** lane of a batch at
+    /// once, drawing from `rngs[lane]`. Per lane this is bit-identical to
+    /// [`KrausChannel::apply_trajectory_lane`]: each lane makes the same
+    /// draw from its own RNG, walks the same Born CDF, and applies the
+    /// same operator and renormalization — but the Born probability of the
+    /// leading (no-error) operator, the Kraus application, and the
+    /// renormalization each run as one lanes-contiguous sweep instead of a
+    /// strided pass per lane. Lanes whose draw falls past the leading
+    /// operator (rare at hardware error rates) finish their CDF walk on
+    /// the per-lane path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len() != batch.lanes()` or `q` is out of range.
+    pub fn apply_trajectory_all_lanes<R: Rng>(
+        &self,
+        batch: &mut StateBatch,
+        q: usize,
+        rngs: &mut [R],
+    ) {
+        let lanes = batch.lanes();
+        assert_eq!(rngs.len(), lanes, "one RNG per lane");
+        if self.ops.len() == 1 {
+            batch.apply_1q(&self.ops[0], q);
+            batch.normalize_lanes();
+            return;
+        }
+        let us: Vec<f64> = rngs.iter_mut().map(|rng| rng.gen()).collect();
+        let p0 = kraus_probs_all_lanes(batch, &self.ops[0], q);
+        let chosen: Vec<Mat2> = us
+            .iter()
+            .zip(&p0)
+            .enumerate()
+            .map(|(lane, (&u, &p))| {
+                if u <= p {
+                    return self.ops[0];
+                }
+                let mut cdf = p;
+                for (i, k) in self.ops.iter().enumerate().skip(1) {
+                    if i == self.ops.len() - 1 {
+                        break;
+                    }
+                    cdf += kraus_prob_lane(batch, lane, k, q);
+                    if u <= cdf {
+                        return self.ops[i];
+                    }
+                }
+                self.ops[self.ops.len() - 1]
+            })
+            .collect();
+        batch.apply_1q_per_lane(&chosen, q);
+        batch.normalize_lanes();
+    }
+}
+
+/// [`kraus_prob_lane`] for every lane in one lanes-contiguous sweep: the
+/// per-lane accumulation order (ascending base loop, row 0 before row 1)
+/// is identical, so `kraus_probs_all_lanes(..)[lane]` is bit-identical to
+/// `kraus_prob_lane(.., lane, ..)`.
+fn kraus_probs_all_lanes(batch: &StateBatch, k: &Mat2, q: usize) -> Vec<f64> {
+    let l = batch.lanes();
+    let stride = 1usize << q;
+    let len = 1usize << batch.num_qubits();
+    let (re, im) = (batch.re(), batch.im());
+    let [m00, m01, m10, m11] = k.m;
+    let mut acc = vec![0.0; l];
+    let mut base = 0;
+    while base < len {
+        for i in base..base + stride {
+            let (r0, i0) = (&re[i * l..(i + 1) * l], &im[i * l..(i + 1) * l]);
+            let j = i + stride;
+            let (r1, i1) = (&re[j * l..(j + 1) * l], &im[j * l..(j + 1) * l]);
+            for (lane, a) in acc.iter_mut().enumerate() {
+                let a0 = C64::new(r0[lane], i0[lane]);
+                let a1 = C64::new(r1[lane], i1[lane]);
+                *a += (m00 * a0 + m01 * a1).norm_sqr();
+                *a += (m10 * a0 + m11 * a1).norm_sqr();
+            }
+        }
+        base += stride << 1;
+    }
+    acc
 }
 
 /// [`kraus_prob`] for one lane of a batch: the same base-loop accumulation
@@ -206,14 +289,13 @@ fn kraus_prob_lane(batch: &StateBatch, lane: usize, k: &Mat2, q: usize) -> f64 {
     let l = batch.lanes();
     let stride = 1usize << q;
     let len = 1usize << batch.num_qubits();
-    let amps = batch.amplitudes();
     let [m00, m01, m10, m11] = k.m;
     let mut acc = 0.0;
     let mut base = 0;
     while base < len {
         for i in base..base + stride {
-            let a0 = amps[i * l + lane];
-            let a1 = amps[(i + stride) * l + lane];
+            let a0 = batch.amp(i * l + lane);
+            let a1 = batch.amp((i + stride) * l + lane);
             acc += (m00 * a0 + m01 * a1).norm_sqr();
             acc += (m10 * a0 + m11 * a1).norm_sqr();
         }
@@ -354,6 +436,42 @@ mod tests {
                 ch.apply_trajectory(&mut single, 0, &mut rng_s);
             }
             assert_eq!(batch.lane_state(1).amplitudes(), single.amplitudes());
+        }
+    }
+
+    #[test]
+    fn all_lanes_trajectory_is_bit_identical_to_per_lane() {
+        // The lanes-contiguous batched channel step must make the same
+        // draws and produce the same amplitudes as applying the channel
+        // lane by lane — and therefore as the single-state path.
+        for ch in [
+            KrausChannel::depolarizing(0.3),
+            KrausChannel::thermal_relaxation(50_000.0, 70_000.0, 300.0),
+            KrausChannel::new(vec![Mat2::pauli_x()]), // single-op fast path
+        ] {
+            let lanes = 5;
+            let mut fast = StateBatch::zero_state(3, lanes);
+            fast.apply_1q(&Mat2::hadamard(), 0);
+            fast.apply_1q(&Mat2::hadamard(), 2);
+            let mut slow = fast.clone();
+            let mut rngs_f: Vec<StdRng> = (0..lanes)
+                .map(|l| StdRng::seed_from_u64(90 + l as u64))
+                .collect();
+            let mut rngs_s = rngs_f.clone();
+            for step in 0..30 {
+                let q = step % 3;
+                ch.apply_trajectory_all_lanes(&mut fast, q, &mut rngs_f);
+                for (lane, rng) in rngs_s.iter_mut().enumerate() {
+                    ch.apply_trajectory_lane(&mut slow, lane, q, rng);
+                }
+            }
+            for lane in 0..lanes {
+                assert_eq!(
+                    fast.lane_state(lane).amplitudes(),
+                    slow.lane_state(lane).amplitudes(),
+                    "lane {lane} diverged"
+                );
+            }
         }
     }
 

@@ -18,9 +18,11 @@ use rand::{Rng, SeedableRng};
 /// Trajectories per [`StateBatch`] on the fast path. A **fixed** constant
 /// (never derived from the worker count): the chunk layout determines which
 /// trajectories share a batched sweep, so it must be identical for any
-/// `Workers` policy to keep results bitwise-stable. 16 lanes bound the
-/// batch buffer (16 × 2ⁿ amplitudes) while amortizing gate dispatch.
-const LANE_CHUNK: usize = 16;
+/// `Workers` policy to keep results bitwise-stable. Single-sourced from the
+/// simulator's micro-kernel tile width so one trajectory chunk is a whole
+/// number of planar tiles; 16 lanes bound the batch buffer (16 × 2ⁿ
+/// amplitudes) while amortizing gate dispatch.
+const LANE_CHUNK: usize = qns_sim::LANE_CHUNK;
 
 /// Configuration for the trajectory executor.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -208,13 +210,17 @@ impl TrajectoryExecutor {
     }
 
     /// Runs one chunk of trajectories as lanes of a [`StateBatch`]: the
-    /// shared unitary gates sweep every lane at once, while the stochastic
-    /// Kraus draws run per lane against that lane's own RNG stream.
+    /// shared unitary gates sweep every lane at once, and each stochastic
+    /// Kraus channel is applied to all lanes in one lanes-contiguous pass
+    /// ([`KrausChannel::apply_trajectory_all_lanes`]) drawing from each
+    /// lane's own RNG stream.
     ///
     /// Lane `l` is bit-identical to [`TrajectoryExecutor::run_one`] with
     /// `rngs[l]`: per lane the gate/noise application order, every Born
-    /// probability, and every RNG draw are the same, and channel
-    /// construction (hoisted out of the lane loop) is deterministic.
+    /// probability, and every RNG draw are the same (lanes hold
+    /// independent RNGs, so batching a channel across lanes never reorders
+    /// any single lane's draws), and channel construction (hoisted out of
+    /// the lane loop) is deterministic.
     fn run_chunk(
         &self,
         circuit: &Circuit,
@@ -237,10 +243,8 @@ impl TrajectoryExecutor {
                         calib.t2_ns,
                         self.device.dur_1q_ns(),
                     );
-                    for (lane, rng) in rngs.iter_mut().enumerate() {
-                        depol.apply_trajectory_lane(&mut batch, lane, q, rng);
-                        relax.apply_trajectory_lane(&mut batch, lane, q, rng);
-                    }
+                    depol.apply_trajectory_all_lanes(&mut batch, q, rngs);
+                    relax.apply_trajectory_all_lanes(&mut batch, q, rngs);
                 }
                 GateMatrix::Two(m) => {
                     let (a, b) = (op.qubits[0], op.qubits[1]);
@@ -258,11 +262,9 @@ impl TrajectoryExecutor {
                             )
                         })
                         .collect();
-                    for (lane, rng) in rngs.iter_mut().enumerate() {
-                        for (qi, &q) in [a, b].iter().enumerate() {
-                            depol.apply_trajectory_lane(&mut batch, lane, q, rng);
-                            relax[qi].apply_trajectory_lane(&mut batch, lane, q, rng);
-                        }
+                    for (qi, &q) in [a, b].iter().enumerate() {
+                        depol.apply_trajectory_all_lanes(&mut batch, q, rngs);
+                        relax[qi].apply_trajectory_all_lanes(&mut batch, q, rngs);
                     }
                 }
             }

@@ -1,9 +1,13 @@
-//! Thread-parallel batch evaluation.
+//! Thread-parallel batch evaluation over the persistent worker pool.
 
+use crate::pool;
 use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, TryRecvError};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 thread_local! {
     static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
@@ -14,6 +18,17 @@ thread_local! {
 /// `OnceLock`, so a `--workers` flag can change it at any point in the
 /// process — the original `OnceLock` latched the first value forever.
 static PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Hard floor below which [`parallel_map`] never consults the pool: maps
+/// of 1–3 items run inline on the caller, full stop. Guarantees tiny maps
+/// stay allocation- and synchronization-free regardless of what the
+/// overhead calibration says.
+pub const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// Default per-item work estimate (nanoseconds) for callers that pass no
+/// hint: roughly one 8-qubit forward simulation. Callers with much
+/// lighter items should use [`parallel_map_hinted`] with a real estimate.
+const DEFAULT_ITEM_HINT_NS: u64 = 100_000;
 
 /// Sets the process-wide worker count used by [`parallel_map`] when no
 /// explicit count is passed. `0` restores auto-detection.
@@ -38,7 +53,7 @@ fn cached_parallelism() -> usize {
 ///
 /// Outer-level parallelism (e.g. a candidate-evaluation engine fanning a
 /// population over workers) already saturates the cores; letting each
-/// worker spawn its own per-sample threads would oversubscribe. The flag
+/// worker dispatch its own per-sample chunks would oversubscribe. The flag
 /// is thread-local, so it must be set inside the worker closure, and it is
 /// restored on exit even if `f` panics.
 pub fn sequential_scope<T>(f: impl FnOnce() -> T) -> T {
@@ -52,12 +67,22 @@ pub fn sequential_scope<T>(f: impl FnOnce() -> T) -> T {
     f()
 }
 
-/// Applies `f` to every item of `items`, splitting the work across worker
-/// threads, and returns results in input order.
+/// Items below which a dispatch is not worth it for the given per-item
+/// work estimate: fanning out must buy back at least ~4 dispatch
+/// round-trips of work, and the [`MIN_PARALLEL_ITEMS`] floor always
+/// applies. Clamped so absurd hints cannot disable parallelism entirely.
+fn parallel_cutoff(per_item_ns: u64) -> usize {
+    let overhead = pool::dispatch_overhead_ns();
+    let hint = per_item_ns.max(1);
+    (overhead.saturating_mul(4).div_ceil(hint) as usize).clamp(MIN_PARALLEL_ITEMS, 4096)
+}
+
+/// Applies `f` to every item of `items`, splitting the work across the
+/// persistent worker pool, and returns results in input order.
 ///
 /// This is the batching primitive behind QML training: per-sample state
-/// simulations are independent, so they map across cores with plain scoped
-/// threads. Falls back to a sequential loop for tiny batches.
+/// simulations are independent, so they map across cores as pool chunks.
+/// Falls back to a sequential loop for tiny batches.
 ///
 /// # Examples
 ///
@@ -84,6 +109,21 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    parallel_map_hinted(items, workers, DEFAULT_ITEM_HINT_NS, f)
+}
+
+/// [`parallel_map_with`] with a per-item work estimate in nanoseconds.
+///
+/// The estimate feeds the tiny-batch cutoff: batches whose total work
+/// cannot amortize the measured pool dispatch cost run inline instead.
+/// The hint only gates *whether* to fan out — results are identical (and
+/// in input order) either way.
+pub fn parallel_map_hinted<T, U, F>(items: &[T], workers: usize, per_item_ns: u64, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let requested = if workers > 0 {
         workers
     } else {
@@ -97,36 +137,97 @@ where
     } else {
         requested.min(items.len().max(1))
     };
-    if threads <= 1 || items.len() < 4 {
+    // The MIN_PARALLEL_ITEMS floor comes first so 1–3-item maps return
+    // before any pool access (including the overhead calibration).
+    if threads <= 1 || items.len() < MIN_PARALLEL_ITEMS {
         return items.iter().map(&f).collect();
     }
+    if items.len() < parallel_cutoff(per_item_ns) {
+        return items.iter().map(&f).collect();
+    }
+    dispatch_chunks(items, threads, &f)
+}
 
-    // Each worker produces its chunk's results as an ordinary Vec; joining
-    // in spawn order and appending keeps input order without an
-    // Option-per-slot buffer or any uninitialized memory.
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<U> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|item_chunk| {
-                let f = &f;
-                scope.spawn(move || item_chunk.iter().map(f).collect::<Vec<U>>())
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(mut part) => out.append(&mut part),
-                Err(payload) => std::panic::resume_unwind(payload),
+/// Fans `items` out as `threads` chunks: chunk 0 runs on the caller, the
+/// rest go to the pool; results are reassembled in chunk order, and the
+/// first panic (in chunk order, matching the old scoped `join` order) is
+/// re-raised after every chunk has reported.
+fn dispatch_chunks<T, U, F>(items: &[T], threads: usize, f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk_size = items.len().div_ceil(threads);
+    let (tx, rx) = channel::<(usize, std::thread::Result<Vec<U>>)>();
+
+    let mut chunks = items.chunks(chunk_size);
+    let own = chunks.next().expect("batch is non-empty here");
+    let mut n_jobs = 0;
+    for (idx, chunk) in chunks.enumerate() {
+        let tx = tx.clone();
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let part = catch_unwind(AssertUnwindSafe(|| chunk.iter().map(f).collect::<Vec<U>>()));
+            let _ = tx.send((idx + 1, part));
+        });
+        // SAFETY: the job borrows `items` and `f` from this frame. Erasing
+        // the lifetime is sound because every job sends exactly one message
+        // on `tx` as its final action (the closure never unwinds past the
+        // `catch_unwind`), and this function does not return or unwind
+        // before receiving exactly `n_jobs` messages below — so no job can
+        // outlive the borrowed data.
+        pool::submit(unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, pool::Job>(job)
+        });
+        n_jobs += 1;
+    }
+    pool::ensure_workers(n_jobs);
+
+    // Run our own chunk, catching panics so the drain below always runs.
+    let own_part = catch_unwind(AssertUnwindSafe(|| own.iter().map(f).collect::<Vec<U>>()));
+
+    // Drain every outstanding chunk, helping with queued jobs while
+    // waiting so nested dispatches on a saturated pool cannot deadlock.
+    // `tx` stays alive in this frame, so the channel cannot disconnect.
+    let mut parts: Vec<Option<std::thread::Result<Vec<U>>>> =
+        (0..n_jobs + 1).map(|_| None).collect();
+    parts[0] = Some(own_part);
+    let mut received = 0;
+    while received < n_jobs {
+        match rx.try_recv() {
+            Ok((idx, part)) => {
+                parts[idx] = Some(part);
+                received += 1;
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
+                if !pool::try_help() {
+                    if let Ok((idx, part)) = rx.recv_timeout(Duration::from_micros(200)) {
+                        parts[idx] = Some(part);
+                        received += 1;
+                    }
+                }
             }
         }
-    });
+    }
+
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    for part in parts {
+        match part.expect("every chunk reported above") {
+            Ok(mut p) => out.append(&mut p),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Thread-identity assertions share the process-global pool, so they
+    /// serialize against each other; result-value tests don't need to.
+    static POOL_IDENTITY_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn preserves_order() {
@@ -145,6 +246,35 @@ mod tests {
     }
 
     #[test]
+    fn tiny_batches_never_touch_the_pool() {
+        let _serial = POOL_IDENTITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let caller = std::thread::current().id();
+        // Below MIN_PARALLEL_ITEMS the map must run inline even with an
+        // explicit worker request and a zero-cost work hint.
+        for n in 1..MIN_PARALLEL_ITEMS {
+            let items: Vec<usize> = (0..n).collect();
+            let ids = parallel_map_hinted(&items, 8, 1, |_| std::thread::current().id());
+            assert!(
+                ids.iter().all(|&id| id == caller),
+                "{n}-item map must stay on the calling thread"
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_items_run_inline_past_the_floor() {
+        let _serial = POOL_IDENTITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let caller = std::thread::current().id();
+        // 8 one-nanosecond items can never amortize a dispatch: the
+        // overhead-derived cutoff keeps them inline. (The cutoff's lower
+        // clamp is MIN_PARALLEL_ITEMS, and real dispatch overhead is
+        // thousands of nanoseconds, so 4 * overhead / 1ns >> 8.)
+        let items: Vec<usize> = (0..8).collect();
+        let ids = parallel_map_hinted(&items, 8, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
     fn sequential_scope_suppresses_and_restores_parallelism() {
         let items: Vec<usize> = (0..64).collect();
         let inner = sequential_scope(|| {
@@ -160,13 +290,20 @@ mod tests {
 
     #[test]
     fn explicit_worker_count_controls_fanout() {
+        let _serial = POOL_IDENTITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let items: Vec<usize> = (0..64).collect();
         // workers = 1: everything runs on the calling thread.
         let caller = std::thread::current().id();
         let ids = parallel_map_with(&items, 1, |_| std::thread::current().id());
         assert!(ids.iter().all(|&id| id == caller));
-        // workers = 3: results still in order, multiple spawned threads.
-        let ids = parallel_map_with(&items, 3, |_| std::thread::current().id());
+        // workers = 3: results still in order, work crosses threads. The
+        // caller runs chunk 0 itself and parked workers are committed to
+        // the queue before jobs arrive, so at least one pool thread shows
+        // up. Items are slow enough that the chunks overlap in time.
+        let ids = parallel_map_hinted(&items, 3, 1_000_000, |_| {
+            std::thread::sleep(Duration::from_micros(200));
+            std::thread::current().id()
+        });
         let distinct: std::collections::HashSet<_> = ids.iter().collect();
         assert!(distinct.len() > 1, "3 workers must actually fan out");
         assert_eq!(
@@ -177,6 +314,7 @@ mod tests {
 
     #[test]
     fn set_parallelism_takes_effect_mid_process() {
+        let _serial = POOL_IDENTITY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // Regression: the worker count used to be latched in a OnceLock at
         // first use, so a later `--workers 1` silently kept the old value.
         struct ResetOverride;
@@ -207,5 +345,41 @@ mod tests {
             out,
             vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]
         );
+    }
+
+    #[test]
+    fn panics_propagate_with_their_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_with(&items, 4, |&x| {
+                if x == 37 {
+                    panic!("sample {x} exploded");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic! with args carries a String payload");
+        assert!(msg.contains("sample 37 exploded"), "{msg}");
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        // An outer map whose items each run an inner map: with a saturated
+        // pool the inner callers must help drain the queue themselves.
+        let outer: Vec<usize> = (0..8).collect();
+        let out = parallel_map_hinted(&outer, 4, 10_000_000, |&x| {
+            let inner: Vec<usize> = (0..32).collect();
+            parallel_map_hinted(&inner, 4, 10_000_000, |&y| x * 100 + y)
+                .into_iter()
+                .sum::<usize>()
+        });
+        for (x, got) in out.iter().enumerate() {
+            let want: usize = (0..32).map(|y| x * 100 + y).sum();
+            assert_eq!(*got, want);
+        }
     }
 }

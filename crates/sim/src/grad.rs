@@ -259,8 +259,6 @@ fn bracket_1q_lanes_multi(
     let l = bra.lanes();
     let stride = 1usize << q;
     let len = 1usize << bra.num_qubits();
-    let b = bra.amplitudes();
-    let k = ket.amplitudes();
     let mut t = vec![C64::ZERO; 4 * l];
     let mut base = 0;
     while base < len {
@@ -268,10 +266,10 @@ fn bracket_1q_lanes_multi(
             let e0 = i * l;
             let e1 = (i + stride) * l;
             for (lane, tl) in t.chunks_exact_mut(4).enumerate() {
-                let k0 = k[e0 + lane];
-                let k1 = k[e1 + lane];
-                let b0 = b[e0 + lane].conj();
-                let b1 = b[e1 + lane].conj();
+                let k0 = ket.amp(e0 + lane);
+                let k1 = ket.amp(e1 + lane);
+                let b0 = bra.amp(e0 + lane).conj();
+                let b1 = bra.amp(e1 + lane).conj();
                 tl[0] += b0 * k0;
                 tl[1] += b0 * k1;
                 tl[2] += b1 * k0;
@@ -304,8 +302,6 @@ fn bracket_2q_lanes_multi(
     let bb = 1usize << qb;
     let mask = ba | bb;
     let len = 1usize << bra.num_qubits();
-    let b = bra.amplitudes();
-    let k = ket.amplitudes();
     let mut t = vec![C64::ZERO; 16 * l];
     for i in 0..len {
         if i & mask != 0 {
@@ -314,16 +310,16 @@ fn bracket_2q_lanes_multi(
         let idx = [i, i | bb, i | ba, i | mask];
         for (lane, tl) in t.chunks_exact_mut(16).enumerate() {
             let v = [
-                k[idx[0] * l + lane],
-                k[idx[1] * l + lane],
-                k[idx[2] * l + lane],
-                k[idx[3] * l + lane],
+                ket.amp(idx[0] * l + lane),
+                ket.amp(idx[1] * l + lane),
+                ket.amp(idx[2] * l + lane),
+                ket.amp(idx[3] * l + lane),
             ];
             let bc = [
-                b[idx[0] * l + lane].conj(),
-                b[idx[1] * l + lane].conj(),
-                b[idx[2] * l + lane].conj(),
-                b[idx[3] * l + lane].conj(),
+                bra.amp(idx[0] * l + lane).conj(),
+                bra.amp(idx[1] * l + lane).conj(),
+                bra.amp(idx[2] * l + lane).conj(),
+                bra.amp(idx[3] * l + lane).conj(),
             ];
             for j in 0..4 {
                 for (kk, &vk) in v.iter().enumerate() {
@@ -357,18 +353,16 @@ fn bracket_1q_lane_multi(
     let l = bra.lanes();
     let stride = 1usize << q;
     let len = 1usize << bra.num_qubits();
-    let b = bra.amplitudes();
-    let k = ket.amplitudes();
     let mut t = [C64::ZERO; 4];
     let mut base = 0;
     while base < len {
         for i in base..base + stride {
             let e0 = i * l + lane;
             let e1 = (i + stride) * l + lane;
-            let k0 = k[e0];
-            let k1 = k[e1];
-            let b0 = b[e0].conj();
-            let b1 = b[e1].conj();
+            let k0 = ket.amp(e0);
+            let k1 = ket.amp(e1);
+            let b0 = bra.amp(e0).conj();
+            let b1 = bra.amp(e1).conj();
             t[0] += b0 * k0;
             t[1] += b0 * k1;
             t[2] += b1 * k0;
@@ -397,8 +391,6 @@ fn bracket_2q_lane_multi(
     let bb = 1usize << qb;
     let mask = ba | bb;
     let len = 1usize << bra.num_qubits();
-    let b = bra.amplitudes();
-    let k = ket.amplitudes();
     let mut t = [C64::ZERO; 16];
     for i in 0..len {
         if i & mask != 0 {
@@ -406,16 +398,16 @@ fn bracket_2q_lane_multi(
         }
         let idx = [i, i | bb, i | ba, i | mask];
         let v = [
-            k[idx[0] * l + lane],
-            k[idx[1] * l + lane],
-            k[idx[2] * l + lane],
-            k[idx[3] * l + lane],
+            ket.amp(idx[0] * l + lane),
+            ket.amp(idx[1] * l + lane),
+            ket.amp(idx[2] * l + lane),
+            ket.amp(idx[3] * l + lane),
         ];
         let bc = [
-            b[idx[0] * l + lane].conj(),
-            b[idx[1] * l + lane].conj(),
-            b[idx[2] * l + lane].conj(),
-            b[idx[3] * l + lane].conj(),
+            bra.amp(idx[0] * l + lane).conj(),
+            bra.amp(idx[1] * l + lane).conj(),
+            bra.amp(idx[2] * l + lane).conj(),
+            bra.amp(idx[3] * l + lane).conj(),
         ];
         for j in 0..4 {
             for (kk, &vk) in v.iter().enumerate() {

@@ -44,10 +44,14 @@ mod batch;
 mod exec;
 mod grad;
 mod plan;
+mod pool;
 mod state;
 mod state_batch;
 
-pub use batch::{parallel_map, parallel_map_with, sequential_scope, set_parallelism};
+pub use batch::{
+    parallel_map, parallel_map_hinted, parallel_map_with, sequential_scope, set_parallelism,
+    MIN_PARALLEL_ITEMS,
+};
 pub use exec::{
     run, run_into, run_into_with, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
 };
@@ -57,4 +61,4 @@ pub use grad::{
 };
 pub use plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 pub use state::{counts_to_expect_z, StateVec};
-pub use state_batch::{StateBatch, DEFAULT_BATCH_LANES};
+pub use state_batch::{StateBatch, DEFAULT_BATCH_LANES, LANE_CHUNK};

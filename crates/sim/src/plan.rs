@@ -400,11 +400,31 @@ impl SimPlan {
         for (si, (step, blk)) in self.steps.iter().zip(base).enumerate() {
             if next_dirty.peek() == Some(&&si) {
                 next_dirty.next();
-                for (lane, input) in inputs.iter().enumerate() {
+                // A step's arity and qubits are fixed; only the matrix
+                // values vary with the input. Collect the per-lane
+                // matrices and let the batch sweep all lanes in one planar
+                // pass instead of one strided walk per lane.
+                let mut ones: Vec<Mat2> = Vec::new();
+                let mut one_q = 0;
+                let mut twos: Vec<Mat4> = Vec::new();
+                let mut two_qs = (0, 0);
+                for input in inputs.iter() {
                     match self.step_matrix(step, circuit, train, input) {
-                        FusedOp::One(q, m) => batch.lane_apply_1q(lane, &m, q),
-                        FusedOp::Two(a, b, m) => batch.lane_apply_2q(lane, &m, a, b),
+                        FusedOp::One(q, m) => {
+                            one_q = q;
+                            ones.push(m);
+                        }
+                        FusedOp::Two(a, b, m) => {
+                            two_qs = (a, b);
+                            twos.push(m);
+                        }
                     }
+                }
+                if !ones.is_empty() {
+                    batch.apply_1q_per_lane(&ones, one_q);
+                }
+                if !twos.is_empty() {
+                    batch.apply_2q_per_lane(&twos, two_qs.0, two_qs.1);
                 }
             } else {
                 apply_block_batch(blk, batch);

@@ -1,0 +1,147 @@
+//! Process-wide persistent worker pool behind [`crate::parallel_map`].
+//!
+//! The first implementation spawned scoped threads per call. That is
+//! correct but pays thread creation + teardown (~tens of microseconds) on
+//! every minibatch and every trajectory fan-out — the per-call tax is what
+//! kept the measured batch speedup at ~1× on small circuits. This module
+//! keeps a lazily-created set of parked workers alive for the whole
+//! process instead, so a dispatch costs one channel send per chunk.
+//!
+//! Design constraints inherited from the scoped version (see
+//! `batch.rs`, which is the only consumer):
+//!
+//! - **No worker-count latching.** [`ensure_workers`] grows the pool on
+//!   demand; `set_parallelism` keeps taking effect mid-process because each
+//!   dispatch decides its chunk count first and only then tops the pool up.
+//! - **No deadlock on nested dispatch.** A caller waiting for its chunks
+//!   runs queued jobs itself via [`try_help`] — if every worker is tied up
+//!   in an outer dispatch, the inner one still makes progress on the
+//!   calling thread.
+//! - **Panic containment.** Jobs never unwind into a worker: the dispatch
+//!   site wraps each chunk in `catch_unwind` and ships the payload back as
+//!   a value, so a worker survives any panicking closure and the caller
+//!   re-raises the payload exactly like the scoped `join()` did.
+//!
+//! Workers block on the shared queue *while holding the queue lock*: a
+//! parked worker therefore makes [`try_help`]'s `try_lock` fail precisely
+//! when someone is already committed to consuming the next job, and
+//! releases the lock before running the job so helpers can drain the queue
+//! while workers are busy.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// A unit of work: one chunk of a `parallel_map` call, lifetime-erased by
+/// the dispatch site (which guarantees it outlives the job by draining
+/// every completion message before returning).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    sender: Mutex<Sender<Job>>,
+    queue: Mutex<Receiver<Job>>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = channel();
+        Pool {
+            sender: Mutex::new(tx),
+            queue: Mutex::new(rx),
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        // Hold the queue lock only while parked in `recv`; release it
+        // before running the job so other workers and helpers proceed.
+        let job = {
+            let rx = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed — process is shutting down
+        }
+    }
+}
+
+/// Grows the pool to at least `target` workers. Never shrinks: surplus
+/// workers park in `recv` and cost one blocked thread each, which is
+/// cheaper than re-paying spawn latency when the worker count oscillates
+/// (e.g. alternating training and trajectory phases).
+pub(crate) fn ensure_workers(target: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().unwrap_or_else(|e| e.into_inner());
+    while *spawned < target {
+        // lint:allow(spawn) — the single sanctioned spawn site (QA003
+        // audits this module by path): pool workers are process-wide,
+        // created once, and owned by this module alone.
+        std::thread::spawn(worker_loop);
+        *spawned += 1;
+    }
+}
+
+/// Enqueues one job for the workers (or a helping waiter) to run.
+pub(crate) fn submit(job: Job) {
+    let p = pool();
+    let tx = p.sender.lock().unwrap_or_else(|e| e.into_inner());
+    // The receiver lives in the global pool, so the channel can only be
+    // closed during process teardown; a lost job at that point is moot.
+    let _ = tx.send(job);
+}
+
+/// Runs one queued job on the calling thread if one is immediately
+/// available and no parked worker has already committed to it. Returns
+/// whether a job was run. Dispatch sites call this while waiting for
+/// their own chunks so nested `parallel_map` calls cannot deadlock.
+pub(crate) fn try_help() -> bool {
+    let Some(p) = POOL.get() else {
+        return false;
+    };
+    let job = {
+        let Ok(rx) = p.queue.try_lock() else {
+            return false; // a parked worker will take the job
+        };
+        match rx.try_recv() {
+            Ok(job) => job,
+            Err(_) => return false,
+        }
+    };
+    job();
+    true
+}
+
+/// Measured cost of one warm pool dispatch round-trip, in nanoseconds.
+///
+/// Calibrated once per process (minimum over a few no-op dispatches, so a
+/// cold first round or a scheduler hiccup cannot inflate it) and cached:
+/// the tiny-batch cutoff in `batch.rs` compares this against estimated
+/// per-item work to decide when fanning out is worth it at all.
+pub(crate) fn dispatch_overhead_ns() -> u64 {
+    static OVERHEAD: OnceLock<u64> = OnceLock::new();
+    *OVERHEAD.get_or_init(measure_dispatch_overhead)
+}
+
+fn measure_dispatch_overhead() -> u64 {
+    ensure_workers(1);
+    let mut best = u64::MAX;
+    for _ in 0..8 {
+        let (tx, rx) = channel::<()>();
+        // lint:allow(wallclock) — one-time calibration of the pool's
+        // dispatch latency for the tiny-batch cutoff; the reading gates
+        // only *whether* to fan out and never feeds a simulation result.
+        let t0 = std::time::Instant::now();
+        submit(Box::new(move || {
+            let _ = tx.send(());
+        }));
+        let _ = rx.recv();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best.max(1)
+}

@@ -102,8 +102,61 @@ fn assert_lane_matches(batch: &StateBatch, lane: usize, oracle: &StateVec, what:
     }
 }
 
+/// Bitwise comparison for the planar↔single-state differential: the
+/// split-complex kernels transcribe the exact expression shapes of the
+/// interleaved `C64` arithmetic, so agreement is to the bit (`to_bits`,
+/// which even distinguishes `-0.0` from `0.0`), not to a tolerance.
+fn assert_lane_bitwise(batch: &StateBatch, lane: usize, oracle: &StateVec, what: &str) {
+    let lane_state = batch.lane_state(lane);
+    for (i, (a, b)) in lane_state
+        .amplitudes()
+        .iter()
+        .zip(oracle.amplitudes())
+        .enumerate()
+    {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "{what}: lane {lane} amplitude {i} not bit-identical: {a:?} vs {b:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Planar↔interleaved bitwise differential: every lane of the
+    /// split-complex batched replay must equal the single-state
+    /// (interleaved `C64`) replay BIT-FOR-BIT — every gate template,
+    /// batch sizes {1, 3, 8, 32}, fusion levels 0–3. This is the hard
+    /// contract that lets the trajectory executor batch lanes without
+    /// perturbing results.
+    #[test]
+    fn planar_batch_is_bitwise_identical_to_interleaved_single(
+        (circuit, train, dim) in arb_batched_circuit()
+    ) {
+        let samples: Vec<Vec<f64>> = (0..32).map(|l| lane_input(dim, l)).collect();
+        let n = circuit.num_qubits();
+        for level in 0..=3u8 {
+            let plan = SimPlan::compile(&circuit, level);
+            let base = plan.materialize(&circuit, &train, &samples[0]);
+            let mut single = StateVec::zero_state(n);
+            for &bs in &BATCH_SIZES {
+                let inputs: Vec<&[f64]> =
+                    samples[..bs].iter().map(|s| s.as_slice()).collect();
+                let mut batch = StateBatch::zero_state(n, bs);
+                plan.replay_batch_into(&circuit, &base, &train, &inputs, &mut batch);
+                for (lane, input) in inputs.iter().enumerate() {
+                    plan.replay_input_into(&circuit, &base, &train, input, &mut single);
+                    assert_lane_bitwise(
+                        &batch,
+                        lane,
+                        &single,
+                        &format!("fusion {level}, batch {bs}"),
+                    );
+                }
+            }
+        }
+    }
 
     /// Batched replay: every lane of `replay_batch_into` matches a
     /// standalone `replay_input_into` run, at every fusion level and
@@ -233,4 +286,118 @@ fn batched_trajectory_lanes_bitwise_stable_for_any_worker_count() {
             "{workers:?}: sampled counts drifted"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-semantics suite: `parallel_map` now runs on a persistent process-wide
+// worker pool, and every observable contract of the old per-call scoped
+// spawn must survive — input ordering, mid-process `set_parallelism`,
+// `sequential_scope` suppression, and panic payloads reaching the runtime's
+// isolation scope with their message intact.
+// ---------------------------------------------------------------------------
+
+/// Results come back in input order for every worker count, including
+/// counts that exceed the item count and the auto policy.
+#[test]
+fn pool_preserves_input_order_at_any_worker_count() {
+    let items: Vec<usize> = (0..513).collect();
+    for workers in [0, 1, 2, 3, 7, 16, 1024] {
+        let out = qns_sim::parallel_map_with(&items, workers, |&x| x * 3);
+        assert_eq!(out.len(), items.len(), "workers {workers}");
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3, "workers {workers}: slot {i} out of order");
+        }
+    }
+}
+
+/// `set_parallelism` keeps taking effect after the pool has already
+/// spawned workers: forcing 1 later must pull everything back onto the
+/// calling thread even though pool threads still exist.
+#[test]
+fn pool_honors_set_parallelism_mid_process() {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            qns_sim::set_parallelism(0);
+        }
+    }
+    let _reset = Reset;
+    let items: Vec<usize> = (0..64).collect();
+    qns_sim::set_parallelism(4);
+    let _warm = qns_sim::parallel_map(&items, |&x| x); // pool is live now
+    qns_sim::set_parallelism(1);
+    let caller = std::thread::current().id();
+    let ids = qns_sim::parallel_map(&items, |_| std::thread::current().id());
+    assert!(
+        ids.iter().all(|&id| id == caller),
+        "late override to 1 worker must bypass the live pool"
+    );
+}
+
+/// `sequential_scope` still suppresses fan-out entirely (the trajectory
+/// executor relies on this inside its own worker threads) and restores
+/// the flag afterwards so later maps parallelize again.
+#[test]
+fn pool_respects_sequential_scope() {
+    let items: Vec<usize> = (0..64).collect();
+    let caller = std::thread::current().id();
+    let ids = qns_sim::sequential_scope(|| {
+        qns_sim::parallel_map_with(&items, 8, |_| std::thread::current().id())
+    });
+    assert!(
+        ids.iter().all(|&id| id == caller),
+        "sequential_scope must keep every item on the caller"
+    );
+    let out = qns_sim::parallel_map_with(&items, 2, |&x| x + 1);
+    assert_eq!(out[63], 64, "parallelism must be restored after the scope");
+}
+
+/// A panic inside a pooled chunk propagates out of `parallel_map` with
+/// its original payload, and the runtime's `EvalEngine` isolation scope
+/// classifies it into the same telemetry message a scoped spawn produced
+/// (the downcast-to-String path in `panic_message`).
+#[test]
+fn pool_panics_classify_correctly_in_telemetry() {
+    use qns_runtime::EvalEngine;
+
+    // Payload survives the pool boundary verbatim.
+    let items: Vec<usize> = (0..32).collect();
+    let caught = std::panic::catch_unwind(|| {
+        qns_sim::parallel_map_with(&items, 4, |&x| {
+            if x == 17 {
+                panic!("lane {x} diverged");
+            }
+            x
+        })
+    });
+    let payload = caught.expect_err("panic must cross the pool boundary");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("String payload must be preserved, not wrapped");
+    assert!(msg.contains("lane 17 diverged"), "{msg}");
+
+    // And the engine's isolation scope turns it into a classified error
+    // string for telemetry, while healthy slots keep their results. The
+    // engine evaluates candidates which themselves fan per-sample maps
+    // over the pool — the nesting must not deadlock either.
+    let engine = EvalEngine::new(Workers::Fixed(2));
+    let results = engine.try_run(&[1usize, 2, 3, 4], |&x| {
+        let inner: Vec<usize> = (0..8).collect();
+        let sum: usize = qns_sim::parallel_map_with(&inner, 2, |&y| y * x)
+            .into_iter()
+            .sum();
+        if x == 3 {
+            panic!("candidate {x} is degenerate");
+        }
+        sum
+    });
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0], Ok(28));
+    assert_eq!(results[1], Ok(56));
+    assert_eq!(results[3], Ok(112));
+    let err = results[2].as_ref().expect_err("slot 2 must be isolated");
+    assert!(
+        err.contains("candidate 3 is degenerate"),
+        "telemetry must carry the panic message, got: {err}"
+    );
 }

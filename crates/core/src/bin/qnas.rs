@@ -11,6 +11,13 @@
 //!   --preset  fast|smoke               pipeline scale (smoke finishes in
 //!                                      seconds; used by the CI fault drill)
 //!   --samples <n>                      QML dataset samples (default 150)
+//!   --backend statevec|reference|mps   simulation backend for every scoring
+//!                                      path (default statevec); mps scores on
+//!                                      a bond-truncated matrix-product state
+//!                                      and reports truncation telemetry in
+//!                                      --stats
+//!   --max-bond <n>                     MPS bond-dimension cap (default 64;
+//!                                      only meaningful with --backend mps)
 //!   --workers <n>                      evaluation workers (0 = one per core)
 //!   --no-cache                         disable transpile cache + score memo
 //!   --verify [off|contracts|full]      per-stage transpiler verification
@@ -55,7 +62,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: qnas <devices|spaces|run> [--task T] [--space S] [--device D] \
-         [--seed N] [--preset fast|smoke] [--samples N] [--workers N] [--no-cache] \
+         [--seed N] [--preset fast|smoke] [--samples N] \
+         [--backend statevec|reference|mps] [--max-bond N] [--workers N] [--no-cache] \
          [--verify [off|contracts|full]] [--checkpoint-dir PATH] \
          [--checkpoint-every N] [--resume] [--proxy [on|off]] [--proxy-keep F] \
          [--proxy-warmup N] [--objectives LIST] [--front-out PATH] \
@@ -248,6 +256,19 @@ fn cmd_run(args: &[String]) {
         eprintln!("--front-out requires --objectives");
         usage()
     }
+    let max_bond: usize = get("--max-bond", "64").parse().unwrap_or_else(|_| usage());
+    let backend = match get("--backend", "statevec").as_str() {
+        "statevec" | "fast" => qns_sim::SimBackend::Fast,
+        "reference" => qns_sim::SimBackend::Reference,
+        "mps" => qns_sim::SimBackend::Mps(qns_sim::MpsConfig {
+            max_bond: max_bond.max(1),
+            ..Default::default()
+        }),
+        other => {
+            eprintln!("unknown backend '{other}' (statevec|reference|mps)");
+            usage()
+        }
+    };
     let workers: usize = get("--workers", "0").parse().unwrap_or_else(|_| usage());
     // Per-sample simulation fan-out honors the same flag (it used to be
     // latched at first use, ignoring later settings).
@@ -318,6 +339,10 @@ fn cmd_run(args: &[String]) {
         }
     };
     config.runtime = runtime;
+    config.backend = backend;
+    if let qns_sim::SimBackend::Mps(mps) = backend {
+        println!("backend: mps (max bond {})", mps.max_bond);
+    }
     config.evo.proxy = proxy;
     config.objectives = objectives.clone();
     if have_faults {

@@ -15,6 +15,7 @@
 use crate::{Gene, SubConfig};
 use qns_proxy::PrescreenerState;
 use qns_runtime::{ByteReader, ByteWriter, CacheKey, CheckpointError, Checkpointable};
+use qns_sim::SimBackend;
 use std::path::PathBuf;
 
 /// User-facing checkpoint knobs (the CLI's `--checkpoint-dir`,
@@ -50,6 +51,51 @@ impl CheckpointOptions {
     pub fn resume(mut self) -> Self {
         self.resume = true;
         self
+    }
+}
+
+/// Canonical wire form of a [`SimBackend`] selection, encoded into every
+/// search-context digest: a resume under a different backend — or a
+/// different MPS truncation policy — hashes to a different context and is
+/// rejected as stale instead of silently mixing exact and approximate
+/// scores in one memo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// Backend discriminant: 0 = `Reference`, 1 = `Fast`, 2 = `Mps`.
+    pub tag: u8,
+    /// MPS bond-dimension cap (0 for the dense backends).
+    pub max_bond: u64,
+    /// MPS truncation cutoff as raw `f64` bits (0 for the dense backends).
+    pub cutoff_bits: u64,
+}
+
+impl BackendConfig {
+    /// The wire form of a backend selection.
+    pub fn of(backend: SimBackend) -> Self {
+        match backend {
+            SimBackend::Reference => BackendConfig {
+                tag: 0,
+                max_bond: 0,
+                cutoff_bits: 0,
+            },
+            SimBackend::Fast => BackendConfig {
+                tag: 1,
+                max_bond: 0,
+                cutoff_bits: 0,
+            },
+            SimBackend::Mps(cfg) => BackendConfig {
+                tag: 2,
+                max_bond: cfg.max_bond as u64,
+                cutoff_bits: cfg.truncation_cutoff.to_bits(),
+            },
+        }
+    }
+
+    /// Serializes the selection for context digesting.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.tag as u64);
+        w.put_u64(self.max_bond);
+        w.put_u64(self.cutoff_bits);
     }
 }
 

@@ -315,6 +315,18 @@ impl Estimator {
                 );
                 nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
             }),
+            // MPS replays the same fused block program as the fast path,
+            // one sample per matrix-product state, densified for readout.
+            SimBackend::Mps(_) => parallel_map(samples, |&i| {
+                let s = run_with(
+                    circuit,
+                    params,
+                    &valid.features[i],
+                    ExecMode::Static,
+                    self.backend,
+                );
+                nll_loss(&readout.logits(&s.expect_z_all()), valid.labels[i])
+            }),
         }
     }
 
@@ -749,6 +761,38 @@ mod tests {
             assert!(
                 (fast - oracle).abs() < 1e-9,
                 "{kind:?}: fast {fast} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn mps_backend_matches_fast_scores() {
+        // Exact-regime MPS scoring must agree with the dense fast path on
+        // every estimator kind, including noisy trajectories (same Kraus
+        // draw outcomes in the exact regime).
+        let (task, circuit, params) = tiny_setup();
+        let layout = Layout::trivial(4);
+        let mps = qns_sim::SimBackend::Mps(qns_sim::MpsConfig::exact());
+        let cfg = TrajectoryConfig {
+            trajectories: 6,
+            seed: 4,
+            readout: true,
+        };
+        for kind in [
+            EstimatorKind::Noiseless,
+            EstimatorKind::SuccessRate,
+            EstimatorKind::NoisySim(cfg),
+        ] {
+            let fast = Estimator::new(Device::yorktown(), kind, 1)
+                .with_valid_cap(4)
+                .score(&circuit, &params, &task, &layout);
+            let via_mps = Estimator::new(Device::yorktown(), kind, 1)
+                .with_valid_cap(4)
+                .with_backend(mps)
+                .score(&circuit, &params, &task, &layout);
+            assert!(
+                (fast - via_mps).abs() < 1e-9,
+                "{kind:?}: fast {fast} vs mps {via_mps}"
             );
         }
     }

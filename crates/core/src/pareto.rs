@@ -638,21 +638,7 @@ pub fn evolutionary_search_pareto_rt(
                 let circuit = build_gene_circuit(sc, task, g);
                 estimator.compiled_shape(&circuit, &g.layout())
             });
-            let mut shape_panics = 0u64;
-            let out: Vec<(f64, f64)> = computed
-                .into_iter()
-                .map(|r| match r {
-                    Ok((depth, twoq)) => (depth as f64, twoq as f64),
-                    Err(_) => {
-                        shape_panics += 1;
-                        (f64::INFINITY, f64::INFINITY)
-                    }
-                })
-                .collect();
-            if shape_panics > 0 {
-                rt.metrics().incr(counters::PANICS, shape_panics);
-            }
-            out
+            poison_shapes(rt, computed)
         });
         let objs: Vec<Vec<f64>> = (0..candidates.len())
             .map(|i| {
@@ -804,6 +790,34 @@ pub fn evolutionary_search_pareto_rt(
     }
 }
 
+/// Converts isolated compiled-shape results into objective coordinates,
+/// poisoning a panicked candidate to `+inf` on both shape axes so it can
+/// never dominate a healthy one. Every poisoned candidate is surfaced in
+/// telemetry — the generic panic counter plus the dedicated
+/// `pareto_shape_poisoned` counter — so a search losing candidates to
+/// compile crashes is auditable from `--stats` instead of invisible.
+fn poison_shapes(
+    rt: &SearchRuntime,
+    computed: Vec<Result<(usize, usize), String>>,
+) -> Vec<(f64, f64)> {
+    let mut poisoned = 0u64;
+    let out: Vec<(f64, f64)> = computed
+        .into_iter()
+        .map(|r| match r {
+            Ok((depth, twoq)) => (depth as f64, twoq as f64),
+            Err(_) => {
+                poisoned += 1;
+                (f64::INFINITY, f64::INFINITY)
+            }
+        })
+        .collect();
+    if poisoned > 0 {
+        rt.metrics().incr(counters::PANICS, poisoned);
+        rt.metrics().incr(counters::PARETO_SHAPE_POISONED, poisoned);
+    }
+    out
+}
+
 /// Picks the front point minimizing the estimated error rate on `device`
 /// — "one search, many devices": the front is searched once, then matched
 /// against each device's calibration fingerprint instead of re-searching.
@@ -906,6 +920,50 @@ mod tests {
             lo: n,
             hi: n.wrapping_mul(0x9E3779B97F4A7C15),
         }
+    }
+
+    #[test]
+    fn shape_poisoning_is_counted_not_silent() {
+        // A candidate whose compiled-shape evaluation panics (here: a
+        // layout referencing a physical qubit the device does not have)
+        // must come back poisoned to +inf on both axes AND be visible in
+        // the dedicated telemetry counter — a silently +inf'd candidate
+        // used to be indistinguishable from a legitimately deep one.
+        use crate::runtime::RuntimeOptions;
+        use crate::{EstimatorKind, SubConfig};
+        let rt = SearchRuntime::new(RuntimeOptions {
+            workers: 2,
+            ..Default::default()
+        });
+        let estimator = Estimator::new(Device::belem(), EstimatorKind::Noiseless, 1);
+        let sc = SuperCircuit::new(crate::DesignSpace::new(crate::SpaceKind::U3Cu3), 2, 1);
+        let task = Task::vqe(&qns_chem::Molecule::h2());
+        let good = Gene {
+            config: sc.max_config(),
+            layout: vec![0, 1],
+        };
+        let bad = Gene {
+            config: SubConfig {
+                n_blocks: 1,
+                widths: vec![vec![2]],
+            },
+            layout: vec![0, 99],
+        };
+        let genes = [good, bad];
+        let refs: Vec<&Gene> = genes.iter().collect();
+        let computed = rt.map_isolated(&refs, |g| {
+            let circuit = build_gene_circuit(&sc, &task, g);
+            estimator.compiled_shape(&circuit, &g.layout())
+        });
+        let shapes = poison_shapes(&rt, computed);
+        assert!(shapes[0].0.is_finite() && shapes[0].1.is_finite());
+        assert_eq!(shapes[1], (f64::INFINITY, f64::INFINITY));
+        assert_eq!(rt.metrics().counter(counters::PARETO_SHAPE_POISONED), 1);
+        assert_eq!(rt.metrics().counter(counters::PANICS), 1);
+        assert!(
+            rt.metrics().summary().contains("pareto_shape_poisoned"),
+            "counter must surface in the --stats summary"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crate::{
     EvoConfig, Gene, PruneConfig, SpaceKind, SuperCircuit, SuperTrainConfig, Task, TrainConfig,
 };
 use qns_noise::{Device, TrajectoryConfig};
-use qns_runtime::FaultPlan;
+use qns_runtime::{counters, FaultPlan};
+use qns_sim::SimBackend;
 use std::sync::Arc;
 
 /// Knobs for one full QuantumNAS run. The paper-scale settings train for
@@ -25,6 +26,12 @@ pub struct QuantumNasConfig {
     pub evo: EvoConfig,
     /// Estimator used during search.
     pub estimator: EstimatorKind,
+    /// Simulation backend for every scoring path (the CLI's `--backend`):
+    /// the dense fast kernels by default, or [`SimBackend::Mps`] to score
+    /// on a bond-truncated matrix-product state past the dense memory
+    /// wall. The selection is part of the search-context digest, so
+    /// checkpoints never resume across backends.
+    pub backend: SimBackend,
     /// Transpiler optimization level (the paper uses 2).
     pub opt_level: u8,
     /// From-scratch training settings for the searched SubCircuit.
@@ -69,6 +76,7 @@ impl QuantumNasConfig {
                 seed: 7,
                 readout: true,
             }),
+            backend: SimBackend::Fast,
             opt_level: 2,
             train: TrainConfig {
                 epochs: 25,
@@ -106,6 +114,7 @@ impl QuantumNasConfig {
             },
             evo: EvoConfig::default(),
             estimator: EstimatorKind::NoisySim(TrajectoryConfig::default()),
+            backend: SimBackend::Fast,
             opt_level: 2,
             train: TrainConfig {
                 epochs: 60,
@@ -219,6 +228,8 @@ impl QuantumNas {
         if let Some(faults) = &self.config.faults {
             rt = rt.with_fault_plan(faults.clone());
         }
+        // Truncation telemetry covers this run only.
+        qns_sim::reset_mps_stats();
 
         // Stage 1: SuperCircuit training.
         let mut super_cfg = self.config.super_train;
@@ -232,6 +243,7 @@ impl QuantumNas {
                 self.config.estimator,
                 self.config.opt_level,
             )
+            .with_backend(self.config.backend)
             .with_valid_cap(12),
         );
         let mut evo = self.config.evo.clone();
@@ -326,6 +338,16 @@ impl QuantumNas {
             };
             (f64::NAN, energy)
         };
+
+        // Mirror MPS truncation telemetry into the runtime summary so
+        // `--stats` audits how much Schmidt weight the run discarded.
+        let mps = qns_sim::mps_stats();
+        if mps.max_bond_seen > 0 {
+            let m = rt.metrics();
+            m.incr(counters::MPS_TRUNCATIONS, mps.truncation_events);
+            m.incr(counters::MPS_TRUNC_WEIGHT_PICO, mps.truncated_weight_pico);
+            m.incr(counters::MPS_MAX_BOND, mps.max_bond_seen);
+        }
 
         Report {
             gene: search.best,

@@ -14,12 +14,12 @@
 //!   transpile/simulate wall-time histograms via the shared [`Metrics`]
 //!   registry.
 
-use crate::checkpoint::CheckpointOptions;
+use crate::checkpoint::{BackendConfig, CheckpointOptions};
 use crate::{Estimator, EstimatorKind, Gene, SubConfig};
 use qns_noise::Device;
 use qns_runtime::{
-    counters, timers, CacheKey, CheckpointStore, Checkpointable, EvalEngine, FaultPlan, Metrics,
-    ShardedCache, StructuralHasher, Workers, FAULT_MARKER,
+    counters, timers, ByteWriter, CacheKey, CheckpointStore, Checkpointable, EvalEngine, FaultPlan,
+    Metrics, ShardedCache, StructuralHasher, Workers, FAULT_MARKER,
 };
 use qns_transpile::{Layout, Transpiled};
 use qns_verify::{VerifyLevel, PANIC_MARKER};
@@ -589,6 +589,12 @@ pub fn search_context_key(
     let mut h = StructuralHasher::new();
     hash_device(&mut h, estimator.device());
     hash_estimator_kind(&mut h, estimator.kind());
+    // The backend (and its truncation policy) is part of the scoring
+    // context: exact and MPS-truncated scores must never share a memo,
+    // and an mps↔statevec resume must be rejected as stale.
+    let mut bw = ByteWriter::new();
+    BackendConfig::of(estimator.backend()).encode(&mut bw);
+    h.write_bytes(&bw.into_bytes());
     h.write_u64(estimator.opt_level() as u64);
     h.write_usize(estimator.valid_cap());
     h.write_str(task.name());
@@ -668,6 +674,42 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), kinds.len());
+    }
+
+    #[test]
+    fn context_key_separates_backends() {
+        // Statevec and MPS scores — or two different truncation policies —
+        // must never share a memo or accept each other's checkpoints.
+        use qns_sim::{MpsConfig, SimBackend};
+        let task = crate::Task::vqe(&qns_chem::Molecule::h2());
+        let backends = [
+            SimBackend::Fast,
+            SimBackend::Reference,
+            SimBackend::Mps(MpsConfig::exact()),
+            SimBackend::Mps(MpsConfig::default()),
+            SimBackend::Mps(MpsConfig {
+                max_bond: 8,
+                ..Default::default()
+            }),
+        ];
+        let mut keys: Vec<CacheKey> = backends
+            .iter()
+            .map(|&b| {
+                let est =
+                    Estimator::new(Device::belem(), EstimatorKind::Noiseless, 2).with_backend(b);
+                search_context_key(&est, &task, &[], None)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), backends.len(), "backend configs collided");
+        // Same backend twice: stable.
+        let est = Estimator::new(Device::belem(), EstimatorKind::Noiseless, 2)
+            .with_backend(SimBackend::Mps(MpsConfig::default()));
+        assert_eq!(
+            search_context_key(&est, &task, &[], None),
+            search_context_key(&est, &task, &[], None)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Kraus error channels with stochastic trajectory unraveling.
 
-use qns_sim::{StateBatch, StateVec};
+use qns_sim::{MpsState, StateBatch, StateVec};
 use qns_tensor::{Mat2, C64};
 use rand::Rng;
 
@@ -160,6 +160,36 @@ impl KrausChannel {
             if u <= cdf || i == self.ops.len() - 1 {
                 state.apply_1q(k, q);
                 state.normalize();
+                return;
+            }
+        }
+    }
+
+    /// [`KrausChannel::apply_trajectory`] on a matrix-product state: the
+    /// same protocol — one RNG draw, lazy Born-probability CDF walk, apply
+    /// the selected operator, renormalize — so a trajectory's draw sequence
+    /// is identical to the dense path. Born probabilities come from the
+    /// one-site reduced density matrix (`Tr(K†K ρ_q)`); they differ from
+    /// the dense values only by truncation error, so draw *outcomes* (and
+    /// hence exact bitwise agreement with the dense backends) coincide in
+    /// the exact regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range for `mps`.
+    pub fn apply_trajectory_mps<R: Rng + ?Sized>(&self, mps: &mut MpsState, q: usize, rng: &mut R) {
+        if self.ops.len() == 1 {
+            let p = mps.kraus_prob(&self.ops[0], q);
+            mps.apply_kraus_1q(&self.ops[0], q, p);
+            return;
+        }
+        let u: f64 = rng.gen();
+        let mut cdf = 0.0;
+        for (i, k) in self.ops.iter().enumerate() {
+            let p = mps.kraus_prob(k, q);
+            cdf += p;
+            if u <= cdf || i == self.ops.len() - 1 {
+                mps.apply_kraus_1q(k, q, p);
                 return;
             }
         }

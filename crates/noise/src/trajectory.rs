@@ -11,7 +11,7 @@
 use crate::{Device, KrausChannel};
 use qns_circuit::{Circuit, GateMatrix};
 use qns_runtime::{EvalEngine, StructuralHasher, Workers};
-use qns_sim::{SimBackend, StateBatch, StateVec};
+use qns_sim::{MpsConfig, MpsState, SimBackend, StateBatch, StateVec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -186,16 +186,16 @@ impl TrajectoryExecutor {
                 GateMatrix::One(m) => {
                     let q = op.qubits[0];
                     match self.backend {
-                        SimBackend::Fast => state.apply_1q(&m, q),
                         SimBackend::Reference => state.apply_1q_reference(&m, q),
+                        _ => state.apply_1q(&m, q),
                     }
                     self.apply_gate_noise(&mut state, q, phys_of, false, rng);
                 }
                 GateMatrix::Two(m) => {
                     let (a, b) = (op.qubits[0], op.qubits[1]);
                     match self.backend {
-                        SimBackend::Fast => state.apply_2q(&m, a, b),
                         SimBackend::Reference => state.apply_2q_reference(&m, a, b),
+                        _ => state.apply_2q(&m, a, b),
                     }
                     let e2 = self.device.err_2q(phys_of[a], phys_of[b]);
                     for &q in &[a, b] {
@@ -207,6 +207,71 @@ impl TrajectoryExecutor {
             }
         }
         state
+    }
+
+    /// [`TrajectoryExecutor::run_one`] on a matrix-product state: the same
+    /// gate/noise application order and the same per-channel RNG protocol
+    /// ([`KrausChannel::apply_trajectory_mps`]), densified to a state
+    /// vector at the end so result extraction is backend-agnostic. In the
+    /// exact regime (generous `max_bond`) every Born probability matches
+    /// the dense path to simulator tolerance, so the draw outcomes — and
+    /// the trajectory average — agree with the `Reference` oracle.
+    fn run_one_mps(
+        &self,
+        circuit: &Circuit,
+        train: &[f64],
+        input: &[f64],
+        phys_of: &[usize],
+        config: MpsConfig,
+        rng: &mut StdRng,
+    ) -> StateVec {
+        let mut mps = MpsState::zero_state(circuit.num_qubits(), config);
+        for op in circuit.iter() {
+            let params = op.resolve_params(train, input);
+            match op.kind.matrix(&params) {
+                GateMatrix::One(m) => {
+                    let q = op.qubits[0];
+                    mps.apply_1q(&m, q);
+                    self.apply_gate_noise_mps(&mut mps, q, phys_of, false, rng);
+                }
+                GateMatrix::Two(m) => {
+                    let (a, b) = (op.qubits[0], op.qubits[1]);
+                    mps.apply_2q(&m, a, b);
+                    let e2 = self.device.err_2q(phys_of[a], phys_of[b]);
+                    for &q in &[a, b] {
+                        let ch = KrausChannel::depolarizing(e2.min(1.0));
+                        ch.apply_trajectory_mps(&mut mps, q, rng);
+                        self.apply_gate_noise_mps(&mut mps, q, phys_of, true, rng);
+                    }
+                }
+            }
+        }
+        mps.to_statevec()
+    }
+
+    /// [`TrajectoryExecutor::apply_gate_noise`] on a matrix-product state:
+    /// identical channel construction and application order.
+    fn apply_gate_noise_mps(
+        &self,
+        mps: &mut MpsState,
+        q: usize,
+        phys_of: &[usize],
+        two_qubit: bool,
+        rng: &mut StdRng,
+    ) {
+        let phys = phys_of[q];
+        let calib = self.device.qubit(phys);
+        if !two_qubit {
+            let ch = KrausChannel::depolarizing(calib.err_1q.min(1.0));
+            ch.apply_trajectory_mps(mps, q, rng);
+        }
+        let dur = if two_qubit {
+            self.device.dur_2q_ns()
+        } else {
+            self.device.dur_1q_ns()
+        };
+        let relax = KrausChannel::thermal_relaxation(calib.t1_ns, calib.t2_ns, dur);
+        relax.apply_trajectory_mps(mps, q, rng);
     }
 
     /// Runs one chunk of trajectories as lanes of a [`StateBatch`]: the
@@ -301,6 +366,19 @@ impl TrajectoryExecutor {
                     |&(idx, s)| {
                         let mut rng = StdRng::seed_from_u64(s);
                         let state = self.run_one(circuit, train, input, phys_of, &mut rng);
+                        extract(idx, &state, &mut rng)
+                    },
+                    default,
+                )
+            }
+            SimBackend::Mps(config) => {
+                let items: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+                engine.run(
+                    &items,
+                    |&(idx, s)| {
+                        let mut rng = StdRng::seed_from_u64(s);
+                        let state =
+                            self.run_one_mps(circuit, train, input, phys_of, config, &mut rng);
                         extract(idx, &state, &mut rng)
                     },
                     default,
@@ -800,6 +878,38 @@ mod tests {
         for (q, (f, r)) in fast.expect_z.iter().zip(&oracle.expect_z).enumerate() {
             assert!((f - r).abs() < 1e-10, "qubit {q}: {f} vs {r}");
         }
+    }
+
+    #[test]
+    fn mps_trajectories_match_reference_oracle() {
+        // Exact-regime MPS trajectories draw the same Kraus outcomes as
+        // the dense reference path (Born probabilities agree to simulator
+        // tolerance), so the averages must coincide.
+        let cfg = TrajectoryConfig {
+            trajectories: 16,
+            seed: 8,
+            readout: true,
+        };
+        let mut c = Circuit::new(3);
+        c.push(GateKind::H, &[0], &[]);
+        c.push(GateKind::CX, &[0, 1], &[]);
+        c.push(GateKind::RX, &[2], &[qns_circuit::Param::Train(0)]);
+        c.push(GateKind::CZ, &[0, 2], &[]);
+        let mps = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_backend(SimBackend::Mps(qns_sim::MpsConfig::exact()))
+            .expect_z(&c, &[0.7], &[], &[0, 1, 2]);
+        let oracle = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_backend(SimBackend::Reference)
+            .expect_z(&c, &[0.7], &[], &[0, 1, 2]);
+        for (q, (f, r)) in mps.expect_z.iter().zip(&oracle.expect_z).enumerate() {
+            assert!((f - r).abs() < 1e-10, "qubit {q}: {f} vs {r}");
+        }
+        // And the fan-out over workers is bit-identical to sequential.
+        let par = TrajectoryExecutor::new(Device::belem(), cfg)
+            .with_backend(SimBackend::Mps(qns_sim::MpsConfig::exact()))
+            .with_workers(Workers::Fixed(4))
+            .expect_z(&c, &[0.7], &[], &[0, 1, 2]);
+        assert_eq!(mps.expect_z, par.expect_z, "worker count changed results");
     }
 
     #[test]

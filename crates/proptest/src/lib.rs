@@ -113,6 +113,16 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// A strategy that feeds each generated value into `f` and draws
+        /// from the strategy `f` returns — the standard way to make one
+        /// dimension of a value (e.g. a vector length) depend on another.
+        fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// A constant strategy.
@@ -136,6 +146,20 @@ pub mod strategy {
         type Value = U;
         fn generate(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// The [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            let mid = self.inner.generate(rng);
+            (self.f)(mid).generate(rng)
         }
     }
 

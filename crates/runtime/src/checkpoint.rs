@@ -35,8 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// First 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"QNSCKPT\0";
-/// Current frame format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current frame format version. v2: search-context digests include the
+/// simulation backend ([`BackendConfig`](../../quantumnas) wire form), so
+/// snapshots written under a different backend no longer resume.
+pub const FORMAT_VERSION: u32 = 2;
 /// Snapshot filename extension.
 pub const EXTENSION: &str = "ckpt";
 

@@ -59,6 +59,18 @@ pub mod counters {
     /// with `PARETO_GENERATIONS` this yields the mean hypervolume without
     /// needing float counters.
     pub const PARETO_HV_SUM_MILLI: &str = "pareto_hv_sum_milli";
+    /// Pareto objective evaluations whose compiled-shape computation
+    /// panicked and was poisoned to `+inf` (surfaced instead of silently
+    /// dominating nothing).
+    pub const PARETO_SHAPE_POISONED: &str = "pareto_shape_poisoned";
+    /// MPS bond-truncation events (splits that discarded Schmidt weight).
+    pub const MPS_TRUNCATIONS: &str = "mps_truncations";
+    /// Total discarded Schmidt weight across truncations, in picounits
+    /// (`round(weight * 1e12)`), so fidelity loss stays auditable without
+    /// float counters.
+    pub const MPS_TRUNC_WEIGHT_PICO: &str = "mps_trunc_weight_pico";
+    /// Largest bond dimension any MPS split produced.
+    pub const MPS_MAX_BOND: &str = "mps_max_bond";
 }
 
 /// Well-known timer names.

@@ -1,5 +1,6 @@
 //! Circuit execution: dynamic (gate-at-a-time) and static (fused) modes.
 
+use crate::mps::{MpsConfig, MpsState};
 use crate::plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 use crate::StateVec;
 use qns_circuit::{Circuit, GateMatrix};
@@ -26,6 +27,9 @@ pub enum ExecMode {
 /// kernels plus fusion v2 in static mode. `Reference` replays the original
 /// naive per-gate kernels with no fusion — slower, but trivially auditable,
 /// and the oracle the differential test battery checks `Fast` against.
+/// `Mps` simulates on a matrix-product state with bounded bond dimension:
+/// exact while the bond limit is generous, controllably approximate past
+/// the dense-state memory wall (see [`MpsConfig`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SimBackend {
     /// Naive per-gate kernels, no fusion: the differential-test oracle.
@@ -33,6 +37,8 @@ pub enum SimBackend {
     /// Fused, cache-blocked, structure-specialized kernels.
     #[default]
     Fast,
+    /// Matrix-product-state simulation with the given truncation policy.
+    Mps(MpsConfig),
 }
 
 /// One fused unitary block ready to apply.
@@ -210,6 +216,49 @@ pub fn run_into_with(
                     .execute_into(circuit, train, input, state);
             }
         },
+        SimBackend::Mps(config) => {
+            let mut mps = MpsState::zero_state(circuit.num_qubits(), config);
+            run_mps(circuit, train, input, mode, &mut mps);
+            mps.to_statevec_into(state);
+        }
+    }
+}
+
+/// Runs `circuit` from `|0...0>` on a fresh matrix-product state without
+/// densifying — the native entry point for widths past state-vector reach.
+///
+/// Honors `mode` exactly like the `Fast` backend: `Static` replays the
+/// fused block program ([`SimPlan`] at [`DEFAULT_FUSION_LEVEL`]), `Dynamic`
+/// applies each gate individually.
+pub fn run_mps(
+    circuit: &Circuit,
+    train: &[f64],
+    input: &[f64],
+    mode: ExecMode,
+    mps: &mut MpsState,
+) {
+    assert_eq!(mps.num_qubits(), circuit.num_qubits(), "width mismatch");
+    mps.reset();
+    match mode {
+        ExecMode::Dynamic => {
+            for op in circuit.iter() {
+                let params = op.resolve_params(train, input);
+                match op.kind.matrix(&params) {
+                    GateMatrix::One(m) => mps.apply_1q(&m, op.qubits[0]),
+                    GateMatrix::Two(m) => mps.apply_2q(&m, op.qubits[0], op.qubits[1]),
+                }
+            }
+        }
+        ExecMode::Static => {
+            let blocks =
+                SimPlan::compile(circuit, DEFAULT_FUSION_LEVEL).materialize(circuit, train, input);
+            for b in &blocks {
+                match b {
+                    FusedOp::One(q, m) => mps.apply_1q(m, *q),
+                    FusedOp::Two(a, b2, m) => mps.apply_2q(m, *a, *b2),
+                }
+            }
+        }
     }
 }
 

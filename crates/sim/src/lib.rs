@@ -43,6 +43,7 @@
 mod batch;
 mod exec;
 mod grad;
+mod mps;
 mod plan;
 mod pool;
 mod state;
@@ -53,12 +54,13 @@ pub use batch::{
     MIN_PARALLEL_ITEMS,
 };
 pub use exec::{
-    run, run_into, run_into_with, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
+    run, run_into, run_into_with, run_mps, run_with, ExecMode, FusedOp, FusedProgram, SimBackend,
 };
 pub use grad::{
     adjoint_gradient, adjoint_gradient_batch, numeric_gradient, parameter_shift_gradient,
     shifted_expectations, DiagObservable, Observable,
 };
+pub use mps::{mps_stats, reset_mps_stats, MpsConfig, MpsState, MpsStats};
 pub use plan::{SimPlan, DEFAULT_FUSION_LEVEL};
 pub use state::{counts_to_expect_z, StateVec};
 pub use state_batch::{StateBatch, DEFAULT_BATCH_LANES, LANE_CHUNK};

@@ -11,7 +11,9 @@
 //!   resynthesis, chemistry),
 //! - [`sym_eigen`], a Jacobi eigensolver for small real-symmetric matrices
 //!   (used by PCA and by the chemistry substrate's exact diagonalization of
-//!   tiny Hamiltonians).
+//!   tiny Hamiltonians),
+//! - [`svd`], a one-sided Jacobi singular value decomposition for complex
+//!   matrices (the bond-splitting primitive of the MPS simulator).
 //!
 //! # Examples
 //!
@@ -27,10 +29,12 @@
 mod c64;
 mod linalg;
 mod mat;
+mod svd;
 
 pub use c64::C64;
 pub use linalg::{sym_eigen, SymEigen};
 pub use mat::{Mat2, Mat4, Matrix};
+pub use svd::{svd, Svd};
 
 /// Tolerance used by approximate comparisons throughout the workspace.
 pub const EPS: f64 = 1e-9;

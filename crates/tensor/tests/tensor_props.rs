@@ -1,0 +1,126 @@
+//! Property tests for the `qns-tensor` primitives.
+//!
+//! The rest of the workspace leans on these invariants (the MPS backend most
+//! of all: bond splitting is SVD + re-contraction), so they are pinned here
+//! directly against random small inputs rather than indirectly through the
+//! simulator batteries.
+
+use proptest::prelude::*;
+use qns_tensor::{svd, Matrix, C64};
+
+const TOL: f64 = 1e-10;
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-2.0..2.0f64, -2.0..2.0f64).prop_map(|(re, im)| C64::new(re, im))
+}
+
+/// A random complex matrix with shape `rows × cols`, both in `1..=max_dim`.
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(arb_c64(), rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+/// A triple of random matrices with chained shapes `(m×k, k×l, l×n)` so both
+/// association orders of the product are defined.
+fn arb_chain() -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (1..=4usize, 1..=4usize, 1..=4usize, 1..=4usize).prop_flat_map(|(m, k, l, n)| {
+        (
+            prop::collection::vec(arb_c64(), m * k).prop_map(move |d| Matrix::from_vec(m, k, d)),
+            prop::collection::vec(arb_c64(), k * l).prop_map(move |d| Matrix::from_vec(k, l, d)),
+            prop::collection::vec(arb_c64(), l * n).prop_map(move |d| Matrix::from_vec(l, n, d)),
+        )
+    })
+}
+
+fn assert_matrices_close(a: &Matrix, b: &Matrix, tol: f64, label: &str) {
+    assert_eq!(a.rows(), b.rows(), "{label}: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "{label}: col mismatch");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let d = a[(i, j)] - b[(i, j)];
+            assert!(
+                d.norm_sqr().sqrt() < tol,
+                "{label}: entry ({i},{j}) differs by {:.3e}",
+                d.norm_sqr().sqrt()
+            );
+        }
+    }
+}
+
+fn reconstruct(f: &qns_tensor::Svd) -> Matrix {
+    let mut out = Matrix::zeros(f.u.rows(), f.vt.cols());
+    for i in 0..f.u.rows() {
+        for j in 0..f.vt.cols() {
+            let mut acc = C64::ZERO;
+            for k in 0..f.rank() {
+                acc += f.u[(i, k)].scale(f.s[k]) * f.vt[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `U · diag(s) · Vᵗ` rebuilds the input to ≤1e-10 for arbitrary shapes.
+    #[test]
+    fn svd_reconstructs_input(a in arb_matrix(6)) {
+        let f = svd(&a);
+        assert_matrices_close(&a, &reconstruct(&f), TOL, "svd reconstruction");
+    }
+
+    /// The left factor has orthonormal columns and the right factor has
+    /// orthonormal rows: `UᴴU = I` and `Vᵗ(Vᵗ)ᴴ = I`.
+    #[test]
+    fn svd_factors_are_orthonormal(a in arb_matrix(6)) {
+        let f = svd(&a);
+        let gram_u = f.u.adjoint().mul_mat(&f.u);
+        let gram_v = f.vt.mul_mat(&f.vt.adjoint());
+        for (gram, label) in [(&gram_u, "U"), (&gram_v, "V")] {
+            for i in 0..f.rank() {
+                for j in 0..f.rank() {
+                    let expect = if i == j { C64::ONE } else { C64::ZERO };
+                    let d = gram[(i, j)] - expect;
+                    prop_assert!(
+                        d.norm_sqr().sqrt() < TOL,
+                        "{label} gram off identity at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Singular values come back sorted descending and non-negative, with
+    /// rank bounded by the smaller dimension.
+    #[test]
+    fn svd_values_sorted_and_rank_bounded(a in arb_matrix(6)) {
+        let f = svd(&a);
+        prop_assert!(f.rank() <= a.rows().min(a.cols()));
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] >= w[1], "singular values not descending");
+        }
+        for &s in &f.s {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    /// Matrix contraction is associative: `(A·B)·C == A·(B·C)` to ≤1e-10.
+    #[test]
+    fn contraction_is_associative((a, b, c) in arb_chain()) {
+        let left = a.mul_mat(&b).mul_mat(&c);
+        let right = a.mul_mat(&b.mul_mat(&c));
+        assert_matrices_close(&left, &right, TOL, "associativity");
+    }
+
+    /// Contraction distributes over the adjoint: `(A·B)ᴴ == Bᴴ·Aᴴ`.
+    #[test]
+    fn adjoint_reverses_products((a, b, _c) in arb_chain()) {
+        let left = a.mul_mat(&b).adjoint();
+        let right = b.adjoint().mul_mat(&a.adjoint());
+        assert_matrices_close(&left, &right, TOL, "adjoint product");
+    }
+}

@@ -5,6 +5,27 @@
 
 use std::path::{Path, PathBuf};
 
+use qns_sim::{MpsConfig, SimBackend};
+
+/// Every simulator backend a differential suite should cover, with a
+/// label for assertion messages. The MPS entry runs in the exact regime
+/// (unbounded bond, zero cutoff) so it owes the oracle full precision.
+pub fn all_backends() -> Vec<(SimBackend, &'static str)> {
+    vec![
+        (SimBackend::Reference, "reference"),
+        (SimBackend::Fast, "fast"),
+        (SimBackend::Mps(MpsConfig::exact()), "mps-exact"),
+    ]
+}
+
+/// Runs `f` once per [`SimBackend`] variant. Adding a backend extends
+/// every suite built on this matrix without touching the suites.
+pub fn for_each_backend(mut f: impl FnMut(SimBackend, &'static str)) {
+    for (backend, label) in all_backends() {
+        f(backend, label);
+    }
+}
+
 /// A self-deleting scratch directory for checkpoint drills.
 pub struct TempDir(pub PathBuf);
 

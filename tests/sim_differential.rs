@@ -8,6 +8,8 @@
 //! demands agreement with the oracle to 1e-10 in amplitudes and
 //! expectation values.
 
+mod common;
+
 use proptest::prelude::*;
 use qns_circuit::{Circuit, GateKind, Param};
 use qns_sim::{run_with, ExecMode, FusedProgram, SimBackend, StateVec};
@@ -84,14 +86,17 @@ fn arb_any_circuit() -> impl Strategy<Value = (Circuit, Vec<f64>)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Fast kernels agree with the oracle with fusion off and on.
+    /// Every backend in the matrix agrees with the oracle with fusion
+    /// off and on.
     #[test]
     fn fast_agrees_with_reference_both_modes((circuit, train) in arb_any_circuit()) {
         let oracle = run_with(&circuit, &train, &[], ExecMode::Dynamic, SimBackend::Reference);
-        for mode in [ExecMode::Dynamic, ExecMode::Static] {
-            let fast = run_with(&circuit, &train, &[], mode, SimBackend::Fast);
-            assert_amplitudes_close(&fast, &oracle, &format!("{mode:?}"));
-        }
+        common::for_each_backend(|backend, label| {
+            for mode in [ExecMode::Dynamic, ExecMode::Static] {
+                let got = run_with(&circuit, &train, &[], mode, backend);
+                assert_amplitudes_close(&got, &oracle, &format!("{label} {mode:?}"));
+            }
+        });
     }
 
     /// Every fusion level 0..=3 agrees with the oracle.
@@ -163,10 +168,16 @@ fn input_encoded_circuits_agree() {
     for sample in 0..5 {
         let input: Vec<f64> = (0..n).map(|q| 0.3 * (q + sample) as f64).collect();
         let oracle = run_with(&c, &train, &input, ExecMode::Dynamic, SimBackend::Reference);
-        for mode in [ExecMode::Dynamic, ExecMode::Static] {
-            let fast = run_with(&c, &train, &input, mode, SimBackend::Fast);
-            assert_amplitudes_close(&fast, &oracle, &format!("sample {sample} {mode:?}"));
-        }
+        common::for_each_backend(|backend, label| {
+            for mode in [ExecMode::Dynamic, ExecMode::Static] {
+                let got = run_with(&c, &train, &input, mode, backend);
+                assert_amplitudes_close(
+                    &got,
+                    &oracle,
+                    &format!("sample {sample} {label} {mode:?}"),
+                );
+            }
+        });
     }
 }
 

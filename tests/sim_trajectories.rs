@@ -3,6 +3,8 @@
 //! channel expectation and (b) bit-identical to the sequential path for
 //! a fixed candidate, at every worker count.
 
+mod common;
+
 use qns_circuit::{Circuit, GateKind, Param};
 use qns_noise::{density_expect_z, Device, TrajectoryConfig, TrajectoryExecutor};
 use qns_runtime::Workers;
@@ -75,9 +77,9 @@ fn parallel_trajectories_bit_identical_to_sequential() {
     }
 }
 
-/// The backend switch must not change trajectory physics: fast kernels
-/// and the reference oracle agree per-trajectory (same seeds, same
-/// Kraus draws), so the averages match to solver precision.
+/// The backend switch must not change trajectory physics: every backend
+/// in the matrix agrees with the reference oracle per-trajectory (same
+/// seeds, same Kraus draws), so the averages match to solver precision.
 #[test]
 fn fast_and_reference_backends_agree_on_trajectories() {
     let c = noisy_circuit();
@@ -87,18 +89,20 @@ fn fast_and_reference_backends_agree_on_trajectories() {
         seed: 13,
         readout: true,
     };
-    let fast = TrajectoryExecutor::new(Device::yorktown(), cfg)
-        .with_backend(SimBackend::Fast)
-        .expect_z(&c, &[], &[], &phys);
     let oracle = TrajectoryExecutor::new(Device::yorktown(), cfg)
         .with_backend(SimBackend::Reference)
         .expect_z(&c, &[], &[], &phys);
-    for (q, (a, b)) in fast.expect_z.iter().zip(oracle.expect_z.iter()).enumerate() {
-        assert!(
-            (a - b).abs() < 1e-10,
-            "qubit {q}: fast {a} vs reference {b}"
-        );
-    }
+    common::for_each_backend(|backend, label| {
+        let got = TrajectoryExecutor::new(Device::yorktown(), cfg)
+            .with_backend(backend)
+            .expect_z(&c, &[], &[], &phys);
+        for (q, (a, b)) in got.expect_z.iter().zip(oracle.expect_z.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "qubit {q}: {label} {a} vs reference {b}"
+            );
+        }
+    });
 }
 
 /// Trajectory seeds derive from the candidate digest: a different
